@@ -1,0 +1,88 @@
+// Command xpdlc compiles an XPDL program: parse, static checks (including
+// the paper's Rules 1-4), exception translation, and Verilog emission.
+//
+// Usage:
+//
+//	xpdlc [-o out.v] [-dump-translated] [-report] file.xpdl
+//	xpdlc -design base|fatal|trap|csr|all [-o out.v] [-report]
+//
+// With -design, the built-in processor variants are compiled instead of a
+// source file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xpdl"
+	"xpdl/internal/designs"
+	"xpdl/internal/ir"
+	"xpdl/internal/pdl/ast"
+	"xpdl/internal/synth"
+)
+
+func main() {
+	out := flag.String("o", "", "write generated Verilog to this file (default stdout)")
+	dump := flag.Bool("dump-translated", false, "print the translated (post-Fig.4) pipelines")
+	report := flag.Bool("report", false, "print the area/timing model report")
+	design := flag.String("design", "", "compile a built-in processor variant (base|fatal|trap|csr|all)")
+	flag.Parse()
+
+	var src, name string
+	switch {
+	case *design != "":
+		var v designs.Variant
+		found := false
+		for _, cand := range designs.Variants() {
+			if cand.String() == *design {
+				v, found = cand, true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown design %q", *design))
+		}
+		src, name = designs.Source(v), *design
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src, name = string(data), flag.Arg(0)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := xpdl.Compile(src)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	fmt.Fprintf(os.Stderr, "xpdlc: %s: %d pipeline(s) checked and translated\n", name, len(d.Prog.Pipes))
+
+	if *dump {
+		for _, tr := range d.Translations {
+			ast.Fprint(os.Stderr, tr.Pipe)
+		}
+	}
+
+	v := synth.Verilog(d.Info, d.Translations)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(v), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "xpdlc: wrote %d bytes of Verilog to %s\n", len(v), *out)
+	} else {
+		fmt.Print(v)
+	}
+
+	if *report {
+		low := ir.Lower(d.Info, d.Translations)
+		fmt.Fprint(os.Stderr, synth.Report(low, synth.ASIC45()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpdlc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command xpdlsim runs an RV32IM assembly program on one of the XPDL
+// processor variants and (by default) cross-checks the run against the
+// sequential golden model — the one-instruction-at-a-time specification.
+//
+// Usage:
+//
+//	xpdlsim [-design all] [-cycles N] [-trace] [-pipetrace] [-no-golden] prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xpdl/internal/asm"
+	"xpdl/internal/designs"
+	"xpdl/internal/golden"
+	"xpdl/internal/riscv"
+)
+
+func main() {
+	design := flag.String("design", "all", "processor variant (base|fatal|trap|csr|all)")
+	cycles := flag.Int("cycles", 1_000_000, "cycle budget")
+	trace := flag.Bool("trace", false, "print the retirement trace")
+	pipetrace := flag.Bool("pipetrace", false, "stream per-cycle stage occupancy (textual waveform)")
+	noGolden := flag.Bool("no-golden", false, "skip the golden-model cross-check")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(data))
+	if err != nil {
+		fatal(err)
+	}
+
+	var variant designs.Variant
+	found := false
+	for _, v := range designs.Variants() {
+		if v.String() == *design {
+			variant, found = v, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("unknown design %q", *design))
+	}
+
+	p, err := designs.Build(variant)
+	if err != nil {
+		fatal(err)
+	}
+	if err := p.Load(prog); err != nil {
+		fatal(err)
+	}
+	if err := p.Boot(); err != nil {
+		fatal(err)
+	}
+	if *pipetrace {
+		p.M.PipeTrace(os.Stdout)
+	}
+	n, err := p.Run(*cycles)
+	if err != nil {
+		fatal(err)
+	}
+	if p.M.InFlight() != 0 {
+		fatal(fmt.Errorf("pipeline did not drain within %d cycles", *cycles))
+	}
+
+	rs := p.Retired()
+	fmt.Printf("design %s: %d instructions in %d cycles (CPI %.3f)\n",
+		variant, len(rs), n, p.CPI())
+	if *trace {
+		for _, r := range rs {
+			mark := " "
+			if r.Exceptional {
+				mark = "!"
+			}
+			raw := uint32(p.M.MemPeek("imem", r.Args[0].Uint()>>2).Uint())
+			fmt.Printf("%s pc=%08x  %-28s cycle=%d\n", mark, uint32(r.Args[0].Uint()),
+				riscv.Decode(raw), r.Cycle)
+		}
+	}
+	fmt.Printf("dmem[0] (checksum convention) = %#x\n", p.DMemWord(0))
+
+	if !*noGolden {
+		g := golden.New(prog.Text, prog.Data, designs.DMemWords)
+		if err := g.Run(*cycles); err != nil {
+			fatal(err)
+		}
+		mismatches := 0
+		for i := uint32(1); i < 32; i++ {
+			if p.Reg(i) != g.Regs[i] {
+				fmt.Printf("MISMATCH x%d: pipeline %#x, golden %#x\n", i, p.Reg(i), g.Regs[i])
+				mismatches++
+			}
+		}
+		for i := uint32(0); i < designs.DMemWords; i++ {
+			if p.DMemWord(i) != g.DMem[i] {
+				fmt.Printf("MISMATCH dmem[%d]: pipeline %#x, golden %#x\n", i, p.DMemWord(i), g.DMem[i])
+				mismatches++
+			}
+		}
+		if mismatches == 0 {
+			fmt.Println("golden model cross-check: architectural state identical")
+		} else {
+			fatal(fmt.Errorf("%d architectural mismatches against the golden model", mismatches))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpdlsim:", err)
+	os.Exit(1)
+}

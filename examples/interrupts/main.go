@@ -1,0 +1,95 @@
+// Interrupts: a periodic timer device interrupts a busy main loop on the
+// full XPDL processor — the Fig. 8/Fig. 11 flow of the paper. The
+// pending signal is a volatile memory written by the device and read by
+// every instruction after the speculation barrier; the except block
+// acknowledges the interrupt and enters the handler.
+//
+// Run with: go run ./examples/interrupts
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpdl/internal/asm"
+	"xpdl/internal/designs"
+	"xpdl/internal/riscv"
+	"xpdl/internal/sim"
+)
+
+const program = `
+# main loop increments a counter; the timer handler ticks a clock word
+        li   t0, 72            # handler address
+        csrw mtvec, t0
+        li   t1, 0x80          # MTIE
+        csrw mie, t1
+        csrrsi zero, mstatus, 8  # mstatus.MIE = 1
+
+        li   t2, 0
+        li   t3, 3000
+loop:   addi t2, t2, 1
+        bne  t2, t3, loop
+        sw   t2, 0(zero)
+        ebreak
+
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+
+# timer handler (byte 72): ticks++, acknowledge is automatic (Fig. 8)
+        lw   s2, 4(zero)
+        addi s2, s2, 1
+        sw   s2, 4(zero)
+        mret
+`
+
+func main() {
+	prog, err := asm.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := designs.Build(designs.All)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Load(prog); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Boot(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The timer device: raises MTIP every 500 cycles, like a real-time
+	// clock independent of the pipeline (§3.6).
+	const period = 500
+	p.M.OnCycle(func(m *sim.Machine) {
+		if c := m.Cycle(); c > 0 && c%period == 0 {
+			p.RaiseInterrupt(riscv.MIPMTIP)
+		}
+	})
+
+	cycles, err := p.Run(200000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var taken []int
+	for _, r := range p.Retired() {
+		if r.Exceptional && r.EArgs[0].Uint() == designs.KInt {
+			taken = append(taken, r.Cycle)
+		}
+	}
+	fmt.Printf("ran %d cycles; timer fired every %d cycles\n", cycles, period)
+	fmt.Printf("interrupts taken: %d (at cycles %v)\n", len(taken), taken)
+	fmt.Printf("handler tick count: %d\n", p.DMemWord(1))
+	fmt.Printf("main loop result:   %d (uncorrupted)\n", p.DMemWord(0))
+	if p.DMemWord(1) != uint32(len(taken)) {
+		log.Fatal("tick count does not match interrupts taken")
+	}
+	fmt.Println("every interrupt was precise: the loop resumed exactly where it was cut")
+}

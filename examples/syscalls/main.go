@@ -1,0 +1,106 @@
+// Syscalls: run a user program making system calls on the full XPDL
+// processor (the "all" variant). The kernel entry dispatches on a7,
+// services the call, and returns with mret — the whole round trip built
+// from one throw statement and one except block in the hardware.
+//
+// Run with: go run ./examples/syscalls
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpdl/internal/asm"
+	"xpdl/internal/designs"
+	"xpdl/internal/riscv"
+)
+
+const program = `
+# user program: two syscalls — sys_add (a7=1) and sys_double (a7=2)
+        li   t0, 80            # kernel entry
+        csrw mtvec, t0
+
+        li   a7, 1             # sys_add(5, 9)
+        li   a0, 5
+        li   a1, 9
+        ecall
+        sw   a0, 0(zero)       # 14
+
+        li   a7, 2             # sys_double(21)
+        li   a0, 21
+        ecall
+        sw   a0, 4(zero)       # 42
+
+        li   a7, 99            # unknown syscall -> -1
+        ecall
+        sw   a0, 8(zero)
+        ebreak
+
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+
+# kernel entry (byte 80): dispatch on a7
+kernel: csrr t1, mepc
+        addi t1, t1, 4
+        csrw mepc, t1          # resume after the ecall
+        li   t2, 1
+        beq  a7, t2, sys_add
+        li   t2, 2
+        beq  a7, t2, sys_double
+        li   a0, -1
+        mret
+sys_add:
+        add  a0, a0, a1
+        mret
+sys_double:
+        slli a0, a0, 1
+        mret
+`
+
+func main() {
+	prog, err := asm.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := designs.Build(designs.All)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Load(prog); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	cycles, err := p.Run(100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %d instructions in %d cycles (CPI %.2f)\n",
+		len(p.Retired()), cycles, p.CPI())
+	fmt.Printf("sys_add(5, 9)   = %d\n", int32(p.DMemWord(0)))
+	fmt.Printf("sys_double(21)  = %d\n", int32(p.DMemWord(1)))
+	fmt.Printf("sys_unknown     = %d\n", int32(p.DMemWord(2)))
+
+	fmt.Println("\ntrap round trips (pipeline exceptions of kind TRAP/MRET):")
+	for _, r := range p.Retired() {
+		if !r.Exceptional {
+			continue
+		}
+		kind := r.EArgs[0].Uint()
+		pc := uint32(r.Args[0].Uint())
+		switch kind {
+		case designs.KTrap:
+			fmt.Printf("  pc=%#04x trap  cause=%s (pipeline flushed, handler entered)\n",
+				pc, riscv.CauseName(uint32(r.EArgs[2].Uint())))
+		case designs.KMret:
+			fmt.Printf("  pc=%#04x mret  (return to mepc)\n", pc)
+		}
+	}
+}

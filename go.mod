@@ -1,0 +1,3 @@
+module xpdl
+
+go 1.22

@@ -1,0 +1,241 @@
+package asm
+
+import (
+	"testing"
+
+	"xpdl/internal/riscv"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func disasm(p *Program) []string {
+	out := make([]string, len(p.Text))
+	for i, w := range p.Text {
+		out[i] = riscv.Decode(w).String()
+	}
+	return out
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := assemble(t, `
+        addi a0, zero, 5
+        add  a1, a0, a0
+        sub  a2, a1, a0
+        lw   t0, 8(sp)
+        sw   t0, 12(sp)
+        and  a3, a1, a2
+    `)
+	want := []string{
+		"addi x10, x0, 5",
+		"add x11, x10, x10",
+		"sub x12, x11, x10",
+		"lw x5, 8(x2)",
+		"sw x5, 12(x2)",
+		"and x13, x11, x12",
+	}
+	got := disasm(p)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("insn %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := assemble(t, `
+        li   t0, 0
+        li   t1, 10
+loop:   addi t0, t0, 1
+        bne  t0, t1, loop
+        j    done
+        nop
+done:   nop
+    `)
+	// loop is at word 2 (byte 8); bne at word 3 (byte 12): offset -4.
+	bne := riscv.Decode(p.Text[3])
+	if bne.Op != riscv.BNE || bne.Imm != -4 {
+		t.Errorf("bne = %v", bne)
+	}
+	j := riscv.Decode(p.Text[4])
+	if j.Op != riscv.JAL || j.Imm != 8 {
+		t.Errorf("j = %v (imm %d, want 8)", j, j.Imm)
+	}
+	if p.Labels["loop"] != 8 || p.Labels["done"] != 24 {
+		t.Errorf("labels = %v", p.Labels)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	p := assemble(t, `
+        li a0, 100
+        li a1, 0x12345
+        li a2, -1
+        li a3, 0x12800
+    `)
+	if len(p.Text) != 6 {
+		t.Fatalf("expected 6 words (1+2+1+2), got %d", len(p.Text))
+	}
+	// Verify via the golden semantics: lui+addi must reconstruct.
+	check := func(idx int, want uint32, twoWords bool) {
+		var v uint32
+		in := riscv.Decode(p.Text[idx])
+		if twoWords {
+			lui := in
+			addi := riscv.Decode(p.Text[idx+1])
+			if lui.Op != riscv.LUI || addi.Op != riscv.ADDI {
+				t.Fatalf("li expansion at %d: %v %v", idx, lui, addi)
+			}
+			v = uint32(lui.Imm) + uint32(addi.Imm)
+		} else {
+			if in.Op != riscv.ADDI {
+				t.Fatalf("short li at %d: %v", idx, in)
+			}
+			v = uint32(in.Imm)
+		}
+		if v != want {
+			t.Errorf("li value at %d = %#x, want %#x", idx, v, want)
+		}
+	}
+	check(0, 100, false)
+	check(1, 0x12345, true)
+	check(3, 0xFFFFFFFF, false)
+	check(4, 0x12800, true)
+}
+
+func TestDataSection(t *testing.T) {
+	p := assemble(t, `
+        .data
+vals:   .word 1, 2, 3
+buf:    .space 4
+        .text
+        la a0, vals
+        lw a1, 0(a0)
+    `)
+	if len(p.Data) != 7 {
+		t.Fatalf("data words = %d, want 7", len(p.Data))
+	}
+	if p.Data[0] != 1 || p.Data[2] != 3 || p.Data[3] != 0 {
+		t.Errorf("data = %v", p.Data)
+	}
+	if p.Labels["vals"] != 0 || p.Labels["buf"] != 12 {
+		t.Errorf("data labels = %v", p.Labels)
+	}
+}
+
+func TestCSRInstructions(t *testing.T) {
+	p := assemble(t, `
+        csrrw t0, mstatus, t1
+        csrrs t2, mcause, zero
+        csrrwi zero, mtvec, 4
+        csrr  a0, mepc
+        csrw  mscratch, a1
+    `)
+	ins := make([]riscv.Inst, len(p.Text))
+	for i, w := range p.Text {
+		ins[i] = riscv.Decode(w)
+	}
+	if ins[0].Op != riscv.CSRRW || ins[0].CSR != riscv.CSRMStatus {
+		t.Errorf("csrrw = %v", ins[0])
+	}
+	if ins[2].Op != riscv.CSRRWI || ins[2].Rs1 != 4 {
+		t.Errorf("csrrwi = %v", ins[2])
+	}
+	if ins[3].Op != riscv.CSRRS || ins[3].CSR != riscv.CSRMEPC || ins[3].Rs1 != 0 {
+		t.Errorf("csrr = %v", ins[3])
+	}
+	if ins[4].Op != riscv.CSRRW || ins[4].Rd != 0 || ins[4].Rs1 != 11 {
+		t.Errorf("csrw = %v", ins[4])
+	}
+}
+
+func TestSystemInstructions(t *testing.T) {
+	p := assemble(t, "ecall\nmret\nwfi\nebreak\n")
+	want := []riscv.Op{riscv.ECALL, riscv.MRET, riscv.WFI, riscv.EBREAK}
+	for i, w := range p.Text {
+		if riscv.Decode(w).Op != want[i] {
+			t.Errorf("insn %d = %v, want %v", i, riscv.Decode(w).Op, want[i])
+		}
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := assemble(t, `
+start:  mv a0, a1
+        beqz a0, start
+        bnez a0, start
+        call start
+        ret
+        jr t0
+    `)
+	ins := disasm(p)
+	want := []string{
+		"addi x10, x11, 0",
+		"beq x10, x0, -4",
+		"bne x10, x0, -8",
+		"jal x1, -12",
+		"jalr x0, 0(x1)",
+		"jalr x0, 0(x5)",
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("insn %d = %q, want %q", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"frobnicate a0, a1", "unknown mnemonic"},
+		{"addi a0, a9000, 1", "unknown register"},
+		{"addi a0, a1, 5000", "does not fit"},
+		{"beq a0, a1, nowhere", "bad branch target"},
+		{"x: nop\nx: nop", "duplicate label"},
+		{".data\naddi a0, a0, 1", "in data section"},
+		{"lw a0, a1", "expected offset(base)"},
+		{"csrrw a0, madeup, a1", "unknown CSR"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) should fail", c.src)
+			continue
+		}
+		if !contains(err.Error(), c.want) {
+			t.Errorf("Assemble(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestComments(t *testing.T) {
+	p := assemble(t, `
+        nop        # hash comment
+        nop        // slash comment
+    `)
+	if len(p.Text) != 2 {
+		t.Errorf("got %d words", len(p.Text))
+	}
+}
+
+func TestLabelOnOwnLine(t *testing.T) {
+	p := assemble(t, "top:\n  nop\n  j top\n")
+	j := riscv.Decode(p.Text[1])
+	if j.Imm != -4 {
+		t.Errorf("j offset = %d, want -4", j.Imm)
+	}
+}

@@ -1,0 +1,378 @@
+package asm
+
+import (
+	"fmt"
+
+	"xpdl/internal/riscv"
+)
+
+// emitInstr encodes one (possibly pseudo) instruction.
+func (a *assembler) emitInstr(s stmt) error {
+	need := func(n int) error {
+		if len(s.args) != n {
+			return fmt.Errorf("line %d: %s takes %d operands, got %d", s.line, s.op, n, len(s.args))
+		}
+		return nil
+	}
+	emitI := func(in riscv.Inst) error {
+		raw, ok := riscv.Encode(in)
+		if !ok {
+			return fmt.Errorf("line %d: cannot encode %v", s.line, in)
+		}
+		a.text = append(a.text, raw)
+		return nil
+	}
+
+	switch s.op {
+	// --- Pseudo-instructions ------------------------------------------
+	case "nop":
+		return emitI(riscv.Inst{Op: riscv.ADDI})
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := reg(s.args[0], s.line)
+		rs, err2 := reg(s.args[1], s.line)
+		if err1 != nil || err2 != nil {
+			return firstErr(err1, err2)
+		}
+		return emitI(riscv.Inst{Op: riscv.ADDI, Rd: rd, Rs1: rs})
+	case "li", "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		v, err := a.value(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		if s.op == "li" && fitsI12(v) {
+			return emitI(riscv.Inst{Op: riscv.ADDI, Rd: rd, Imm: int32(v)})
+		}
+		// lui+addi pair; round up when the low half is negative.
+		lo := int32(v) << 20 >> 20
+		hi := int32(uint32(int32(v)-lo) &^ 0xFFF)
+		if err := emitI(riscv.Inst{Op: riscv.LUI, Rd: rd, Imm: hi}); err != nil {
+			return err
+		}
+		return emitI(riscv.Inst{Op: riscv.ADDI, Rd: rd, Rs1: rd, Imm: lo})
+	case "j":
+		if err := need(1); err != nil {
+			return err
+		}
+		off, err := a.branchOffset(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		return emitI(riscv.Inst{Op: riscv.JAL, Rd: 0, Imm: off})
+	case "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		off, err := a.branchOffset(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		return emitI(riscv.Inst{Op: riscv.JAL, Rd: 1, Imm: off})
+	case "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		return emitI(riscv.Inst{Op: riscv.JALR, Rd: 0, Rs1: rs})
+	case "ret":
+		return emitI(riscv.Inst{Op: riscv.JALR, Rd: 0, Rs1: 1})
+	case "beqz", "bnez", "bltz", "bgez", "blez", "bgtz":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		off, err := a.branchOffset(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		in := riscv.Inst{Imm: off}
+		switch s.op {
+		case "beqz":
+			in.Op, in.Rs1 = riscv.BEQ, rs
+		case "bnez":
+			in.Op, in.Rs1 = riscv.BNE, rs
+		case "bltz":
+			in.Op, in.Rs1 = riscv.BLT, rs
+		case "bgez":
+			in.Op, in.Rs1 = riscv.BGE, rs
+		case "blez": // rs <= 0  <=>  0 >= rs
+			in.Op, in.Rs2 = riscv.BGE, rs
+		case "bgtz": // rs > 0  <=>  0 < rs
+			in.Op, in.Rs2 = riscv.BLT, rs
+		}
+		return emitI(in)
+	case "csrr":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		c, err := a.csr(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		return emitI(riscv.Inst{Op: riscv.CSRRS, Rd: rd, CSR: c})
+	case "csrw":
+		if err := need(2); err != nil {
+			return err
+		}
+		c, err := a.csr(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		return emitI(riscv.Inst{Op: riscv.CSRRW, Rd: 0, Rs1: rs, CSR: c})
+
+	// --- System -------------------------------------------------------
+	case "ecall":
+		return emitI(riscv.Inst{Op: riscv.ECALL})
+	case "ebreak":
+		return emitI(riscv.Inst{Op: riscv.EBREAK})
+	case "mret":
+		return emitI(riscv.Inst{Op: riscv.MRET})
+	case "wfi":
+		return emitI(riscv.Inst{Op: riscv.WFI})
+	case "fence":
+		return emitI(riscv.Inst{Op: riscv.FENCE})
+	}
+
+	// --- Regular instruction table -------------------------------------
+	if op, ok := rTypeOps[s.op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := reg(s.args[0], s.line)
+		rs1, e2 := reg(s.args[1], s.line)
+		rs2, e3 := reg(s.args[2], s.line)
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		return emitI(riscv.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	}
+	if op, ok := iTypeOps[s.op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := reg(s.args[0], s.line)
+		rs1, e2 := reg(s.args[1], s.line)
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		v, err := a.value(s.args[2], s.line)
+		if err != nil {
+			return err
+		}
+		if op >= riscv.SLLI && op <= riscv.SRAI {
+			if v < 0 || v > 31 {
+				return fmt.Errorf("line %d: shift amount %d out of range", s.line, v)
+			}
+		} else if !fitsI12(v) {
+			return fmt.Errorf("line %d: immediate %d does not fit 12 bits", s.line, v)
+		}
+		return emitI(riscv.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(v)})
+	}
+	if op, ok := loadOps[s.op]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		if !fitsI12(int64(off)) {
+			return fmt.Errorf("line %d: load offset %d does not fit 12 bits", s.line, off)
+		}
+		return emitI(riscv.Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+	}
+	if op, ok := storeOps[s.op]; ok {
+		if err := need(2); err != nil {
+			return err
+		}
+		rs2, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		if !fitsI12(int64(off)) {
+			return fmt.Errorf("line %d: store offset %d does not fit 12 bits", s.line, off)
+		}
+		return emitI(riscv.Inst{Op: op, Rs1: base, Rs2: rs2, Imm: off})
+	}
+	if op, ok := branchOps[s.op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, e1 := reg(s.args[0], s.line)
+		rs2, e2 := reg(s.args[1], s.line)
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		off, err := a.branchOffset(s.args[2], s.line)
+		if err != nil {
+			return err
+		}
+		if off < -4096 || off >= 4096 {
+			return fmt.Errorf("line %d: conditional branch offset %d exceeds ±4 KiB", s.line, off)
+		}
+		return emitI(riscv.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: off})
+	}
+	switch s.op {
+	case "lui", "auipc":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		v, err := a.value(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		op := riscv.LUI
+		if s.op == "auipc" {
+			op = riscv.AUIPC
+		}
+		return emitI(riscv.Inst{Op: op, Rd: rd, Imm: int32(v) << 12})
+	case "jal":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		off, err := a.branchOffset(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		return emitI(riscv.Inst{Op: riscv.JAL, Rd: rd, Imm: off})
+	case "jalr":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		off, base, err := a.memOperand(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		return emitI(riscv.Inst{Op: riscv.JALR, Rd: rd, Rs1: base, Imm: off})
+	}
+	if op, ok := csrOps[s.op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(s.args[0], s.line)
+		if err != nil {
+			return err
+		}
+		c, err := a.csr(s.args[1], s.line)
+		if err != nil {
+			return err
+		}
+		var src uint32
+		if op >= riscv.CSRRWI {
+			v, err := a.value(s.args[2], s.line)
+			if err != nil || v < 0 || v > 31 {
+				return fmt.Errorf("line %d: CSR immediate out of range", s.line)
+			}
+			src = uint32(v)
+		} else {
+			src, err = reg(s.args[2], s.line)
+			if err != nil {
+				return err
+			}
+		}
+		return emitI(riscv.Inst{Op: op, Rd: rd, Rs1: src, CSR: c})
+	}
+	return fmt.Errorf("line %d: unknown mnemonic %q", s.line, s.op)
+}
+
+// branchOffset resolves a label (pc-relative) or literal offset.
+func (a *assembler) branchOffset(arg string, line int) (int32, error) {
+	var off int32
+	if addr, ok := a.labels[arg]; ok {
+		off = int32(addr) - int32(a.pc())
+	} else {
+		v, err := parseInt(arg)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: bad branch target %q", line, arg)
+		}
+		off = int32(v)
+	}
+	if off < -(1<<20) || off >= 1<<20 || off%2 != 0 {
+		return 0, fmt.Errorf("line %d: branch/jump offset %d out of range", line, off)
+	}
+	return off, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+var rTypeOps = map[string]riscv.Op{
+	"add": riscv.ADD, "sub": riscv.SUB, "sll": riscv.SLL, "slt": riscv.SLT,
+	"sltu": riscv.SLTU, "xor": riscv.XOR, "srl": riscv.SRL, "sra": riscv.SRA,
+	"or": riscv.OR, "and": riscv.AND,
+	"mul": riscv.MUL, "mulh": riscv.MULH, "mulhsu": riscv.MULHSU, "mulhu": riscv.MULHU,
+	"div": riscv.DIV, "divu": riscv.DIVU, "rem": riscv.REM, "remu": riscv.REMU,
+}
+
+var iTypeOps = map[string]riscv.Op{
+	"addi": riscv.ADDI, "slti": riscv.SLTI, "sltiu": riscv.SLTIU,
+	"xori": riscv.XORI, "ori": riscv.ORI, "andi": riscv.ANDI,
+	"slli": riscv.SLLI, "srli": riscv.SRLI, "srai": riscv.SRAI,
+}
+
+var loadOps = map[string]riscv.Op{
+	"lb": riscv.LB, "lh": riscv.LH, "lw": riscv.LW, "lbu": riscv.LBU, "lhu": riscv.LHU,
+}
+
+var storeOps = map[string]riscv.Op{
+	"sb": riscv.SB, "sh": riscv.SH, "sw": riscv.SW,
+}
+
+var branchOps = map[string]riscv.Op{
+	"beq": riscv.BEQ, "bne": riscv.BNE, "blt": riscv.BLT,
+	"bge": riscv.BGE, "bltu": riscv.BLTU, "bgeu": riscv.BGEU,
+}
+
+var csrOps = map[string]riscv.Op{
+	"csrrw": riscv.CSRRW, "csrrs": riscv.CSRRS, "csrrc": riscv.CSRRC,
+	"csrrwi": riscv.CSRRWI, "csrrsi": riscv.CSRRSI, "csrrci": riscv.CSRRCI,
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xpdl/internal/designs"
+	"xpdl/internal/workloads"
+)
+
+func TestFig12ShapeMatchesPaper(t *testing.T) {
+	rows, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	base := rows[0].Area
+	all := rows[len(rows)-1].Area
+	if all.Total() <= base.Total() {
+		t.Error("full-exception design must cost area")
+	}
+	// The combined design must be much cheaper than the sum of groups.
+	var sumDelta float64
+	for _, r := range rows[1:4] {
+		sumDelta += r.Area.Total() - base.Total()
+	}
+	if all.Total()-base.Total() >= sumDelta {
+		t.Errorf("combined delta %.0f >= sum of group deltas %.0f", all.Total()-base.Total(), sumDelta)
+	}
+	out := Fig12String(rows)
+	if !strings.Contains(out, "base") || !strings.Contains(out, "all") {
+		t.Errorf("table missing rows:\n%s", out)
+	}
+}
+
+func TestFig13ShapeMatchesPaper(t *testing.T) {
+	rows := Fig13()
+	var commit []int
+	for _, r := range rows[1:] { // exception variants
+		commit = append(commit, r.LOC.Commit)
+		if r.LOC.Except == 0 {
+			t.Errorf("%s has no except block lines", r.Variant)
+		}
+	}
+	// Takeaway 1 of §4.3: the commit block is identical across variants.
+	for _, c := range commit[1:] {
+		if c != commit[0] {
+			t.Errorf("commit LOC differs across variants: %v", commit)
+		}
+	}
+	// Takeaway 3: even the full processor stays well under 500 LOC.
+	all := rows[len(rows)-1].LOC
+	if all.Total() >= 500 {
+		t.Errorf("all-variant LOC %d exceeds the paper's <500 bound", all.Total())
+	}
+	if rows[0].LOC.Except != 0 || rows[0].LOC.Commit != 0 {
+		t.Error("baseline must have no final blocks")
+	}
+}
+
+func TestCPIEqualAcrossVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPI matrix is slow")
+	}
+	kernels := []workloads.Workload{}
+	for _, w := range workloads.All() {
+		if w.Name == "aes" || w.Name == "fib" {
+			kernels = append(kernels, w)
+		}
+	}
+	cells, err := CPITable(kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byW := map[string]map[designs.Variant]float64{}
+	for _, c := range cells {
+		if byW[c.Workload] == nil {
+			byW[c.Workload] = map[designs.Variant]float64{}
+		}
+		byW[c.Workload][c.Variant] = c.CPI
+	}
+	for w, m := range byW {
+		base := m[designs.Base]
+		for v, cpi := range m {
+			if math.Abs(cpi-base) > 1e-9 {
+				t.Errorf("%s: CPI on %s = %.4f differs from base %.4f", w, v, cpi, base)
+			}
+		}
+		if base < 1.0 || base > 3.5 {
+			t.Errorf("%s: CPI %.3f outside plausible pipeline range", w, base)
+		}
+	}
+	t.Logf("\n%s", CPIString(cells))
+}
+
+func TestFMaxShape(t *testing.T) {
+	rows, err := FMax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, all := rows[0], rows[len(rows)-1]
+	drop := (base.ASICMHz - all.ASICMHz) / base.ASICMHz * 100
+	if drop <= 0 || drop > 5 {
+		t.Errorf("fmax drop %.2f%%, paper reports ~3.3%%", drop)
+	}
+	for _, r := range rows {
+		if r.FPGAMHz >= r.ASICMHz {
+			t.Errorf("%s: FPGA %.1f MHz not slower than ASIC %.1f", r.Variant, r.FPGAMHz, r.ASICMHz)
+		}
+	}
+	t.Logf("\n%s", FMaxString(rows))
+}
+
+func TestCompileTimes(t *testing.T) {
+	rows, err := CompileTimes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, all := rows[0], rows[len(rows)-1]
+	if all.Total < base.Total {
+		// Timing noise can invert tiny measurements; only flag an
+		// implausible blow-up, which is the paper's actual claim.
+		t.Logf("all compiled faster than base (noise): %v vs %v", all.Total, base.Total)
+	}
+	if all.Total > base.Total*10 {
+		t.Errorf("exception support blew up compile time: %v vs %v", all.Total, base.Total)
+	}
+	for _, r := range rows {
+		if r.VerilogBytes == 0 {
+			t.Errorf("%s emitted no verilog", r.Variant)
+		}
+	}
+	t.Logf("\n%s", CompileString(rows))
+}
+
+func TestTaxonomyAllPrecise(t *testing.T) {
+	rows, err := Taxonomy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d taxonomy rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Precise {
+			t.Errorf("%s: not precise (%s)", r.Category, r.Detail)
+		}
+	}
+	t.Logf("\n%s", TaxonomyString(rows))
+}

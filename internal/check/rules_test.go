@@ -1,0 +1,201 @@
+package check
+
+import "testing"
+
+// Additional negative coverage for the checker beyond check_test.go:
+// stage structure, call placement, speculation placement, and except-
+// block environment rules.
+
+func TestEmptyStageRejected(t *testing.T) {
+	checkErr(t, `pipe p(x: uint<8>)[] { y = x; --- --- z = y; }`, "empty")
+}
+
+func TestEmptyExceptStageRejected(t *testing.T) {
+	src := `
+pipe p(x: uint<8>)[] {
+    if (x == 0) { throw(4'd1); }
+commit:
+    skip;
+except(c: uint<4>):
+    skip;
+    ---
+    ---
+    skip;
+}`
+	checkErr(t, src, "except stage")
+}
+
+func TestCallToUnconnectedPipeRejected(t *testing.T) {
+	src := `
+pipe helper(a: uint<8>)[] { b = a; }
+pipe p(x: uint<8>)[] { call helper(x); }`
+	checkErr(t, src, "not connected")
+}
+
+func TestSelfConnectionRejected(t *testing.T) {
+	checkErr(t, `pipe p(x: uint<8>)[p] { y = x; }`, "cannot connect to itself")
+}
+
+func TestSpecCallAfterBarrierRejected(t *testing.T) {
+	src := `
+pipe p(x: uint<8>)[] {
+    spec_barrier();
+    s <- spec_call p(x + 1);
+    verify(s);
+}`
+	checkErr(t, src, "spec_call after spec_barrier")
+}
+
+func TestTwoBarriersRejected(t *testing.T) {
+	src := `
+pipe p(x: uint<8>)[] {
+    spec_barrier();
+    ---
+    spec_barrier();
+}`
+	checkErr(t, src, "more than one spec_barrier")
+}
+
+func TestReturnNotInLastStageRejected(t *testing.T) {
+	src := `
+pipe p(x: uint<8>) -> uint<8> [] {
+    return x;
+    ---
+    y = x;
+}`
+	checkErr(t, src, "last body stage")
+}
+
+func TestRecursiveCallCannotBindResult(t *testing.T) {
+	src := `
+pipe p(x: uint<8>) -> uint<8> [] {
+    r <- call p(x);
+    return x;
+}`
+	checkErr(t, src, "recursive call cannot bind")
+}
+
+func TestSpecWithoutBarrierButExceptRejected(t *testing.T) {
+	src := `
+pipe p(x: uint<8>)[] {
+    s <- spec_call p(x + 1);
+    verify(s);
+    if (x == 0) { throw(4'd1); }
+commit:
+    skip;
+except(c: uint<4>):
+    skip;
+}`
+	checkErr(t, src, "no spec_barrier")
+}
+
+func TestExceptArgShadowingModuleRejected(t *testing.T) {
+	src := `
+memory rf: uint<8>[4] with basic, comb_read;
+pipe p(x: uint<8>)[rf] {
+    if (x == 0) { throw(4'd1); }
+commit:
+    skip;
+except(rf: uint<4>):
+    skip;
+}`
+	checkErr(t, src, "shadows a module")
+}
+
+func TestThrowArgTypeMismatch(t *testing.T) {
+	src := `
+pipe p(x: uint<8>)[] {
+    if (x == 0) { throw(x); }
+commit:
+    skip;
+except(c: uint<4>):
+    skip;
+}`
+	checkErr(t, src, "throw argument 0 has type uint<8>")
+}
+
+func TestVolatileIndexedWriteRejected(t *testing.T) {
+	src := `
+volatile v: uint<8>;
+pipe p(x: uint<8>)[v] {
+    if (x == 0) { throw(4'd1); }
+commit:
+    skip;
+except(c: uint<4>):
+    v[0] <- 1;
+}`
+	checkErr(t, src, "single register")
+}
+
+func TestVolatileCombWriteRejected(t *testing.T) {
+	src := `
+volatile v: uint<8>;
+pipe p(x: uint<8>)[v] {
+    if (x == 0) { throw(4'd1); }
+commit:
+    skip;
+except(c: uint<4>):
+    v = 1;
+}`
+	checkErr(t, src, "must be written with <-")
+}
+
+func TestConstShadowingRejected(t *testing.T) {
+	checkErr(t, `
+const K = 5;
+pipe p(x: uint<8>)[] { K = x; }`, "shadows a constant")
+}
+
+func TestSubPipeResultFromCommitRejected(t *testing.T) {
+	// Rule 4 forbids spawning from commit; a result-binding call is also
+	// a spawn.
+	src := `
+pipe sub(a: uint<8>) -> uint<8> [] { return a; }
+pipe p(x: uint<8>)[sub] {
+    if (x == 0) { throw(4'd1); }
+commit:
+    r <- call sub(x);
+except(c: uint<4>):
+    skip;
+}`
+	checkErr(t, src, "Rule 4")
+}
+
+func TestLastExceptStageSubCallRejected(t *testing.T) {
+	// Rule 1b: the last except stage cannot wait on another pipeline.
+	src := `
+pipe sub(a: uint<8>) -> uint<8> [] { return a; }
+pipe p(x: uint<8>)[sub] {
+    if (x == 0) { throw(4'd1); }
+commit:
+    skip;
+except(c: uint<4>):
+    r <- call sub(ext(c, 8));
+}`
+	checkErr(t, src, "Rule 1b")
+}
+
+func TestBarrierInfoRecorded(t *testing.T) {
+	info := checkSrc(t, `
+pipe p(x: uint<8>)[] {
+    s <- spec_call p(x + 1);
+    ---
+    spec_barrier();
+    verify(s);
+}`)
+	pi := info.Pipes["p"]
+	if !pi.UsesSpeculation || pi.BarrierStage != 1 {
+		t.Errorf("speculation=%v barrier=%d", pi.UsesSpeculation, pi.BarrierStage)
+	}
+}
+
+func TestHandleNotComparable(t *testing.T) {
+	checkErr(t, `
+pipe p(x: uint<8>)[] {
+    s <- spec_call p(x + 1);
+    y = s + 1;
+    ---
+    spec_barrier();
+    verify(s);
+}`, "must be uint")
+}

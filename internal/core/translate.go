@@ -1,0 +1,201 @@
+// Package core implements XPDL's pipeline-exception translation — the
+// paper's central contribution (§3.3, Figure 4).
+//
+// A pipeline with final blocks is rewritten into extended base PDL:
+//
+//	S[[c_h --- c_t]]            = if gef skip else c_h --- S[[c_t]]
+//	S[[commit: c_c]]            = c_c
+//	S[[except(args): c_e]]      = gef <- true;
+//	                              --- skip ... --- skip   (n padding stages)
+//	                              --- pipeclear; specclear; abort(M_1..M_k)
+//	                              --- c_e ; gef <- false
+//	S[[c_b, commit, except]]    = S[[c_b]]; if lef S[[except]] else S[[commit]]
+//	S[[throw(args)]]            = lef <- true; earg_i <- args_i
+//
+// The output uses compiler-internal AST constructs (GefGuard, LefBranch,
+// PipeClear, SpecClear, Abort, SetLEF, SetGEF, SetEArg, EArgRef) that have
+// no surface syntax: exposing them to programs would let designs corrupt
+// pipeline state (§3.3).
+package core
+
+import (
+	"sort"
+
+	"xpdl/internal/check"
+	"xpdl/internal/pdl/ast"
+)
+
+// Result is a translated pipeline plus the metadata later phases need.
+type Result struct {
+	// Pipe is the rewritten declaration: all logic lives in Body; Commit
+	// and Except are nil. For pipelines without final blocks it is the
+	// original declaration, untouched.
+	Pipe *ast.PipeDecl
+	// Translated reports whether the pipeline had final blocks.
+	Translated bool
+	// EArgs are the canonical except-argument slots (earg0..eargN-1).
+	EArgs []ast.Param
+	// PaddingStages is n in the rule above: the number of commit stages
+	// beyond the one merged into the last body stage.
+	PaddingStages int
+	// AbortMems lists the memories aborted in the rollback stage, sorted.
+	AbortMems []string
+	// BodyStages is the body stage count of the original pipeline; the
+	// translated fork lives in the last of them.
+	BodyStages int
+	// CommitStages and ExceptStages are the final-block stage counts of
+	// the original pipeline.
+	CommitStages, ExceptStages int
+}
+
+// Translate rewrites one checked pipeline. The program must have passed
+// check.Check; pi is its analysis record.
+func Translate(p *ast.PipeDecl, pi *check.PipeInfo) *Result {
+	if !p.HasExcept() {
+		return &Result{
+			Pipe:       p,
+			BodyStages: pi.BodyStages,
+		}
+	}
+
+	res := &Result{
+		Translated:   true,
+		EArgs:        append([]ast.Param(nil), p.ExceptArgs...),
+		BodyStages:   pi.BodyStages,
+		CommitStages: pi.CommitStages,
+		ExceptStages: pi.ExceptStages,
+	}
+	res.PaddingStages = pi.CommitStages - 1
+
+	for m := range pi.LockedMems {
+		res.AbortMems = append(res.AbortMems, m)
+	}
+	sort.Strings(res.AbortMems)
+
+	bodyStages := ast.SplitStages(p.Body)
+	translated := make([][]ast.Stmt, len(bodyStages))
+	for i, st := range bodyStages {
+		stmts := rewriteThrows(st, p.ExceptArgs)
+		if i == len(bodyStages)-1 {
+			// The final fork: commit on !lef, except chain on lef. The
+			// first commit stage is merged here, so no new stage is
+			// added for non-exceptional instructions (§3.2).
+			fork := &ast.LefBranch{
+				Commit: p.Commit,
+				Except: res.buildExceptChain(p),
+			}
+			fork.SetPos(p.Pos)
+			stmts = append(stmts, fork)
+		}
+		guard := &ast.GefGuard{Body: stmts}
+		guard.SetPos(p.Pos)
+		translated[i] = []ast.Stmt{guard}
+	}
+
+	res.Pipe = &ast.PipeDecl{
+		Pos:        p.Pos,
+		Name:       p.Name,
+		Params:     p.Params,
+		Mods:       p.Mods,
+		Body:       ast.JoinStages(translated),
+		Result:     p.Result,
+		HasResult:  p.HasResult,
+		ExceptArgs: p.ExceptArgs,
+	}
+	return res
+}
+
+// buildExceptChain assembles the lef-set arm: gef set, padding, rollback,
+// then the except body with canonical arguments bound, and gef cleared at
+// the end.
+func (res *Result) buildExceptChain(p *ast.PipeDecl) []ast.Stmt {
+	pos := p.Pos
+	var chain []ast.Stmt
+
+	// Stage F (shared with the fork): enter exception-handling mode.
+	setGef := &ast.SetGEF{Value: true}
+	setGef.SetPos(pos)
+	chain = append(chain, setGef)
+
+	// n padding stages so committing instructions ahead of the
+	// exceptional one can drain (Fig. 6).
+	for i := 0; i < res.PaddingStages; i++ {
+		chain = append(chain, ast.NewStageSep(pos), ast.NewSkip(pos))
+	}
+
+	// Rollback stage: flush pipeline registers, reset speculation
+	// records, abort every lock.
+	chain = append(chain, ast.NewStageSep(pos))
+	pc := &ast.PipeClear{}
+	pc.SetPos(pos)
+	sc := &ast.SpecClear{}
+	sc.SetPos(pos)
+	chain = append(chain, pc, sc)
+	for _, m := range res.AbortMems {
+		ab := &ast.Abort{Mem: m}
+		ab.SetPos(pos)
+		chain = append(chain, ab)
+	}
+
+	// Except body. Its first stage starts by binding the declared
+	// argument names to the canonical eargs captured at the throw.
+	chain = append(chain, ast.NewStageSep(pos))
+	for i, a := range p.ExceptArgs {
+		bind := &ast.Assign{Name: a.Name, RHS: ast.NewEArgRef(pos, i)}
+		bind.SetPos(pos)
+		chain = append(chain, bind)
+	}
+	chain = append(chain, p.Except...)
+
+	// Leave exception-handling mode.
+	clrGef := &ast.SetGEF{Value: false}
+	clrGef.SetPos(pos)
+	chain = append(chain, clrGef)
+	return chain
+}
+
+// rewriteThrows replaces every throw (including inside conditional arms)
+// with the lef/earg assignment sequence.
+func rewriteThrows(stmts []ast.Stmt, eargs []ast.Param) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *ast.Throw:
+			out = append(out, lowerThrow(n)...)
+		case *ast.If:
+			rewritten := &ast.If{
+				Cond: n.Cond,
+				Then: rewriteThrows(n.Then, eargs),
+				Else: rewriteThrows(n.Else, eargs),
+			}
+			rewritten.SetPos(n.StmtPos())
+			out = append(out, rewritten)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func lowerThrow(t *ast.Throw) []ast.Stmt {
+	out := make([]ast.Stmt, 0, 1+len(t.Args))
+	lef := &ast.SetLEF{}
+	lef.SetPos(t.StmtPos())
+	out = append(out, lef)
+	for i, a := range t.Args {
+		set := &ast.SetEArg{Index: i, Value: a}
+		set.SetPos(t.StmtPos())
+		out = append(out, set)
+	}
+	return out
+}
+
+// TranslateProgram translates every pipeline of a checked program and
+// returns the results keyed by pipe name.
+func TranslateProgram(info *check.Info) map[string]*Result {
+	out := make(map[string]*Result, len(info.Prog.Pipes))
+	for _, p := range info.Prog.Pipes {
+		out[p.Name] = Translate(p, info.Pipes[p.Name])
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xpdl/internal/check"
+	"xpdl/internal/pdl/ast"
+	"xpdl/internal/pdl/parser"
+)
+
+// genPipe emits a random well-formed XPDL pipeline: 2-5 body stages of
+// arithmetic over the argument, 1-3 commit stages, 1-2 except stages,
+// one or two throws, and 1-2 locked memories written in the body.
+func genPipe(rng *rand.Rand) string {
+	var b strings.Builder
+	nMems := 1 + rng.Intn(2)
+	for m := 0; m < nMems; m++ {
+		kind := []string{"basic", "bypass"}[rng.Intn(2)]
+		fmt.Fprintf(&b, "memory m%d: uint<32>[8] with %s, comb_read;\n", m, kind)
+	}
+	b.WriteString("pipe p(x: uint<32>)[")
+	for m := 0; m < nMems; m++ {
+		if m > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "m%d", m)
+	}
+	b.WriteString("] {\n")
+
+	bodyStages := 2 + rng.Intn(4)
+	throwStage := rng.Intn(bodyStages)
+	extraThrow := rng.Intn(2) == 1
+	v := 0
+	for s := 0; s < bodyStages; s++ {
+		if s > 0 {
+			b.WriteString("    ---\n")
+		}
+		// A couple of assignments per stage.
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			src := "x"
+			if v > 0 {
+				src = fmt.Sprintf("v%d", rng.Intn(v))
+			}
+			op := []string{"+", "^", "&"}[rng.Intn(3)]
+			fmt.Fprintf(&b, "    v%d = %s %s %d;\n", v, src, op, rng.Intn(100))
+			v++
+		}
+		if s == 0 {
+			for m := 0; m < nMems; m++ {
+				fmt.Fprintf(&b, "    acquire(m%d[x[2:0]], W);\n", m)
+			}
+		}
+		if s == throwStage {
+			fmt.Fprintf(&b, "    if (x == %d) { throw(8'd%d); }\n", rng.Intn(50), rng.Intn(200))
+		}
+		if extraThrow && s == bodyStages-1 && throwStage != s {
+			fmt.Fprintf(&b, "    if (x == %d) { throw(8'd%d); }\n", 50+rng.Intn(50), rng.Intn(200))
+		}
+		if s == bodyStages-1 {
+			for m := 0; m < nMems; m++ {
+				fmt.Fprintf(&b, "    m%d[x[2:0]] <- v%d;\n", m, v-1)
+			}
+		}
+	}
+
+	commitStages := 1 + rng.Intn(3)
+	b.WriteString("commit:\n")
+	for s := 0; s < commitStages; s++ {
+		if s > 0 {
+			b.WriteString("    ---\n")
+		}
+		if s == commitStages-1 {
+			for m := 0; m < nMems; m++ {
+				fmt.Fprintf(&b, "    release(m%d[x[2:0]]);\n", m)
+			}
+		} else {
+			b.WriteString("    skip;\n")
+		}
+	}
+
+	exceptStages := 1 + rng.Intn(2)
+	b.WriteString("except(code: uint<8>):\n")
+	for s := 0; s < exceptStages; s++ {
+		if s > 0 {
+			b.WriteString("    ---\n")
+		}
+		b.WriteString("    e0 = code + 8'd1;\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// collect walks statements recursively.
+func collect(stmts []ast.Stmt, visit func(ast.Stmt)) {
+	for _, s := range stmts {
+		visit(s)
+		switch n := s.(type) {
+		case *ast.If:
+			collect(n.Then, visit)
+			collect(n.Else, visit)
+		case *ast.GefGuard:
+			collect(n.Body, visit)
+		case *ast.LefBranch:
+			collect(n.Commit, visit)
+			collect(n.Except, visit)
+		}
+	}
+}
+
+// TestTranslationInvariants checks, over many random pipelines, the
+// structural guarantees of the §3.3 translation:
+//  1. no throw survives translation;
+//  2. every body stage is gef-guarded, and the last carries the fork;
+//  3. padding stage count equals commit stages minus one;
+//  4. the exception chain runs SetGEF, padding, rollback
+//     (pipeclear+specclear+aborts), body, SetGEF(false) — in that order;
+//  5. one abort per locked memory;
+//  6. stage counts: body unchanged; commit arm stages == declared.
+func TestTranslationInvariants(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := genPipe(rng)
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		info, err := check.Check(prog)
+		if err != nil {
+			t.Fatalf("seed %d: check: %v\n%s", seed, err, src)
+		}
+		pd := prog.Pipe("p")
+		pi := info.Pipes["p"]
+		res := Translate(pd, pi)
+
+		// (3)
+		if res.PaddingStages != pi.CommitStages-1 {
+			t.Fatalf("seed %d: padding %d, commit stages %d", seed, res.PaddingStages, pi.CommitStages)
+		}
+		// (5)
+		if len(res.AbortMems) != len(pi.LockedMems) {
+			t.Fatalf("seed %d: aborts %v vs locked %v", seed, res.AbortMems, pi.LockedMems)
+		}
+
+		stages := ast.SplitStages(res.Pipe.Body)
+		// (6) body stage count preserved.
+		if len(stages) != pi.BodyStages {
+			t.Fatalf("seed %d: body stages %d -> %d", seed, pi.BodyStages, len(stages))
+		}
+
+		var fork *ast.LefBranch
+		for i, st := range stages {
+			if len(st) != 1 {
+				t.Fatalf("seed %d: stage %d has %d top statements", seed, i, len(st))
+			}
+			guard, ok := st[0].(*ast.GefGuard)
+			if !ok {
+				t.Fatalf("seed %d: stage %d not gef-guarded (%T)", seed, i, st[0])
+			}
+			collect(guard.Body, func(s ast.Stmt) {
+				if _, isThrow := s.(*ast.Throw); isThrow {
+					t.Fatalf("seed %d: throw survived translation", seed)
+				}
+				if lb, isFork := s.(*ast.LefBranch); isFork {
+					if i != len(stages)-1 {
+						t.Fatalf("seed %d: fork in stage %d, not last", seed, i)
+					}
+					fork = lb
+				}
+			})
+		}
+		if fork == nil {
+			t.Fatalf("seed %d: no fork emitted", seed)
+		}
+
+		// (6) commit arm stage count.
+		if got := ast.CountStages(fork.Commit); got != pi.CommitStages {
+			t.Fatalf("seed %d: commit arm has %d stages, want %d", seed, got, pi.CommitStages)
+		}
+
+		// (4) exception-chain ordering.
+		exc := ast.SplitStages(fork.Except)
+		wantStages := 1 + res.PaddingStages + 1 + pi.ExceptStages
+		if len(exc) != wantStages {
+			t.Fatalf("seed %d: except chain %d stages, want %d", seed, len(exc), wantStages)
+		}
+		if g, ok := exc[0][0].(*ast.SetGEF); !ok || !g.Value {
+			t.Fatalf("seed %d: chain does not start with gef set", seed)
+		}
+		for pad := 1; pad <= res.PaddingStages; pad++ {
+			if _, ok := exc[pad][0].(*ast.Skip); !ok {
+				t.Fatalf("seed %d: padding stage %d is %T", seed, pad, exc[pad][0])
+			}
+		}
+		rb := exc[1+res.PaddingStages]
+		if _, ok := rb[0].(*ast.PipeClear); !ok {
+			t.Fatalf("seed %d: rollback stage starts with %T", seed, rb[0])
+		}
+		if _, ok := rb[1].(*ast.SpecClear); !ok {
+			t.Fatalf("seed %d: rollback missing specclear", seed)
+		}
+		aborts := 0
+		for _, s := range rb[2:] {
+			if _, ok := s.(*ast.Abort); ok {
+				aborts++
+			}
+		}
+		if aborts != len(res.AbortMems) {
+			t.Fatalf("seed %d: %d aborts in rollback, want %d", seed, aborts, len(res.AbortMems))
+		}
+		last := exc[len(exc)-1]
+		if g, ok := last[len(last)-1].(*ast.SetGEF); !ok || g.Value {
+			t.Fatalf("seed %d: chain does not end clearing gef", seed)
+		}
+
+		// (1) also check the raw printed text.
+		if strings.Contains(ast.PipeString(res.Pipe), "throw(") {
+			t.Fatalf("seed %d: printed output contains throw", seed)
+		}
+	}
+}

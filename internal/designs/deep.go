@@ -1,0 +1,47 @@
+package designs
+
+import "strings"
+
+// DeepCommitSource derives a configuration of the full processor whose
+// commit block spans three stages (two beyond the one merged into WB).
+// The translation must then generate two padding stages before rollback
+// (Fig. 6), so exceptional instructions wait for the deeper commit tail
+// to drain. Architectural behaviour is unchanged — only the write locks
+// release two cycles later — which the integration tests verify against
+// the golden model.
+func DeepCommitSource() string {
+	src := Source(All)
+	old := `commit:
+    if (wen) { release(rf[d.rd]); }
+    if (memop) { release(dmem[widx]); }
+`
+	deep := `commit:
+    skip;
+    ---
+    skip;
+    ---
+    if (wen) { release(rf[d.rd]); }
+    if (memop) { release(dmem[widx]); }
+`
+	out := strings.Replace(src, old, deep, 1)
+	if out == src {
+		panic("designs: commit block template drifted; DeepCommitSource needs updating")
+	}
+	return out
+}
+
+// BasicRfSource derives the full processor with the register file guarded
+// by the basic (non-forwarding, release-ordered) lock instead of the
+// renaming register file — the §3.4 trade-off: correctness is identical,
+// but readers must wait for the writer's release rather than its value,
+// costing CPI on dependent code.
+func BasicRfSource() string {
+	src := Source(All)
+	out := strings.Replace(src,
+		"memory rf: uint<32>[32] with renaming, comb_read;",
+		"memory rf: uint<32>[32] with basic, comb_read;", 1)
+	if out == src {
+		panic("designs: rf declaration drifted; BasicRfSource needs updating")
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+package designs
+
+import (
+	"xpdl/internal/riscv"
+	"xpdl/internal/sim"
+	"xpdl/internal/val"
+)
+
+// Externs returns the Go implementations of the designs' extern
+// combinational functions — the analogue of the Verilog modules a PDL
+// design imports. decode is pure in the instruction word, so each
+// machine memoizes it (the working set is bounded by distinct words in
+// the instruction memory).
+func Externs() map[string]sim.ExternFunc {
+	decodeCache := make(map[uint32]sim.V)
+	decode := func(args []val.Value) sim.V {
+		raw := uint32(args[0].Uint())
+		if v, ok := decodeCache[raw]; ok {
+			return v
+		}
+		v := decodeExtern(args)
+		decodeCache[raw] = v
+		return v
+	}
+	return map[string]sim.ExternFunc{
+		"decode":   decode,
+		"alu":      aluExtern,
+		"nextpc":   nextpcExtern,
+		"loadval":  loadvalExtern,
+		"storeval": storevalExtern,
+		"memfault": memfaultExtern,
+		"intcause": intcauseExtern,
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func decodeExtern(args []val.Value) sim.V {
+	in := riscv.Decode(uint32(args[0].Uint()))
+
+	iscsr := in.IsCSR()
+	csridx, csrok := uint32(0), false
+	if iscsr {
+		csridx, csrok = riscv.CSRIndex(in.CSR)
+	}
+	illegal := in.Op == riscv.ILLEGAL
+	if iscsr && !csrok {
+		// Unimplemented CSR address: decode as an illegal instruction
+		// rather than a CSR operation.
+		illegal, iscsr = true, false
+	}
+	csrf3 := uint64(0)
+	csrimm := false
+	if iscsr {
+		switch in.Op {
+		case riscv.CSRRW:
+			csrf3 = 1
+		case riscv.CSRRS:
+			csrf3 = 2
+		case riscv.CSRRC:
+			csrf3 = 3
+		case riscv.CSRRWI:
+			csrf3, csrimm = 5, true
+		case riscv.CSRRSI:
+			csrf3, csrimm = 6, true
+		case riscv.CSRRCI:
+			csrf3, csrimm = 7, true
+		}
+	}
+	memsize := uint64(2)
+	switch in.Op {
+	case riscv.LB, riscv.LBU, riscv.SB:
+		memsize = 0
+	case riscv.LH, riscv.LHU, riscv.SH:
+		memsize = 1
+	}
+	wen := in.WritesRd() && !in.IsCSR()
+
+	return sim.Record(map[string]val.Value{
+		"op":      val.New(uint64(in.Op), 6),
+		"rd":      val.New(uint64(in.Rd), 5),
+		"rs1":     val.New(uint64(in.Rs1), 5),
+		"rs2":     val.New(uint64(in.Rs2), 5),
+		"imm":     val.New(uint64(uint32(in.Imm)), 32),
+		"wen":     val.Bool(wen),
+		"isload":  val.Bool(in.IsLoad()),
+		"isstore": val.Bool(in.IsStore()),
+		"illegal": val.Bool(illegal),
+		"halt":    val.Bool(in.Op == riscv.EBREAK),
+		"isecall": val.Bool(in.Op == riscv.ECALL),
+		"ismret":  val.Bool(in.Op == riscv.MRET),
+		"iscsr":   val.Bool(iscsr),
+		"csrok":   val.Bool(csrok),
+		"csrimm":  val.Bool(csrimm),
+		"csridx":  val.New(uint64(csridx), 5),
+		"csrf3":   val.New(csrf3, 3),
+		"memsize": val.New(memsize, 2),
+	})
+}
+
+func aluExtern(args []val.Value) sim.V {
+	op := riscv.Op(args[0].Uint())
+	pc := uint32(args[1].Uint())
+	a := uint32(args[2].Uint())
+	b := uint32(args[3].Uint())
+	imm := uint32(args[4].Uint())
+	var r uint32
+	switch op {
+	case riscv.LUI:
+		r = imm
+	case riscv.AUIPC:
+		r = pc + imm
+	case riscv.JAL, riscv.JALR:
+		r = pc + 4
+	case riscv.ADDI:
+		r = a + imm
+	case riscv.SLTI:
+		r = uint32(b2u(int32(a) < int32(imm)))
+	case riscv.SLTIU:
+		r = uint32(b2u(a < imm))
+	case riscv.XORI:
+		r = a ^ imm
+	case riscv.ORI:
+		r = a | imm
+	case riscv.ANDI:
+		r = a & imm
+	case riscv.SLLI:
+		r = a << (imm & 31)
+	case riscv.SRLI:
+		r = a >> (imm & 31)
+	case riscv.SRAI:
+		r = uint32(int32(a) >> (imm & 31))
+	case riscv.ADD:
+		r = a + b
+	case riscv.SUB:
+		r = a - b
+	case riscv.SLL:
+		r = a << (b & 31)
+	case riscv.SLT:
+		r = uint32(b2u(int32(a) < int32(b)))
+	case riscv.SLTU:
+		r = uint32(b2u(a < b))
+	case riscv.XOR:
+		r = a ^ b
+	case riscv.SRL:
+		r = a >> (b & 31)
+	case riscv.SRA:
+		r = uint32(int32(a) >> (b & 31))
+	case riscv.OR:
+		r = a | b
+	case riscv.AND:
+		r = a & b
+	case riscv.MUL:
+		r = a * b
+	case riscv.MULH:
+		r = uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	case riscv.MULHSU:
+		r = uint32(uint64(int64(int32(a))*int64(b)) >> 32)
+	case riscv.MULHU:
+		r = uint32(uint64(a) * uint64(b) >> 32)
+	case riscv.DIV:
+		switch {
+		case b == 0:
+			r = ^uint32(0)
+		case a == 0x80000000 && b == ^uint32(0):
+			r = a
+		default:
+			r = uint32(int32(a) / int32(b))
+		}
+	case riscv.DIVU:
+		if b == 0 {
+			r = ^uint32(0)
+		} else {
+			r = a / b
+		}
+	case riscv.REM:
+		switch {
+		case b == 0:
+			r = a
+		case a == 0x80000000 && b == ^uint32(0):
+			r = 0
+		default:
+			r = uint32(int32(a) % int32(b))
+		}
+	case riscv.REMU:
+		if b == 0 {
+			r = a
+		} else {
+			r = a % b
+		}
+	}
+	return sim.Scalar(val.New(uint64(r), 32))
+}
+
+func nextpcExtern(args []val.Value) sim.V {
+	op := riscv.Op(args[0].Uint())
+	pc := uint32(args[1].Uint())
+	a := uint32(args[2].Uint())
+	b := uint32(args[3].Uint())
+	imm := uint32(args[4].Uint())
+	next := pc + 4
+	switch op {
+	case riscv.JAL:
+		next = pc + imm
+	case riscv.JALR:
+		next = (a + imm) &^ 1
+	case riscv.BEQ:
+		if a == b {
+			next = pc + imm
+		}
+	case riscv.BNE:
+		if a != b {
+			next = pc + imm
+		}
+	case riscv.BLT:
+		if int32(a) < int32(b) {
+			next = pc + imm
+		}
+	case riscv.BGE:
+		if int32(a) >= int32(b) {
+			next = pc + imm
+		}
+	case riscv.BLTU:
+		if a < b {
+			next = pc + imm
+		}
+	case riscv.BGEU:
+		if a >= b {
+			next = pc + imm
+		}
+	}
+	return sim.Scalar(val.New(uint64(next), 32))
+}
+
+func loadvalExtern(args []val.Value) sim.V {
+	op := riscv.Op(args[0].Uint())
+	word := uint32(args[1].Uint())
+	sh := uint32(args[2].Uint()) * 8
+	var r uint32
+	switch op {
+	case riscv.LW:
+		r = word
+	case riscv.LBU:
+		r = (word >> sh) & 0xFF
+	case riscv.LB:
+		r = uint32(int32((word>>sh)&0xFF) << 24 >> 24)
+	case riscv.LHU:
+		r = (word >> sh) & 0xFFFF
+	case riscv.LH:
+		r = uint32(int32((word>>sh)&0xFFFF) << 16 >> 16)
+	}
+	return sim.Scalar(val.New(uint64(r), 32))
+}
+
+func storevalExtern(args []val.Value) sim.V {
+	op := riscv.Op(args[0].Uint())
+	old := uint32(args[1].Uint())
+	v := uint32(args[2].Uint())
+	sh := uint32(args[3].Uint()) * 8
+	var r uint32
+	switch op {
+	case riscv.SW:
+		r = v
+	case riscv.SB:
+		r = old&^(0xFF<<sh) | (v&0xFF)<<sh
+	case riscv.SH:
+		r = old&^(0xFFFF<<sh) | (v&0xFFFF)<<sh
+	default:
+		r = old
+	}
+	return sim.Scalar(val.New(uint64(r), 32))
+}
+
+func memfaultExtern(args []val.Value) sim.V {
+	isload := args[0].IsTrue()
+	isstore := args[1].IsTrue()
+	size := uint32(1) << args[2].Uint()
+	addr := uint32(args[3].Uint())
+	fault := false
+	var cause uint32
+	if isload || isstore {
+		switch {
+		case addr%size != 0:
+			fault = true
+			if isload {
+				cause = riscv.CauseMisalignedLoad
+			} else {
+				cause = riscv.CauseMisalignedStore
+			}
+		case uint64(addr)+uint64(size) > DMemBytes:
+			fault = true
+			if isload {
+				cause = riscv.CauseLoadFault
+			} else {
+				cause = riscv.CauseStoreFault
+			}
+		}
+	}
+	return sim.Record(map[string]val.Value{
+		"fault": val.Bool(fault),
+		"cause": val.New(uint64(cause), 32),
+	})
+}
+
+func intcauseExtern(args []val.Value) sim.V {
+	active := uint32(args[0].Uint()) & uint32(args[1].Uint())
+	var cause uint32
+	valid := true
+	switch {
+	case active&riscv.MIPMEIP != 0:
+		cause = riscv.CauseMachineExternal
+	case active&riscv.MIPMSIP != 0:
+		cause = riscv.CauseMachineSoftware
+	case active&riscv.MIPMTIP != 0:
+		cause = riscv.CauseMachineTimer
+	default:
+		valid = false
+	}
+	return sim.Record(map[string]val.Value{
+		"cause": val.New(uint64(cause), 32),
+		"valid": val.Bool(valid),
+	})
+}

@@ -1,0 +1,403 @@
+package designs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xpdl/internal/asm"
+	"xpdl/internal/golden"
+	"xpdl/internal/riscv"
+	"xpdl/internal/sim"
+)
+
+// genProgram builds a random but always-terminating RV32IM program that
+// may fault, trap, and execute CSR instructions. The trap handler advances
+// mepc past the offending instruction and returns, so every synchronous
+// exception is survivable. Register conventions: x5..x15 are the random
+// pool, a6 (x16) holds generated addresses, s11 (x27) is handler scratch.
+func genProgram(rng *rand.Rand, withInterrupts bool) string {
+	var b strings.Builder
+	reg := func() string { return fmt.Sprintf("x%d", 5+rng.Intn(11)) }
+
+	b.WriteString("        li   t4, 0\n") // t4 = x29 reserved zero-ish
+	b.WriteString("        la   t4, handler\n")
+	b.WriteString("        csrw mtvec, t4\n")
+	if withInterrupts {
+		b.WriteString("        li   t4, 0x888\n")
+		b.WriteString("        csrw mie, t4\n")
+		b.WriteString("        csrrsi zero, mstatus, 8\n")
+	}
+	// Seed the pool with values.
+	for i := 5; i <= 15; i++ {
+		fmt.Fprintf(&b, "        li   x%d, %d\n", i, rng.Int31n(1<<20)-1<<19)
+	}
+
+	aluOps := []string{"add", "sub", "xor", "or", "and", "sll", "srl", "sra",
+		"slt", "sltu", "mul", "mulh", "mulhu", "div", "divu", "rem", "remu"}
+	immOps := []string{"addi", "xori", "ori", "andi", "slti", "sltiu"}
+
+	segments := 25 + rng.Intn(25)
+	for i := 0; i < segments; i++ {
+		switch rng.Intn(12) {
+		case 0, 1, 2:
+			fmt.Fprintf(&b, "        %s %s, %s, %s\n",
+				aluOps[rng.Intn(len(aluOps))], reg(), reg(), reg())
+		case 3, 4:
+			fmt.Fprintf(&b, "        %s %s, %s, %d\n",
+				immOps[rng.Intn(len(immOps))], reg(), reg(), rng.Int31n(4096)-2048)
+		case 5:
+			fmt.Fprintf(&b, "        %si %s, %s, %d\n",
+				[]string{"sll", "srl", "sra"}[rng.Intn(3)], reg(), reg(), rng.Intn(32))
+		case 6: // aligned word store+load
+			addr := 4 * (16 + rng.Intn(1000))
+			fmt.Fprintf(&b, "        li   a6, %d\n", addr)
+			fmt.Fprintf(&b, "        sw   %s, 0(a6)\n", reg())
+			fmt.Fprintf(&b, "        lw   %s, 0(a6)\n", reg())
+		case 7: // byte/half traffic
+			addr := 64 + rng.Intn(4000)
+			op := []string{"sb", "sh"}[rng.Intn(2)]
+			if op == "sh" {
+				addr &^= 1
+			}
+			fmt.Fprintf(&b, "        li   a6, %d\n", addr)
+			fmt.Fprintf(&b, "        %s   %s, 0(a6)\n", op, reg())
+			fmt.Fprintf(&b, "        %s  %s, 0(a6)\n",
+				[]string{"lbu", "lb"}[rng.Intn(2)], reg())
+		case 8: // forward branch over one segment
+			fmt.Fprintf(&b, "        b%s %s, %s, fwd%d\n",
+				[]string{"eq", "ne", "lt", "ge", "ltu", "geu"}[rng.Intn(6)],
+				reg(), reg(), i)
+			fmt.Fprintf(&b, "        addi %s, %s, 1\n", reg(), reg())
+			fmt.Fprintf(&b, "fwd%d:  addi %s, %s, 2\n", i, reg(), reg())
+		case 9: // bounded backward loop
+			n := 2 + rng.Intn(4)
+			fmt.Fprintf(&b, "        li   t5, %d\n", n)
+			fmt.Fprintf(&b, "lp%d:   add  %s, %s, %s\n", i, reg(), reg(), reg())
+			fmt.Fprintf(&b, "        addi t5, t5, -1\n")
+			fmt.Fprintf(&b, "        bnez t5, lp%d\n", i)
+		case 10: // CSR traffic on mscratch
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "        csrw mscratch, %s\n", reg())
+			case 1:
+				fmt.Fprintf(&b, "        csrr %s, mscratch\n", reg())
+			case 2:
+				fmt.Fprintf(&b, "        csrrs %s, mscratch, %s\n", reg(), reg())
+			}
+		case 11: // a synchronous exception
+			switch rng.Intn(3) {
+			case 0:
+				b.WriteString("        ecall\n")
+			case 1:
+				b.WriteString("        .word 0xFFFFFFFF\n")
+			case 2: // faulting access: far out of range or misaligned
+				if rng.Intn(2) == 0 {
+					fmt.Fprintf(&b, "        li   a6, %d\n", 0x10000+rng.Intn(1<<12))
+				} else {
+					fmt.Fprintf(&b, "        li   a6, %d\n", 4*(16+rng.Intn(64))+1+rng.Intn(3))
+				}
+				fmt.Fprintf(&b, "        %s   %s, 0(a6)\n",
+					[]string{"lw", "sw"}[rng.Intn(2)], reg())
+			}
+		}
+	}
+	b.WriteString("        ebreak\n")
+	b.WriteString("handler:\n")
+	b.WriteString("        csrr s11, mepc\n")
+	b.WriteString("        addi s11, s11, 4\n")
+	b.WriteString("        csrw mepc, s11\n")
+	b.WriteString("        mret\n")
+	return b.String()
+}
+
+// Interrupt handlers must NOT advance mepc; use a separate handler that
+// dispatches on mcause bit 31.
+func genInterruptibleProgram(rng *rand.Rand) string {
+	src := genProgram(rng, true)
+	return strings.Replace(src, `handler:
+        csrr s11, mepc
+        addi s11, s11, 4
+        csrw mepc, s11
+        mret
+`, `handler:
+        csrr s11, mcause
+        bltz s11, intr      # interrupts have mcause bit 31 set
+        csrr s11, mepc
+        addi s11, s11, 4
+        csrw mepc, s11
+        mret
+intr:   lw   s11, 12(zero)
+        addi s11, s11, 1
+        sw   s11, 12(zero)
+        mret
+`, 1)
+}
+
+// TestOIATFuzz runs random exception-heavy programs on the full pipeline
+// and the golden model, requiring identical architecture and traces —
+// the §4.3 OIAT argument, tested empirically.
+func TestOIATFuzz(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 5
+	}
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		src := genProgram(rng, false)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v\n%s", i, err, src)
+		}
+		g := golden.New(prog.Text, prog.Data, DMemWords)
+		if err := g.Run(200000); err != nil {
+			t.Fatalf("seed %d: golden: %v", i, err)
+		}
+		if !g.Halted {
+			t.Fatalf("seed %d: golden did not halt", i)
+		}
+
+		p, err := Build(All)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Load(prog)
+		p.Boot()
+		if _, err := p.Run(1200000); err != nil {
+			t.Fatalf("seed %d: pipeline: %v", i, err)
+		}
+		if p.M.InFlight() != 0 {
+			t.Fatalf("seed %d: pipeline did not drain", i)
+		}
+		compareArch(t, p, g)
+		compareTrace(t, p, g)
+		if t.Failed() {
+			t.Fatalf("seed %d diverged; program:\n%s", i, src)
+		}
+	}
+}
+
+// TestOIATFuzzWithInterrupts additionally injects an asynchronous
+// interrupt at a random cycle and replays the golden model at the same
+// instruction boundary.
+func TestOIATFuzzWithInterrupts(t *testing.T) {
+	iters := 30
+	if testing.Short() {
+		iters = 3
+	}
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewSource(int64(7000 + i)))
+		src := genInterruptibleProgram(rng)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v", i, err)
+		}
+
+		p, err := Build(All)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Load(prog)
+		p.Boot()
+		fireAt := 30 + rng.Intn(300)
+		bit := []uint32{riscv.MIPMTIP, riscv.MIPMSIP, riscv.MIPMEIP}[rng.Intn(3)]
+		p.M.OnCycle(func(m *sim.Machine) {
+			if m.Cycle() == fireAt {
+				p.RaiseInterrupt(bit)
+			}
+		})
+		if _, err := p.Run(1200000); err != nil {
+			t.Fatalf("seed %d: pipeline: %v", i, err)
+		}
+		if p.M.InFlight() != 0 {
+			t.Fatalf("seed %d: pipeline did not drain", i)
+		}
+
+		// Find the interrupt boundary the pipeline chose (if the program
+		// ended before the interrupt was enabled/taken, none exists).
+		boundary := -1
+		for k, r := range p.Retired() {
+			if r.Exceptional && r.EArgs[0].Uint() == KInt {
+				boundary = k
+				break
+			}
+		}
+		g := golden.New(prog.Text, prog.Data, DMemWords)
+		for steps := 0; !g.Halted && steps < 400000; steps++ {
+			if boundary >= 0 && len(g.Trace) == boundary {
+				g.RaiseInterrupt(bit)
+			}
+			if err := g.Step(); err != nil {
+				t.Fatalf("seed %d: golden: %v", i, err)
+			}
+		}
+		if !g.Halted {
+			t.Fatalf("seed %d: golden did not halt", i)
+		}
+		compareArch(t, p, g)
+		compareTrace(t, p, g)
+		if t.Failed() {
+			t.Fatalf("seed %d (interrupt %#x at cycle %d, boundary %d) diverged; program:\n%s",
+				i, bit, fireAt, boundary, src)
+		}
+	}
+}
+
+// mustAsm assembles or fails the test.
+func mustAsm(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestOIATFuzzBaseline runs exception-free random programs on the
+// baseline (no final blocks at all): OIAT must hold without the
+// exception machinery too.
+func TestOIATFuzzBaseline(t *testing.T) {
+	iters := 25
+	if testing.Short() {
+		iters = 3
+	}
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewSource(int64(3000 + i)))
+		src := genCleanProgram(rng)
+		prog := mustAsm(t, src)
+		g := golden.New(prog.Text, prog.Data, DMemWords)
+		if err := g.Run(200000); err != nil {
+			t.Fatalf("seed %d: golden: %v", i, err)
+		}
+		if !g.Halted {
+			t.Fatalf("seed %d: golden did not halt", i)
+		}
+		p, err := Build(Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Load(prog)
+		p.Boot()
+		if _, err := p.Run(1200000); err != nil {
+			t.Fatalf("seed %d: pipeline: %v", i, err)
+		}
+		for r := uint32(1); r < 32; r++ {
+			if p.Reg(r) != g.Regs[r] {
+				t.Errorf("seed %d: x%d = %#x, golden %#x", i, r, p.Reg(r), g.Regs[r])
+			}
+		}
+		for a := uint32(0); a < DMemWords; a++ {
+			if p.DMemWord(a) != g.DMem[a] {
+				t.Errorf("seed %d: dmem[%d] = %#x, golden %#x", i, a, p.DMemWord(a), g.DMem[a])
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d diverged:\n%s", i, src)
+		}
+	}
+}
+
+// genCleanProgram is genProgram restricted to behaviours the baseline
+// supports: no traps, no CSRs, no faulting accesses.
+func genCleanProgram(rng *rand.Rand) string {
+	var b strings.Builder
+	reg := func() string { return fmt.Sprintf("x%d", 5+rng.Intn(11)) }
+	for i := 5; i <= 15; i++ {
+		fmt.Fprintf(&b, "        li   x%d, %d\n", i, rng.Int31n(1<<20)-1<<19)
+	}
+	aluOps := []string{"add", "sub", "xor", "or", "and", "sll", "srl", "sra",
+		"slt", "sltu", "mul", "mulh", "mulhu", "div", "divu", "rem", "remu"}
+	segments := 30 + rng.Intn(30)
+	for i := 0; i < segments; i++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			fmt.Fprintf(&b, "        %s %s, %s, %s\n",
+				aluOps[rng.Intn(len(aluOps))], reg(), reg(), reg())
+		case 2:
+			addr := 4 * (8 + rng.Intn(1000))
+			fmt.Fprintf(&b, "        li   a6, %d\n", addr)
+			fmt.Fprintf(&b, "        sw   %s, 0(a6)\n", reg())
+			fmt.Fprintf(&b, "        lw   %s, 0(a6)\n", reg())
+		case 3:
+			fmt.Fprintf(&b, "        b%s %s, %s, fwd%d\n",
+				[]string{"eq", "ne", "ltu", "geu"}[rng.Intn(4)], reg(), reg(), i)
+			fmt.Fprintf(&b, "        addi %s, %s, 1\n", reg(), reg())
+			fmt.Fprintf(&b, "fwd%d:  addi %s, %s, 2\n", i, reg(), reg())
+		case 4:
+			n := 2 + rng.Intn(4)
+			fmt.Fprintf(&b, "        li   t5, %d\n", n)
+			fmt.Fprintf(&b, "lp%d:   add  %s, %s, %s\n", i, reg(), reg(), reg())
+			fmt.Fprintf(&b, "        addi t5, t5, -1\n")
+			fmt.Fprintf(&b, "        bnez t5, lp%d\n", i)
+		}
+	}
+	b.WriteString("        ebreak\n")
+	return b.String()
+}
+
+// TestOIATFuzzCSRVariant drives the CSR-only variant with random
+// programs mixing ALU/memory/branch traffic and mscratch CSR operations
+// (no traps): CSR instructions retire exceptionally in the pipeline but
+// must stay architecturally identical to the sequential model.
+func TestOIATFuzzCSRVariant(t *testing.T) {
+	iters := 25
+	if testing.Short() {
+		iters = 3
+	}
+	for i := 0; i < iters; i++ {
+		rng := rand.New(rand.NewSource(int64(5000 + i)))
+		src := genCSRProgram(rng)
+		prog := mustAsm(t, src)
+		g := golden.New(prog.Text, prog.Data, DMemWords)
+		if err := g.Run(200000); err != nil {
+			t.Fatalf("seed %d: golden: %v", i, err)
+		}
+		if !g.Halted {
+			t.Fatalf("seed %d: golden did not halt", i)
+		}
+		p, err := Build(CSR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Load(prog)
+		p.Boot()
+		if _, err := p.Run(1200000); err != nil {
+			t.Fatalf("seed %d: pipeline: %v", i, err)
+		}
+		if p.M.InFlight() != 0 {
+			t.Fatalf("seed %d: did not drain", i)
+		}
+		compareArch(t, p, g)
+		compareTrace(t, p, g)
+		if t.Failed() {
+			t.Fatalf("seed %d diverged:\n%s", i, src)
+		}
+	}
+}
+
+// genCSRProgram mixes clean computation with CSR traffic over the whole
+// implemented CSR file (safe on the CSR variant: no trap machinery).
+func genCSRProgram(rng *rand.Rand) string {
+	base := genCleanProgram(rng)
+	// Interleave CSR ops by appending a CSR-heavy epilogue before ebreak.
+	csrs := []string{"mscratch", "mtvec", "mepc", "mcause", "mtval"}
+	var b strings.Builder
+	reg := func() string { return fmt.Sprintf("x%d", 5+rng.Intn(11)) }
+	for i := 0; i < 12; i++ {
+		c := csrs[rng.Intn(len(csrs))]
+		switch rng.Intn(5) {
+		case 0:
+			fmt.Fprintf(&b, "        csrw %s, %s\n", c, reg())
+		case 1:
+			fmt.Fprintf(&b, "        csrr %s, %s\n", reg(), c)
+		case 2:
+			fmt.Fprintf(&b, "        csrrs %s, %s, %s\n", reg(), c, reg())
+		case 3:
+			fmt.Fprintf(&b, "        csrrc %s, %s, %s\n", reg(), c, reg())
+		case 4:
+			fmt.Fprintf(&b, "        csrrwi %s, %s, %d\n", reg(), c, rng.Intn(32))
+		}
+	}
+	return strings.Replace(base, "        ebreak\n", b.String()+"        ebreak\n", 1)
+}

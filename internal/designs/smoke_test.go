@@ -1,0 +1,11 @@
+package designs
+
+import "testing"
+
+func TestSmokeCompileAll(t *testing.T) {
+	for _, v := range Variants() {
+		if _, err := Build(v); err != nil {
+			t.Errorf("%s: %v", v, err)
+		}
+	}
+}

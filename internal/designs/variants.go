@@ -1,0 +1,403 @@
+// Package designs contains the paper's processor designs: a five-stage
+// speculative RV32IM pipeline written in XPDL (renaming register file,
+// bypass write queue for data memory, next-line prediction), extended —
+// exactly as §4.1 describes — with
+//
+//	Fatal: fatal exceptions (illegal instructions, memory faults) that
+//	       halt the core;
+//	Trap:  system calls, mret and external/timer/software interrupts,
+//	       entering a software handler through mtvec;
+//	CSR:   Zicsr instructions over the machine-mode CSR file, implemented
+//	       as pipeline exceptions because CSRs are rare and locking them
+//	       would be expensive;
+//	All:   every extension combined.
+//
+// CSRs are modeled as ordinary architecturally visible registers
+// (volatile memories), read in the non-speculative region of the body and
+// written only in the except block, per §3.5c/§3.6 of the paper.
+package designs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Variant selects a processor configuration.
+type Variant int
+
+// The paper's processor variants (§4.1).
+const (
+	Base Variant = iota
+	Fatal
+	Trap
+	CSR
+	All
+)
+
+var variantNames = map[Variant]string{
+	Base: "base", Fatal: "fatal", Trap: "trap", CSR: "csr", All: "all",
+}
+
+// String names the variant.
+func (v Variant) String() string { return variantNames[v] }
+
+// Variants lists all configurations in evaluation order.
+func Variants() []Variant { return []Variant{Base, Fatal, Trap, CSR, All} }
+
+// Exception-kind constants carried in the first except argument.
+const (
+	KFatal = 0 // fatal: record and halt
+	KTrap  = 1 // synchronous trap: enter the handler at mtvec
+	KMret  = 2 // return from handler
+	KInt   = 3 // interrupt: acknowledge and enter the handler
+	KCSR   = 4 // CSR instruction: executed atomically in the except block
+)
+
+// Memory geometry shared by the designs and the golden model.
+const (
+	IMemWords = 4096
+	DMemWords = 1024
+	DMemBytes = DMemWords * 4
+)
+
+// moduleDecls declares the externs and memories every variant shares.
+const moduleDecls = `
+extern func decode(insn: uint<32>) -> (
+    op: uint<6>, rd: uint<5>, rs1: uint<5>, rs2: uint<5>, imm: uint<32>,
+    wen: bool, isload: bool, isstore: bool, illegal: bool, halt: bool,
+    isecall: bool, ismret: bool, iscsr: bool, csrok: bool, csrimm: bool,
+    csridx: uint<5>, csrf3: uint<3>, memsize: uint<2>);
+extern func alu(op: uint<6>, pc: uint<32>, a: uint<32>, b: uint<32>, imm: uint<32>) -> uint<32>;
+extern func nextpc(op: uint<6>, pc: uint<32>, a: uint<32>, b: uint<32>, imm: uint<32>) -> uint<32>;
+extern func loadval(op: uint<6>, word: uint<32>, off: uint<2>) -> uint<32>;
+extern func storeval(op: uint<6>, old: uint<32>, v: uint<32>, off: uint<2>) -> uint<32>;
+extern func memfault(ld: bool, st: bool, memsize: uint<2>, addr: uint<32>) -> (fault: bool, cause: uint<32>);
+extern func intcause(mipv: uint<32>, miev: uint<32>) -> (cause: uint<32>, valid: bool);
+
+memory rf: uint<32>[32] with renaming, comb_read;
+memory imem: uint<32>[4096] with nolock, sync_read;
+memory dmem: uint<32>[1024] with bypass, comb_read;
+`
+
+// csrDecls declares the CSR register set as volatile memories. Fatal
+// needs only a fault record; Trap adds the trap CSRs; CSR/All carry the
+// full machine-mode file.
+var csrDecls = map[Variant]string{
+	Base: ``,
+	Fatal: `
+volatile faultcode: uint<32>;
+volatile faultpc: uint<32>;
+`,
+	Trap: `
+volatile mstatus: uint<32>;
+volatile mie: uint<32>;
+volatile mtvec: uint<32>;
+volatile mepc: uint<32>;
+volatile mcause: uint<32>;
+volatile mtval: uint<32>;
+volatile mip: uint<32>;
+`,
+	CSR: `
+volatile mstatus: uint<32>;
+volatile mie: uint<32>;
+volatile mtvec: uint<32>;
+volatile mscratch: uint<32>;
+volatile mepc: uint<32>;
+volatile mcause: uint<32>;
+volatile mtval: uint<32>;
+volatile mip: uint<32>;
+`,
+	All: `
+volatile mstatus: uint<32>;
+volatile mie: uint<32>;
+volatile mtvec: uint<32>;
+volatile mscratch: uint<32>;
+volatile mepc: uint<32>;
+volatile mcause: uint<32>;
+volatile mtval: uint<32>;
+volatile mip: uint<32>;
+`,
+}
+
+var pipeMods = map[Variant]string{
+	Base:  "rf, imem, dmem",
+	Fatal: "rf, imem, dmem, faultcode, faultpc",
+	Trap:  "rf, imem, dmem, mstatus, mie, mtvec, mepc, mcause, mtval, mip",
+	CSR:   "rf, imem, dmem, mstatus, mie, mtvec, mscratch, mepc, mcause, mtval, mip",
+	All:   "rf, imem, dmem, mstatus, mie, mtvec, mscratch, mepc, mcause, mtval, mip",
+}
+
+// bodyTemplate is the shared five-stage pipeline. %s slots: mods,
+// exception detection, throw chain, memory release (body), rf release
+// (body), final blocks.
+const bodyTemplate = `
+pipe cpu(pc: uint<32>)[%s] {
+    // ---- Instruction Fetch (IF)
+    spec_check();
+    insn <- imem[pc >> 2];
+    ---
+    // ---- Decode (DE)
+    spec_check();
+    s <- spec_call cpu(pc + 4);
+    d = decode(insn);
+    wen = d.wen;
+    memop = d.isload || d.isstore;
+    acquire(rf[d.rs1], R);
+    a = rf[d.rs1];
+    release(rf[d.rs1]);
+    acquire(rf[d.rs2], R);
+    b = rf[d.rs2];
+    release(rf[d.rs2]);
+    if (wen) { reserve(rf[d.rd], W); }
+    ---
+    // ---- Execute (EX)
+    spec_barrier();
+    res = alu(d.op, pc, a, b, d.imm);
+    npc = nextpc(d.op, pc, a, b, d.imm);
+    addr = a + d.imm;
+%s    if (d.halt || exc) { invalidate(s); }
+    else {
+        if (npc == pc + 4) { verify(s); }
+        else { invalidate(s); call cpu(npc); }
+    }
+%s    ---
+    // ---- Memory (MM)
+    woff = addr[1:0];
+    widx = addr >> 2;
+    if (memop) { acquire(dmem[widx], W); }
+    wbval = res;
+    if (d.isload) { wbval = loadval(d.op, dmem[widx], woff); }
+    if (d.isstore) { dmem[widx] <- storeval(d.op, dmem[widx], b, woff); }
+    if (wen) {
+        block(rf[d.rd]);
+        rf[d.rd] <- wbval;
+    }
+    ---
+    // ---- Writeback / Commit (WB)
+%s%s}
+`
+
+// Exception detection per variant (EX stage).
+var excDetect = map[Variant]string{
+	Base: `    exc = false;
+`,
+	Fatal: `    mf = memfault(d.isload, d.isstore, d.memsize, addr);
+    exc = d.illegal || mf.fault;
+`,
+	Trap: `    ic = intcause(mip, mie);
+    mstat = mstatus;
+    intok = ((mstat & 8) != 0) && ic.valid;
+    mf = memfault(d.isload, d.isstore, d.memsize, addr);
+    ill = d.illegal || d.iscsr;
+    exc = intok || ill || mf.fault || d.isecall || d.ismret;
+`,
+	CSR: `    exc = d.iscsr;
+    csrsrc = d.csrimm ? ext(d.rs1, 32) : a;
+`,
+	All: `    ic = intcause(mip, mie);
+    mstat = mstatus;
+    intok = ((mstat & 8) != 0) && ic.valid;
+    mf = memfault(d.isload, d.isstore, d.memsize, addr);
+    csrsrc = d.csrimm ? ext(d.rs1, 32) : a;
+    exc = intok || d.illegal || mf.fault || d.isecall || d.ismret || d.iscsr;
+`,
+}
+
+// Throw chains per variant (EX stage), in priority order.
+var throwChain = map[Variant]string{
+	Base: ``,
+	Fatal: `    if (d.illegal) { throw(4'd0, pc, 32'd2, insn); }
+    else { if (mf.fault) { throw(4'd0, pc, mf.cause, addr); } }
+`,
+	Trap: `    if (intok) { throw(4'd3, pc, ic.cause, 0); }
+    else { if (ill) { throw(4'd1, pc, 32'd2, insn); }
+    else { if (mf.fault) { throw(4'd1, pc, mf.cause, addr); }
+    else { if (d.isecall) { throw(4'd1, pc, 32'd11, 0); }
+    else { if (d.ismret) { throw(4'd2, pc, 0, 0); } } } } }
+`,
+	CSR: `    if (d.iscsr) {
+        throw(4'd4, pc, csrsrc, ext(cat(d.csrf3, d.csridx, d.rd, d.rs1), 32));
+    }
+`,
+	All: `    if (intok) { throw(4'd3, pc, ic.cause, 0); }
+    else { if (d.illegal) { throw(4'd1, pc, 32'd2, insn); }
+    else { if (mf.fault) { throw(4'd1, pc, mf.cause, addr); }
+    else { if (d.isecall) { throw(4'd1, pc, 32'd11, 0); }
+    else { if (d.ismret) { throw(4'd2, pc, 0, 0); }
+    else { if (d.iscsr) {
+        throw(4'd4, pc, csrsrc, ext(cat(d.csrf3, d.csridx, d.rd, d.rs1), 32));
+    } } } } } }
+`,
+}
+
+// Base releases its write locks in the WB stage; exception variants must
+// release them in the commit block (Rule 3), so their WB stage is empty.
+const wbBase = `    if (wen) { release(rf[d.rd]); }
+    if (memop) { release(dmem[widx]); }
+`
+const wbExc = `    skip;
+`
+
+// commitBlock is identical for every exception variant (the paper's
+// Fig. 13 makes the same observation).
+const commitBlock = `commit:
+    if (wen) { release(rf[d.rd]); }
+    if (memop) { release(dmem[widx]); }
+`
+
+// Except blocks per variant.
+var exceptBlock = map[Variant]string{
+	Fatal: `except(kind: uint<4>, epc: uint<32>, ea: uint<32>, eb: uint<32>):
+    // Fatal exceptions are non-recoverable: record the cause and halt
+    // the core by not spawning a successor.
+    faultcode <- ea;
+    faultpc <- epc;
+`,
+	Trap: `except(kind: uint<4>, epc: uint<32>, ea: uint<32>, eb: uint<32>):
+    mstat2 = mstatus;
+    if (kind == 4'd1 || kind == 4'd3) {
+        mepc <- epc;
+        mcause <- ea;
+        mtval <- eb;
+        mstatus <- (mstat2 & ~32'd136) | (((mstat2 & 8) != 0) ? 32'd128 : 32'd0);
+    }
+    if (kind == 4'd3) {
+        mip <- mip & ~((ea[4:0] == 5'd7) ? 32'd128 : ((ea[4:0] == 5'd3) ? 32'd8 : 32'd2048));
+    }
+    if (kind == 4'd2) {
+        mstatus <- ((mstat2 & ~32'd8) | (((mstat2 & 128) != 0) ? 32'd8 : 32'd0)) | 32'd128;
+    }
+    tgt = (kind == 4'd2) ? mepc : (mtvec & ~32'd3);
+    ---
+    call cpu(tgt);
+`,
+	CSR: `except(kind: uint<4>, epc: uint<32>, ea: uint<32>, eb: uint<32>):
+    f3 = eb[17:15];
+    cidx = eb[14:10];
+    crd = eb[9:5];
+    crs1 = eb[4:0];
+    old = (cidx == 5'd0) ? mstatus : ((cidx == 5'd1) ? mie : ((cidx == 5'd2) ? mtvec :
+          ((cidx == 5'd3) ? mscratch : ((cidx == 5'd4) ? mepc : ((cidx == 5'd5) ? mcause :
+          ((cidx == 5'd6) ? mtval : mip))))));
+    wrc = (f3 == 3'd1 || f3 == 3'd5) || (crs1 != 0);
+    nv = ((f3 == 3'd1) || (f3 == 3'd5)) ? ea : (((f3 == 3'd2) || (f3 == 3'd6)) ? (old | ea) : (old & ~ea));
+    if (wrc) {
+        if (cidx == 5'd0) { mstatus <- nv; }
+        if (cidx == 5'd1) { mie <- nv; }
+        if (cidx == 5'd2) { mtvec <- nv; }
+        if (cidx == 5'd3) { mscratch <- nv; }
+        if (cidx == 5'd4) { mepc <- nv; }
+        if (cidx == 5'd5) { mcause <- nv; }
+        if (cidx == 5'd6) { mtval <- nv; }
+        if (cidx == 5'd7) { mip <- nv; }
+    }
+    if (crd != 0) {
+        acquire(rf[crd], W);
+        rf[crd] <- old;
+        release(rf[crd]);
+    }
+    tgt = epc + 4;
+    ---
+    call cpu(tgt);
+`,
+	All: `except(kind: uint<4>, epc: uint<32>, ea: uint<32>, eb: uint<32>):
+    mstat2 = mstatus;
+    f3 = eb[17:15];
+    cidx = eb[14:10];
+    crd = eb[9:5];
+    crs1 = eb[4:0];
+    old = (cidx == 5'd0) ? mstatus : ((cidx == 5'd1) ? mie : ((cidx == 5'd2) ? mtvec :
+          ((cidx == 5'd3) ? mscratch : ((cidx == 5'd4) ? mepc : ((cidx == 5'd5) ? mcause :
+          ((cidx == 5'd6) ? mtval : mip))))));
+    wrc = (f3 == 3'd1 || f3 == 3'd5) || (crs1 != 0);
+    nv = ((f3 == 3'd1) || (f3 == 3'd5)) ? ea : (((f3 == 3'd2) || (f3 == 3'd6)) ? (old | ea) : (old & ~ea));
+    if (kind == 4'd1 || kind == 4'd3) {
+        mepc <- epc;
+        mcause <- ea;
+        mtval <- eb;
+        mstatus <- (mstat2 & ~32'd136) | (((mstat2 & 8) != 0) ? 32'd128 : 32'd0);
+    }
+    if (kind == 4'd3) {
+        mip <- mip & ~((ea[4:0] == 5'd7) ? 32'd128 : ((ea[4:0] == 5'd3) ? 32'd8 : 32'd2048));
+    }
+    if (kind == 4'd2) {
+        mstatus <- ((mstat2 & ~32'd8) | (((mstat2 & 128) != 0) ? 32'd8 : 32'd0)) | 32'd128;
+    }
+    if (kind == 4'd4 && wrc) {
+        if (cidx == 5'd0) { mstatus <- nv; }
+        if (cidx == 5'd1) { mie <- nv; }
+        if (cidx == 5'd2) { mtvec <- nv; }
+        if (cidx == 5'd3) { mscratch <- nv; }
+        if (cidx == 5'd4) { mepc <- nv; }
+        if (cidx == 5'd5) { mcause <- nv; }
+        if (cidx == 5'd6) { mtval <- nv; }
+        if (cidx == 5'd7) { mip <- nv; }
+    }
+    if (kind == 4'd4 && crd != 0) {
+        acquire(rf[crd], W);
+        rf[crd] <- old;
+        release(rf[crd]);
+    }
+    tgt = (kind == 4'd4) ? (epc + 4) : ((kind == 4'd2) ? mepc : (mtvec & ~32'd3));
+    ---
+    call cpu(tgt);
+`,
+}
+
+// Source assembles the full XPDL program text for a variant.
+func Source(v Variant) string {
+	var wb, finals string
+	if v == Base {
+		wb = wbBase
+		finals = ""
+	} else {
+		wb = wbExc
+		finals = commitBlock + exceptBlock[v]
+	}
+	pipe := fmt.Sprintf(bodyTemplate, pipeMods[v], excDetect[v], throwChain[v], wb, finals)
+	return moduleDecls + csrDecls[v] + pipe
+}
+
+// LOC is the Figure 13 breakdown: effective (non-blank, non-comment)
+// source lines by region.
+type LOC struct {
+	BodyAndModules int
+	Commit         int
+	Except         int
+}
+
+// Total sums all regions.
+func (l LOC) Total() int { return l.BodyAndModules + l.Commit + l.Except }
+
+// CountLOC computes the Figure 13 line breakdown for a variant.
+func CountLOC(v Variant) LOC {
+	var loc LOC
+	region := 0 // 0 body+modules, 1 commit, 2 except
+	for _, line := range strings.Split(Source(v), "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(t, "commit:"):
+			region = 1
+		case strings.HasPrefix(t, "except("):
+			region = 2
+		case strings.HasPrefix(line, "}") && region != 0:
+			// Only the unindented closing brace ends the pipe; braces
+			// inside conditional arms stay within their region.
+			region = 0
+			loc.BodyAndModules++
+			continue
+		}
+		switch region {
+		case 0:
+			loc.BodyAndModules++
+		case 1:
+			loc.Commit++
+		case 2:
+			loc.Except++
+		}
+	}
+	return loc
+}

@@ -1,0 +1,635 @@
+package locks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpdl/internal/val"
+)
+
+func v32(x uint64) val.Value { return val.New(x, 32) }
+
+// --- Queue (basic) ----------------------------------------------------------
+
+func TestBasicWriteVisibleOnlyAfterRelease(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, true)
+	q.Write(1, 3, v32(99))
+	q.Commit()
+	if got := q.Peek(3); got.Uint() != 0 {
+		t.Fatalf("uncommitted write leaked: %v", got)
+	}
+	q.Begin()
+	q.Release(1, 3)
+	q.Commit()
+	if got := q.Peek(3); got.Uint() != 99 {
+		t.Fatalf("release did not commit: %v", got)
+	}
+}
+
+func TestBasicOwnershipOrder(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, true)
+	q.Reserve(2, 3, true)
+	q.Commit()
+	if !q.Owns(1, 3, true) {
+		t.Error("older reservation should own")
+	}
+	if q.Owns(2, 3, true) {
+		t.Error("younger conflicting reservation must wait")
+	}
+	q.Begin()
+	q.Release(1, 3)
+	q.Commit()
+	if !q.Owns(2, 3, true) {
+		t.Error("after release the younger reservation owns")
+	}
+}
+
+func TestReadersShareOwnership(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, false)
+	q.Reserve(2, 3, false)
+	q.Commit()
+	if !q.Owns(1, 3, false) || !q.Owns(2, 3, false) {
+		t.Error("two readers of the same address should both own")
+	}
+}
+
+func TestDisjointAddressesDoNotConflict(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, true)
+	q.Reserve(2, 4, true)
+	q.Commit()
+	if !q.Owns(2, 4, true) {
+		t.Error("disjoint addresses must not conflict")
+	}
+}
+
+func TestWholeMemoryConflictsWithEverything(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, Whole, true)
+	q.Reserve(2, 5, false)
+	q.Commit()
+	if q.Owns(2, 5, false) {
+		t.Error("whole-memory write blocks all younger accesses")
+	}
+	if !q.ReadReady(1, 5) {
+		t.Error("whole-memory owner should read any address")
+	}
+}
+
+func TestBasicNoForwarding(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, true)
+	q.Write(1, 3, v32(7))
+	q.Reserve(2, 3, false)
+	q.Commit()
+	if q.ReadReady(2, 3) {
+		t.Error("basic lock must not forward pending writes")
+	}
+}
+
+func TestBypassForwardsPendingWrite(t *testing.T) {
+	q := NewBypass(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, true)
+	q.Write(1, 3, v32(7))
+	q.Reserve(2, 3, false)
+	q.Commit()
+	if !q.ReadReady(2, 3) {
+		t.Fatal("bypass read should be ready once the writer has written")
+	}
+	if got := q.Read(2, 3); got.Uint() != 7 {
+		t.Errorf("forwarded %v, want 7", got)
+	}
+	// Architectural state still unchanged.
+	if q.Peek(3).Uint() != 0 {
+		t.Error("forwarding must not commit")
+	}
+}
+
+func TestBypassWaitsForValue(t *testing.T) {
+	q := NewBypass(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, true) // writer reserved but has not written
+	q.Reserve(2, 3, false)
+	q.Commit()
+	if q.ReadReady(2, 3) {
+		t.Error("bypass read must wait until the writer produces the value")
+	}
+}
+
+func TestBypassLatestWriteWins(t *testing.T) {
+	q := NewBypass(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, true)
+	q.Write(1, 3, v32(7))
+	q.Write(1, 3, v32(8))
+	q.Reserve(2, 3, false)
+	q.Commit()
+	if got := q.Read(2, 3); got.Uint() != 8 {
+		t.Errorf("got %v, want latest write 8", got)
+	}
+}
+
+func TestOwnWriteVisibleToSelf(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, true)
+	q.Write(1, 3, v32(41))
+	q.Commit()
+	if got := q.Read(1, 3); got.Uint() != 41 {
+		t.Errorf("own staged write invisible: %v", got)
+	}
+}
+
+func TestAbortDiscardsPendingState(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 2, true)
+	q.Write(1, 2, v32(5))
+	q.Reserve(2, 3, false)
+	q.Commit()
+
+	q.Begin()
+	q.Abort()
+	q.Commit()
+	if q.PendingCount() != 0 {
+		t.Error("abort must revoke all reservations")
+	}
+	if q.Peek(2).Uint() != 0 {
+		t.Error("abort must discard uncommitted writes")
+	}
+}
+
+func TestSquashRemovesOneInstruction(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 2, true)
+	q.Reserve(2, 2, true)
+	q.Write(2, 2, v32(9))
+	q.Commit()
+
+	q.Begin()
+	q.Squash(2)
+	q.Commit()
+	if q.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want 1", q.PendingCount())
+	}
+	q.Begin()
+	q.Write(1, 2, v32(4))
+	q.Release(1, 2)
+	q.Commit()
+	if q.Peek(2).Uint() != 4 {
+		t.Error("squashed instruction's write leaked")
+	}
+}
+
+func TestRollbackRestoresQueue(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 2, true)
+	q.Write(1, 2, v32(5))
+	q.Commit()
+
+	q.Begin()
+	q.Write(1, 2, v32(6))
+	q.Release(1, 2)
+	q.Reserve(2, 4, false)
+	q.Rollback()
+
+	if q.Peek(2).Uint() != 0 {
+		t.Error("rollback must undo the release's commit")
+	}
+	if q.PendingCount() != 1 {
+		t.Errorf("pending = %d, want 1", q.PendingCount())
+	}
+	if got := q.Read(1, 2); got.Uint() != 5 {
+		t.Errorf("staged write after rollback = %v, want 5", got)
+	}
+}
+
+func TestOutOfOrderWriteReleasePanics(t *testing.T) {
+	q := NewBasic(8, 32)
+	q.Begin()
+	q.Reserve(1, 3, true)
+	q.Reserve(2, 3, true)
+	q.Commit()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order release should panic")
+		}
+		q.Rollback()
+	}()
+	q.Begin()
+	q.Release(2, 3)
+}
+
+// --- Renaming -----------------------------------------------------------------
+
+func TestRenamingBasicFlow(t *testing.T) {
+	r := NewRenaming(4, 32, 4)
+	r.Begin()
+	r.Reserve(1, 2, true)
+	r.Commit()
+
+	r.Begin()
+	r.Reserve(2, 2, false) // younger reader sees the new mapping
+	r.Commit()
+	if r.ReadReady(2, 2) {
+		t.Error("reader must wait for the producer")
+	}
+
+	r.Begin()
+	r.Write(1, 2, v32(77))
+	r.Commit()
+	if !r.ReadReady(2, 2) {
+		t.Fatal("value produced; reader should proceed before release")
+	}
+	if got := r.Read(2, 2); got.Uint() != 77 {
+		t.Errorf("renamed read = %v, want 77", got)
+	}
+	if r.Peek(2).Uint() != 0 {
+		t.Error("unreleased write must not be architectural")
+	}
+
+	r.Begin()
+	r.Release(1, 2)
+	r.Commit()
+	if r.Peek(2).Uint() != 77 {
+		t.Error("release must commit the mapping")
+	}
+}
+
+func TestRenamingReaderBeforeWriterSeesOldValue(t *testing.T) {
+	r := NewRenaming(4, 32, 4)
+	r.Poke(2, v32(5))
+	r.Begin()
+	r.Reserve(1, 2, false) // reader first: captures old mapping
+	r.Reserve(2, 2, true)  // writer allocates new phys
+	r.Write(2, 2, v32(9))
+	r.Commit()
+	if got := r.Read(1, 2); got.Uint() != 5 {
+		t.Errorf("WAR hazard: reader saw %v, want old value 5", got)
+	}
+}
+
+func TestRenamingWAWBothProceed(t *testing.T) {
+	r := NewRenaming(4, 32, 4)
+	r.Begin()
+	r.Reserve(1, 2, true)
+	r.Reserve(2, 2, true)
+	r.Write(1, 2, v32(1))
+	r.Write(2, 2, v32(2))
+	r.Release(1, 2)
+	r.Release(2, 2)
+	r.Commit()
+	if r.Peek(2).Uint() != 2 {
+		t.Errorf("final value %v, want the younger write 2", r.Peek(2))
+	}
+	if r.PendingCount() != 0 {
+		t.Error("all reservations released")
+	}
+}
+
+func TestRenamingSquashRestoresMapping(t *testing.T) {
+	r := NewRenaming(4, 32, 4)
+	r.Poke(2, v32(5))
+	r.Begin()
+	r.Reserve(1, 2, true)
+	r.Write(1, 2, v32(9))
+	r.Commit()
+
+	r.Begin()
+	r.Squash(1)
+	r.Commit()
+
+	r.Begin()
+	r.Reserve(2, 2, false)
+	r.Commit()
+	if got := r.Read(2, 2); got.Uint() != 5 {
+		t.Errorf("after squash, reader sees %v, want committed 5", got)
+	}
+}
+
+func TestRenamingAbortRestoresCommittedMap(t *testing.T) {
+	r := NewRenaming(4, 32, 4)
+	r.Poke(1, v32(11))
+	r.Begin()
+	r.Reserve(1, 1, true)
+	r.Write(1, 1, v32(99))
+	r.Reserve(2, 1, true)
+	r.Commit()
+
+	r.Begin()
+	r.Abort()
+	r.Commit()
+	if r.PendingCount() != 0 {
+		t.Error("abort must drop reservations")
+	}
+	if r.Peek(1).Uint() != 11 {
+		t.Errorf("abort changed architectural state: %v", r.Peek(1))
+	}
+	// The free list must be fully replenished: 4 spares again.
+	r.Begin()
+	for i := 0; i < 4; i++ {
+		if !r.CanReserve(10+IID(i), 0, true) {
+			t.Fatalf("free list not rebuilt after abort (allocation %d failed)", i)
+		}
+		r.Reserve(10+IID(i), 0, true)
+	}
+	r.Rollback()
+}
+
+func TestRenamingFreeListExhaustion(t *testing.T) {
+	r := NewRenaming(2, 32, 2)
+	r.Begin()
+	r.Reserve(1, 0, true)
+	r.Reserve(2, 1, true)
+	r.Commit()
+	if r.CanReserve(3, 0, true) {
+		t.Error("free list should be exhausted")
+	}
+	r.Begin()
+	r.Release(1, 0)
+	r.Commit()
+	if !r.CanReserve(3, 0, true) {
+		t.Error("release must recycle a register")
+	}
+}
+
+func TestRenamingRollback(t *testing.T) {
+	r := NewRenaming(4, 32, 4)
+	r.Poke(3, v32(8))
+	r.Begin()
+	r.Reserve(1, 3, true)
+	r.Write(1, 3, v32(42))
+	r.Release(1, 3)
+	r.Rollback()
+	if r.Peek(3).Uint() != 8 {
+		t.Errorf("rollback failed: %v", r.Peek(3))
+	}
+	if r.PendingCount() != 0 {
+		t.Error("rollback must remove the reservation")
+	}
+	if !r.CanReserve(2, 3, true) {
+		t.Error("rollback must restore the free list")
+	}
+}
+
+// --- Property tests ------------------------------------------------------------
+
+// Property: on the basic queue, a random sequence of reserve/write/release
+// by a single instruction is equivalent to direct array writes.
+func TestQuickSingleInstructionEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		q := NewBasic(16, 32)
+		ref := make([]uint64, 16)
+		id := IID(1)
+		held := map[uint64]bool{}
+		for _, op := range ops {
+			addr := uint64(op) % 16
+			value := uint64(op >> 4)
+			q.Begin()
+			if !held[addr] {
+				q.Reserve(id, addr, true)
+				held[addr] = true
+			}
+			q.Write(id, addr, v32(value))
+			q.Release(id, addr)
+			held[addr] = false
+			q.Commit()
+			ref[addr] = value
+		}
+		for a := uint64(0); a < 16; a++ {
+			if q.Peek(a).Uint() != ref[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: abort never changes architectural state, for any interleaving
+// of staged (unreleased) operations, on every lock kind.
+func TestQuickAbortPreservesCommittedState(t *testing.T) {
+	mk := []func() Lock{
+		func() Lock { return NewBasic(8, 32) },
+		func() Lock { return NewBypass(8, 32) },
+		func() Lock { return NewRenaming(8, 32, 16) },
+	}
+	f := func(seedCommitted []uint16, staged []uint16, kind uint8) bool {
+		l := mk[int(kind)%len(mk)]()
+		// Commit a known architectural state.
+		for i, x := range seedCommitted {
+			l.Poke(uint64(i)%8, v32(uint64(x)))
+		}
+		var want [8]uint64
+		for a := uint64(0); a < 8; a++ {
+			want[a] = l.Peek(a).Uint()
+		}
+		// Stage arbitrary unreleased work by several instructions.
+		l.Begin()
+		for i, x := range staged {
+			addr := uint64(x) % 8
+			id := IID(i + 1)
+			if !l.CanReserve(id, addr, true) {
+				continue
+			}
+			l.Reserve(id, addr, true)
+			l.Write(id, addr, v32(uint64(x)*3))
+		}
+		l.Commit()
+		// Abort: architectural state must be untouched and no
+		// reservations may survive.
+		l.Begin()
+		l.Abort()
+		l.Commit()
+		if l.PendingCount() != 0 {
+			return false
+		}
+		for a := uint64(0); a < 8; a++ {
+			if l.Peek(a).Uint() != want[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Begin+random mutations+Rollback is an exact no-op on every
+// lock kind (state compared via Peek, PendingCount and a probe read).
+func TestQuickRollbackIsNoOp(t *testing.T) {
+	mk := []func() Lock{
+		func() Lock { return NewBasic(8, 32) },
+		func() Lock { return NewBypass(8, 32) },
+		func() Lock { return NewRenaming(8, 32, 16) },
+	}
+	f := func(seed int64, kind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := mk[int(kind)%len(mk)]()
+		// Build some committed + staged baseline state.
+		l.Begin()
+		for id := IID(1); id <= 3; id++ {
+			addr := uint64(rng.Intn(8))
+			if l.CanReserve(id, addr, true) {
+				l.Reserve(id, addr, true)
+				l.Write(id, addr, v32(uint64(rng.Intn(100))))
+			}
+		}
+		l.Commit()
+		before := snapshot(l)
+
+		// Random mutation storm, then rollback.
+		l.Begin()
+		for i := 0; i < 20; i++ {
+			id := IID(rng.Intn(5) + 10)
+			addr := uint64(rng.Intn(8))
+			switch rng.Intn(4) {
+			case 0:
+				if l.CanReserve(id, addr, rng.Intn(2) == 0) {
+					l.Reserve(id, addr, true)
+				}
+			case 1:
+				l.Squash(IID(rng.Intn(3) + 1))
+			case 2:
+				l.Abort()
+			case 3:
+				if l.CanReserve(id, addr, true) {
+					l.Reserve(id, addr, true)
+					l.Write(id, addr, v32(uint64(rng.Intn(100))))
+				}
+			}
+		}
+		l.Rollback()
+		return snapshot(l) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// snapshot summarizes observable lock state.
+func snapshot(l Lock) [9]uint64 {
+	var s [9]uint64
+	for a := uint64(0); a < 8; a++ {
+		s[a] = l.Peek(a).Uint()
+	}
+	s[8] = uint64(l.PendingCount())
+	return s
+}
+
+// Property: bypass forwarding returns exactly the latest older staged
+// write, or the committed value when none exists.
+func TestQuickBypassForwardingExactness(t *testing.T) {
+	f := func(writes []uint16) bool {
+		q := NewBypass(4, 32)
+		q.Poke(1, v32(1000))
+		q.Begin()
+		var latest *uint64
+		for i, w := range writes {
+			id := IID(i + 1)
+			q.Reserve(id, 1, true)
+			if w%3 != 0 { // sometimes reserve without writing yet
+				vv := uint64(w)
+				q.Write(id, 1, v32(vv))
+				latest = &vv
+			}
+		}
+		reader := IID(len(writes) + 100)
+		q.Reserve(reader, 1, false)
+		q.Commit()
+
+		anyPendingWriterWithoutValue := false
+		for i, w := range writes {
+			_ = i
+			if w%3 == 0 {
+				anyPendingWriterWithoutValue = true
+			}
+		}
+		if anyPendingWriterWithoutValue {
+			return !q.ReadReady(reader, 1)
+		}
+		if !q.ReadReady(reader, 1) {
+			return false
+		}
+		got := q.Read(reader, 1).Uint()
+		if latest == nil {
+			return got == 1000
+		}
+		return got == *latest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlainMemory(t *testing.T) {
+	p := NewPlain(4, 16)
+	p.Poke(2, val.New(0x1FFFF, 32))
+	if got := p.Peek(2); got.Uint() != 0xFFFF || got.Width() != 16 {
+		t.Errorf("plain memory truncation: %v", got)
+	}
+	if p.Depth() != 4 {
+		t.Error("depth")
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	q := NewBasic(4, 32)
+	expectPanic("write without reservation", func() { q.Write(1, 0, v32(1)) })
+	expectPanic("release without reservation", func() { q.Release(1, 0) })
+	expectPanic("out-of-range reserve", func() { q.Reserve(1, 99, true) })
+	expectPanic("nested txn", func() { q.Begin(); q.Begin() })
+	q.Rollback()
+
+	r := NewRenaming(4, 32, 2)
+	expectPanic("renaming whole-mem reserve", func() { r.Reserve(1, Whole, true) })
+	expectPanic("renaming read without reservation", func() { r.Read(1, 0) })
+	expectPanic("renaming write without reservation", func() { r.Write(1, 0, v32(1)) })
+	if r.CanReserve(1, Whole, true) {
+		t.Error("whole-memory reservations must be rejected by CanReserve")
+	}
+}
+
+func TestBypassWholeMemOwnerReadsAndWrites(t *testing.T) {
+	q := NewBypass(8, 32)
+	q.Begin()
+	q.Reserve(1, Whole, true)
+	q.Write(1, 2, v32(5))
+	q.Write(1, 3, v32(6))
+	if !q.ReadReady(1, 2) {
+		t.Fatal("whole-mem owner must read")
+	}
+	if q.Read(1, 2).Uint() != 5 {
+		t.Error("own staged write under whole-mem reservation")
+	}
+	q.Release(1, Whole)
+	q.Commit()
+	if q.Peek(2).Uint() != 5 || q.Peek(3).Uint() != 6 {
+		t.Error("whole-mem release must commit all writes")
+	}
+}

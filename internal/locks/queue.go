@@ -1,0 +1,287 @@
+package locks
+
+import (
+	"fmt"
+
+	"xpdl/internal/val"
+)
+
+// Queue is the in-order reservation-queue lock. With forwarding disabled
+// it is PDL's basic lock: a read or write may proceed only when its
+// reservation is not behind any conflicting older reservation, and writes
+// become architectural when the reservation is released. With forwarding
+// enabled it is the bypass queue of §3.4: pending writes are passed to
+// reads by younger instructions before the writer releases.
+type Queue struct {
+	data    []val.Value
+	width   int
+	forward bool
+	resvs   []*qResv
+	undo    []func()
+	inTxn   bool
+}
+
+type qResv struct {
+	id    IID
+	addr  uint64 // Whole for whole-memory reservations
+	write bool
+	wr    []qWrite
+}
+
+type qWrite struct {
+	addr uint64
+	v    val.Value
+}
+
+// NewBasic builds a basic (non-forwarding) queue lock.
+func NewBasic(depth, width int) *Queue {
+	return newQueue(depth, width, false)
+}
+
+// NewBypass builds a bypass (forwarding) queue lock.
+func NewBypass(depth, width int) *Queue {
+	return newQueue(depth, width, true)
+}
+
+func newQueue(depth, width int, forward bool) *Queue {
+	q := &Queue{data: make([]val.Value, depth), width: width, forward: forward}
+	for i := range q.data {
+		q.data[i] = val.New(0, width)
+	}
+	return q
+}
+
+// Begin starts a transaction.
+func (q *Queue) Begin() {
+	if q.inTxn {
+		panic("locks: nested transaction")
+	}
+	q.inTxn = true
+	q.undo = q.undo[:0]
+}
+
+// Commit keeps the transaction's effects.
+func (q *Queue) Commit() {
+	q.inTxn = false
+	q.undo = q.undo[:0]
+}
+
+// Rollback undoes every mutation since Begin.
+func (q *Queue) Rollback() {
+	for i := len(q.undo) - 1; i >= 0; i-- {
+		q.undo[i]()
+	}
+	q.inTxn = false
+	q.undo = q.undo[:0]
+}
+
+func (q *Queue) record(fn func()) {
+	if q.inTxn {
+		q.undo = append(q.undo, fn)
+	}
+}
+
+// find returns the oldest reservation by id exactly matching addr, and
+// its index.
+func (q *Queue) find(id IID, addr uint64) (*qResv, int) {
+	for i, r := range q.resvs {
+		if r.id == id && r.addr == addr {
+			return r, i
+		}
+	}
+	return nil, -1
+}
+
+func overlaps(a, b uint64) bool {
+	return a == Whole || b == Whole || a == b
+}
+
+// conflictsBefore reports whether any reservation older (earlier in the
+// queue) than index i conflicts with r: overlapping addresses where at
+// least one side writes.
+func (q *Queue) conflictsBefore(i int, r *qResv) bool {
+	for j := 0; j < i; j++ {
+		o := q.resvs[j]
+		if overlaps(o.addr, r.addr) && (o.write || r.write) {
+			return true
+		}
+	}
+	return false
+}
+
+// CanReserve always succeeds for queue locks.
+func (q *Queue) CanReserve(IID, uint64, bool) bool { return true }
+
+// Reserve appends a reservation for id on addr.
+func (q *Queue) Reserve(id IID, addr uint64, write bool) {
+	boundsCheck(addr, len(q.data), "reserve")
+	r := &qResv{id: id, addr: addr, write: write}
+	q.resvs = append(q.resvs, r)
+	q.record(func() { q.removeResv(r) })
+}
+
+func (q *Queue) removeResv(r *qResv) int {
+	for i, o := range q.resvs {
+		if o == r {
+			q.resvs = append(q.resvs[:i], q.resvs[i+1:]...)
+			return i
+		}
+	}
+	panic("locks: reservation not found")
+}
+
+func (q *Queue) insertResv(r *qResv, idx int) {
+	q.resvs = append(q.resvs, nil)
+	copy(q.resvs[idx+1:], q.resvs[idx:])
+	q.resvs[idx] = r
+}
+
+// Owns reports whether id's reservation on addr is unblocked.
+func (q *Queue) Owns(id IID, addr uint64, write bool) bool {
+	r, i := q.find(id, addr)
+	if r == nil {
+		return false
+	}
+	_ = write
+	return !q.conflictsBefore(i, r)
+}
+
+// ReadReady reports whether a read can complete. Basic locks require
+// ownership; bypass locks additionally accept the case where every
+// conflicting older write reservation has already staged a write to addr,
+// so the value can be forwarded.
+func (q *Queue) ReadReady(id IID, addr uint64) bool {
+	r, i := q.find(id, addr)
+	if r == nil {
+		// The reservation may be whole-memory.
+		r, i = q.find(id, Whole)
+		if r == nil {
+			return false
+		}
+	}
+	if !q.conflictsBefore(i, r) {
+		return true
+	}
+	if !q.forward {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		o := q.resvs[j]
+		if !o.write || !overlaps(o.addr, addr) {
+			continue
+		}
+		if o.latestWrite(addr) == nil {
+			return false // older writer has not produced the value yet
+		}
+	}
+	return true
+}
+
+func (r *qResv) latestWrite(addr uint64) *qWrite {
+	for i := len(r.wr) - 1; i >= 0; i-- {
+		if r.wr[i].addr == addr {
+			return &r.wr[i]
+		}
+	}
+	return nil
+}
+
+// Read returns the value id observes at addr: its own staged write if
+// any, else (for bypass locks) the latest staged write of an older
+// reservation, else the committed value.
+func (q *Queue) Read(id IID, addr uint64) val.Value {
+	boundsCheck(addr, len(q.data), "read")
+	r, i := q.find(id, addr)
+	if r == nil {
+		r, i = q.find(id, Whole)
+	}
+	if r != nil {
+		if w := r.latestWrite(addr); w != nil {
+			return w.v
+		}
+		if q.forward {
+			for j := i - 1; j >= 0; j-- {
+				o := q.resvs[j]
+				if o.write && overlaps(o.addr, addr) {
+					if w := o.latestWrite(addr); w != nil {
+						return w.v
+					}
+				}
+			}
+		}
+	}
+	return q.data[addr]
+}
+
+// Write stages a write by id's write reservation covering addr.
+func (q *Queue) Write(id IID, addr uint64, v val.Value) {
+	boundsCheck(addr, len(q.data), "write")
+	r, _ := q.find(id, addr)
+	if r == nil || !r.write {
+		r, _ = q.find(id, Whole)
+	}
+	if r == nil || !r.write {
+		panic(fmt.Sprintf("locks: write by %d to %d without a write reservation", id, addr))
+	}
+	r.wr = append(r.wr, qWrite{addr: addr, v: val.New(v.Uint(), q.width)})
+	q.record(func() { r.wr = r.wr[:len(r.wr)-1] })
+}
+
+// Release removes id's oldest reservation matching addr, committing its
+// staged writes for write reservations.
+func (q *Queue) Release(id IID, addr uint64) {
+	r, i := q.find(id, addr)
+	if r == nil {
+		panic(fmt.Sprintf("locks: release by %d of %d without a reservation", id, addr))
+	}
+	if r.write && q.conflictsBefore(i, r) {
+		panic(fmt.Sprintf("locks: release by %d of %d would commit out of order", id, addr))
+	}
+	for _, w := range r.wr {
+		old := q.data[w.addr]
+		addrCopy := w.addr
+		q.data[w.addr] = w.v
+		q.record(func() { q.data[addrCopy] = old })
+	}
+	idx := q.removeResv(r)
+	q.record(func() { q.insertResv(r, idx) })
+}
+
+// Squash drops every reservation (and staged write) of a killed
+// instruction.
+func (q *Queue) Squash(id IID) {
+	for i := len(q.resvs) - 1; i >= 0; i-- {
+		if q.resvs[i].id == id {
+			r := q.resvs[i]
+			idx := i
+			q.resvs = append(q.resvs[:i], q.resvs[i+1:]...)
+			q.record(func() { q.insertResv(r, idx) })
+		}
+	}
+}
+
+// Abort revokes all reservations and discards all uncommitted writes,
+// returning the lock to its last committed state (§3.4).
+func (q *Queue) Abort() {
+	old := q.resvs
+	q.resvs = nil
+	q.record(func() { q.resvs = old })
+}
+
+// Peek reads the committed value at addr.
+func (q *Queue) Peek(addr uint64) val.Value {
+	boundsCheck(addr, len(q.data), "peek")
+	return q.data[addr]
+}
+
+// Poke sets the committed value at addr (initialization only).
+func (q *Queue) Poke(addr uint64, v val.Value) {
+	boundsCheck(addr, len(q.data), "poke")
+	q.data[addr] = val.New(v.Uint(), q.width)
+}
+
+// Depth is the number of words.
+func (q *Queue) Depth() int { return len(q.data) }
+
+// PendingCount reports live reservations.
+func (q *Queue) PendingCount() int { return len(q.resvs) }

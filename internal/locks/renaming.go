@@ -1,0 +1,309 @@
+package locks
+
+import (
+	"fmt"
+
+	"xpdl/internal/val"
+)
+
+// Renaming is the renaming register file lock of §3.4: a map table from
+// architectural to physical registers plus a free list. Write
+// reservations allocate a fresh physical register, so WAW and WAR hazards
+// disappear; read reservations capture the mapping current at reservation
+// time and wait only for the producer's value (RAW).
+//
+// Squash undoes a killed instruction's allocations LIFO (squashed
+// instructions are the youngest). Abort restores the committed map — the
+// multi-cycle exception-rollback path the paper contrasts with per-branch
+// snapshots.
+//
+// Renaming locks are per-address only; whole-memory reservations are not
+// supported (the paper uses renaming for register files, which are always
+// accessed by index).
+type Renaming struct {
+	phys    []physReg
+	specMap []int
+	commMap []int
+	free    []int
+	resvs   []*rResv
+	width   int
+	undo    []func()
+	inTxn   bool
+}
+
+type physReg struct {
+	v     val.Value
+	ready bool
+}
+
+type rResv struct {
+	id    IID
+	arch  uint64
+	write bool
+	// For write reservations: the allocated register and the mapping it
+	// replaced. For read reservations: the captured source register.
+	newPhys, oldPhys int
+	phys             int
+}
+
+// NewRenaming builds a renaming register file with depth architectural
+// registers and extra spare physical registers.
+func NewRenaming(depth, width, extra int) *Renaming {
+	if extra < 1 {
+		extra = 1
+	}
+	r := &Renaming{
+		phys:    make([]physReg, depth+extra),
+		specMap: make([]int, depth),
+		commMap: make([]int, depth),
+		width:   width,
+	}
+	for i := 0; i < depth; i++ {
+		r.phys[i] = physReg{v: val.New(0, width), ready: true}
+		r.specMap[i] = i
+		r.commMap[i] = i
+	}
+	for i := depth + extra - 1; i >= depth; i-- {
+		r.phys[i] = physReg{v: val.New(0, width), ready: true}
+		r.free = append(r.free, i)
+	}
+	return r
+}
+
+// Begin starts a transaction.
+func (r *Renaming) Begin() {
+	if r.inTxn {
+		panic("locks: nested transaction")
+	}
+	r.inTxn = true
+	r.undo = r.undo[:0]
+}
+
+// Commit keeps the transaction's effects.
+func (r *Renaming) Commit() {
+	r.inTxn = false
+	r.undo = r.undo[:0]
+}
+
+// Rollback undoes every mutation since Begin.
+func (r *Renaming) Rollback() {
+	for i := len(r.undo) - 1; i >= 0; i-- {
+		r.undo[i]()
+	}
+	r.inTxn = false
+	r.undo = r.undo[:0]
+}
+
+func (r *Renaming) record(fn func()) {
+	if r.inTxn {
+		r.undo = append(r.undo, fn)
+	}
+}
+
+func (r *Renaming) find(id IID, arch uint64) *rResv {
+	for _, v := range r.resvs {
+		if v.id == id && v.arch == arch {
+			return v
+		}
+	}
+	return nil
+}
+
+// CanReserve reports whether a write reservation can allocate a physical
+// register now; read reservations always succeed.
+func (r *Renaming) CanReserve(id IID, addr uint64, write bool) bool {
+	if addr == Whole {
+		return false
+	}
+	return !write || len(r.free) > 0
+}
+
+// Reserve makes a reservation. Write reservations allocate; reads capture
+// the current mapping.
+func (r *Renaming) Reserve(id IID, addr uint64, write bool) {
+	if addr == Whole {
+		panic("locks: renaming locks do not support whole-memory reservations")
+	}
+	boundsCheck(addr, len(r.specMap), "reserve")
+	res := &rResv{id: id, arch: addr, write: write}
+	if write {
+		if len(r.free) == 0 {
+			panic("locks: renaming free list exhausted (check CanReserve first)")
+		}
+		p := r.free[len(r.free)-1]
+		r.free = r.free[:len(r.free)-1]
+		r.record(func() { r.free = append(r.free, p) })
+
+		res.newPhys = p
+		res.oldPhys = r.specMap[addr]
+		old := r.specMap[addr]
+		r.specMap[addr] = p
+		r.record(func() { r.specMap[addr] = old })
+
+		oldReg := r.phys[p]
+		r.phys[p] = physReg{v: val.New(0, r.width), ready: false}
+		r.record(func() { r.phys[p] = oldReg })
+	} else {
+		res.phys = r.specMap[addr]
+	}
+	r.resvs = append(r.resvs, res)
+	r.record(func() { r.removeResv(res) })
+}
+
+func (r *Renaming) removeResv(res *rResv) int {
+	for i, o := range r.resvs {
+		if o == res {
+			r.resvs = append(r.resvs[:i], r.resvs[i+1:]...)
+			return i
+		}
+	}
+	panic("locks: reservation not found")
+}
+
+func (r *Renaming) insertResv(res *rResv, idx int) {
+	r.resvs = append(r.resvs, nil)
+	copy(r.resvs[idx+1:], r.resvs[idx:])
+	r.resvs[idx] = res
+}
+
+// Owns reports readiness: write reservations always own their fresh
+// register; read reservations own once the producer's value is ready.
+func (r *Renaming) Owns(id IID, addr uint64, write bool) bool {
+	res := r.find(id, addr)
+	if res == nil {
+		return false
+	}
+	if res.write {
+		return true
+	}
+	return r.phys[res.phys].ready
+}
+
+// ReadReady reports whether Read can produce a value.
+func (r *Renaming) ReadReady(id IID, addr uint64) bool {
+	res := r.find(id, addr)
+	if res == nil {
+		return false
+	}
+	if res.write {
+		return r.phys[res.newPhys].ready
+	}
+	return r.phys[res.phys].ready
+}
+
+// Read returns the value id observes through its reservation.
+func (r *Renaming) Read(id IID, addr uint64) val.Value {
+	res := r.find(id, addr)
+	if res == nil {
+		panic(fmt.Sprintf("locks: read by %d of %d without a reservation", id, addr))
+	}
+	if res.write {
+		return r.phys[res.newPhys].v
+	}
+	return r.phys[res.phys].v
+}
+
+// Write produces the value for id's write reservation on addr.
+func (r *Renaming) Write(id IID, addr uint64, v val.Value) {
+	res := r.find(id, addr)
+	if res == nil || !res.write {
+		panic(fmt.Sprintf("locks: write by %d to %d without a write reservation", id, addr))
+	}
+	p := res.newPhys
+	old := r.phys[p]
+	r.phys[p] = physReg{v: val.New(v.Uint(), r.width), ready: true}
+	r.record(func() { r.phys[p] = old })
+}
+
+// Release commits a write reservation (the new mapping becomes committed
+// and the replaced register is freed) or drops a read reservation.
+func (r *Renaming) Release(id IID, addr uint64) {
+	res := r.find(id, addr)
+	if res == nil {
+		panic(fmt.Sprintf("locks: release by %d of %d without a reservation", id, addr))
+	}
+	if res.write {
+		arch := int(res.arch)
+		oldComm := r.commMap[arch]
+		r.commMap[arch] = res.newPhys
+		r.record(func() { r.commMap[arch] = oldComm })
+
+		freed := res.oldPhys
+		r.free = append(r.free, freed)
+		r.record(func() { r.free = r.free[:len(r.free)-1] })
+	}
+	idx := r.removeResv(res)
+	r.record(func() { r.insertResv(res, idx) })
+}
+
+// Squash undoes a killed instruction's reservations. Its write
+// allocations are unwound LIFO; the machine squashes the youngest
+// instructions first, so the mapping restore is exact.
+func (r *Renaming) Squash(id IID) {
+	for i := len(r.resvs) - 1; i >= 0; i-- {
+		res := r.resvs[i]
+		if res.id != id {
+			continue
+		}
+		if res.write {
+			arch := int(res.arch)
+			if r.specMap[arch] == res.newPhys {
+				cur := r.specMap[arch]
+				r.specMap[arch] = res.oldPhys
+				r.record(func() { r.specMap[arch] = cur })
+			}
+			p := res.newPhys
+			r.free = append(r.free, p)
+			r.record(func() { r.free = r.free[:len(r.free)-1] })
+		}
+		idx := i
+		r.resvs = append(r.resvs[:i], r.resvs[i+1:]...)
+		r.record(func() { r.insertResv(res, idx) })
+	}
+}
+
+// Abort restores the committed map: the speculative map becomes the
+// committed one, all reservations disappear, and the free list is rebuilt
+// from the registers the committed map does not reference (§3.4).
+func (r *Renaming) Abort() {
+	oldSpec := append([]int(nil), r.specMap...)
+	oldFree := append([]int(nil), r.free...)
+	oldResvs := r.resvs
+
+	copy(r.specMap, r.commMap)
+	used := make(map[int]bool, len(r.commMap))
+	for _, p := range r.commMap {
+		used[p] = true
+	}
+	r.free = r.free[:0]
+	for p := len(r.phys) - 1; p >= 0; p-- {
+		if !used[p] {
+			r.free = append(r.free, p)
+		}
+	}
+	r.resvs = nil
+
+	r.record(func() {
+		copy(r.specMap, oldSpec)
+		r.free = oldFree
+		r.resvs = oldResvs
+	})
+}
+
+// Peek reads the committed value of architectural register addr.
+func (r *Renaming) Peek(addr uint64) val.Value {
+	boundsCheck(addr, len(r.commMap), "peek")
+	return r.phys[r.commMap[addr]].v
+}
+
+// Poke sets the committed value of architectural register addr.
+func (r *Renaming) Poke(addr uint64, v val.Value) {
+	boundsCheck(addr, len(r.commMap), "poke")
+	r.phys[r.commMap[addr]] = physReg{v: val.New(v.Uint(), r.width), ready: true}
+}
+
+// Depth is the number of architectural registers.
+func (r *Renaming) Depth() int { return len(r.commMap) }
+
+// PendingCount reports live reservations.
+func (r *Renaming) PendingCount() int { return len(r.resvs) }

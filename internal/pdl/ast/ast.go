@@ -1,0 +1,704 @@
+// Package ast defines the abstract syntax tree for XPDL programs, plus the
+// small type vocabulary the checker annotates it with.
+//
+// The tree mirrors the paper's surface language: a program is a set of
+// module declarations (memories, volatile device registers, extern
+// combinational functions, constants) and pipelines. A pipeline body is a
+// list of statements in which StageSep markers delimit pipeline stages; it
+// may end with the XPDL final blocks — one commit block and one except
+// block (§3.2 of the paper).
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"xpdl/internal/pdl/token"
+)
+
+// ---------------------------------------------------------------------------
+// Types
+
+// TypeKind discriminates the type vocabulary.
+type TypeKind int
+
+// Type kinds.
+const (
+	TInvalid TypeKind = iota
+	TUInt             // uint<N>
+	TBool             // bool (1 bit)
+	TRecord           // named fields, produced by extern functions
+	THandle           // speculation handle from spec_call
+)
+
+// Type describes the static type of an expression or declaration.
+type Type struct {
+	Kind   TypeKind
+	Width  int     // for TUInt
+	Fields []Field // for TRecord, in declaration order
+}
+
+// Field is one named component of a record type.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// UIntType returns the uint<width> type.
+func UIntType(width int) Type { return Type{Kind: TUInt, Width: width} }
+
+// UIntType0 returns uint<width> where width may be 0, denoting an unsized
+// integer literal that adopts its width from context.
+func UIntType0(width int) Type { return Type{Kind: TUInt, Width: width} }
+
+// BoolType returns the bool type.
+func BoolType() Type { return Type{Kind: TBool, Width: 1} }
+
+// HandleType returns the speculation-handle type.
+func HandleType() Type { return Type{Kind: THandle} }
+
+// RecordType returns a record type over the given fields.
+func RecordType(fields []Field) Type { return Type{Kind: TRecord, Fields: fields} }
+
+// BitWidth reports how many bits a value of this type occupies in a
+// pipeline register. Records are the sum of their fields; handles are
+// modeled as a small tag (the speculation-table index width used by PDL's
+// generated hardware).
+func (t Type) BitWidth() int {
+	switch t.Kind {
+	case TUInt:
+		return t.Width
+	case TBool:
+		return 1
+	case THandle:
+		return 4
+	case TRecord:
+		n := 0
+		for _, f := range t.Fields {
+			n += f.Type.BitWidth()
+		}
+		return n
+	}
+	return 0
+}
+
+// FieldType looks up a record field by name.
+func (t Type) FieldType(name string) (Type, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f.Type, true
+		}
+	}
+	return Type{}, false
+}
+
+// Equal reports structural type equality.
+func (t Type) Equal(o Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TUInt:
+		return t.Width == o.Width
+	case TRecord:
+		if len(t.Fields) != len(o.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if t.Fields[i].Name != o.Fields[i].Name || !t.Fields[i].Type.Equal(o.Fields[i].Type) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the type in surface syntax.
+func (t Type) String() string {
+	switch t.Kind {
+	case TUInt:
+		return fmt.Sprintf("uint<%d>", t.Width)
+	case TBool:
+		return "bool"
+	case THandle:
+		return "handle"
+	case TRecord:
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.Name + ": " + f.Type.String()
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "<invalid>"
+}
+
+// ---------------------------------------------------------------------------
+// Program and declarations
+
+// Program is a parsed XPDL source file.
+type Program struct {
+	Mems    []*MemDecl
+	Vols    []*VolDecl
+	Externs []*ExternDecl
+	Funcs   []*FuncDecl
+	Consts  []*ConstDecl
+	Pipes   []*PipeDecl
+}
+
+// Pipe looks up a pipeline by name.
+func (p *Program) Pipe(name string) *PipeDecl {
+	for _, pd := range p.Pipes {
+		if pd.Name == name {
+			return pd
+		}
+	}
+	return nil
+}
+
+// Mem looks up a memory by name.
+func (p *Program) Mem(name string) *MemDecl {
+	for _, m := range p.Mems {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Vol looks up a volatile register by name.
+func (p *Program) Vol(name string) *VolDecl {
+	for _, v := range p.Vols {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// LockKind selects the lock implementation guarding a memory (§3.4).
+type LockKind int
+
+// Lock kinds.
+const (
+	LockBasic    LockKind = iota // in-order reservation queue, write-on-release
+	LockBypass                   // bypass queue: pending writes forward to later reads
+	LockRenaming                 // renaming register file: map table + free list
+	LockNone                     // unguarded (read-only memories)
+)
+
+// String names the lock kind as written in source.
+func (k LockKind) String() string {
+	switch k {
+	case LockBasic:
+		return "basic"
+	case LockBypass:
+		return "bypass"
+	case LockRenaming:
+		return "renaming"
+	case LockNone:
+		return "none"
+	}
+	return "<bad lock>"
+}
+
+// MemDecl declares a connected memory module:
+//
+//	memory rf: uint<32>[32] with renaming, comb_read;
+type MemDecl struct {
+	Pos      token.Pos
+	Name     string
+	Elem     Type // element type (TUInt)
+	Depth    int  // number of words
+	Lock     LockKind
+	CombRead bool // comb_read: read data available in the same stage
+}
+
+// AddrWidth returns the number of index bits for the memory.
+func (m *MemDecl) AddrWidth() int {
+	w := 1
+	for (1 << uint(w)) < m.Depth {
+		w++
+	}
+	return w
+}
+
+// VolDecl declares a volatile device register (§3.6):
+//
+//	volatile pending: uint<32>;
+type VolDecl struct {
+	Pos  token.Pos
+	Name string
+	Elem Type
+}
+
+// ExternDecl declares an external combinational function implemented by the
+// host (the analogue of importing a Verilog module in PDL):
+//
+//	extern func decode(insn: uint<32>) -> (op: uint<5>, rd: uint<5>, ...);
+type ExternDecl struct {
+	Pos    token.Pos
+	Name   string
+	Params []Param
+	Result Type
+}
+
+// FuncDecl declares an in-language combinational helper function:
+//
+//	func isNop(op: uint<5>) -> bool { return op == 0; }
+type FuncDecl struct {
+	Pos    token.Pos
+	Name   string
+	Params []Param
+	Result Type
+	Body   []Stmt // straight-line combinational code ending in return
+}
+
+// ConstDecl binds a name to a compile-time constant:
+//
+//	const ERR_INV = 5'd2;
+type ConstDecl struct {
+	Pos   token.Pos
+	Name  string
+	Value Expr
+}
+
+// Param is one named, typed parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// PipeDecl declares a pipeline: the body stages and, for XPDL pipelines,
+// the final blocks.
+type PipeDecl struct {
+	Pos        token.Pos
+	Name       string
+	Params     []Param
+	Mods       []string // connected memories/volatiles/sub-pipes, in order
+	Body       []Stmt   // contains StageSep markers
+	Commit     []Stmt   // nil when no commit block
+	ExceptArgs []Param
+	Except     []Stmt // nil when no except block
+	Result     Type   // non-invalid for sub-pipelines that return a value
+	HasResult  bool
+}
+
+// HasExcept reports whether the pipeline declares final blocks.
+func (p *PipeDecl) HasExcept() bool { return p.Except != nil }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by every statement node.
+type Stmt interface {
+	stmtNode()
+	StmtPos() token.Pos
+}
+
+type stmtBase struct{ Pos token.Pos }
+
+func (s stmtBase) stmtNode()          {}
+func (s stmtBase) StmtPos() token.Pos { return s.Pos }
+
+// SetPos records the source position; constructors outside this package
+// build nodes with keyed literals and then call SetPos.
+func (s *stmtBase) SetPos(p token.Pos) { s.Pos = p }
+
+// StageSep is the "---" marker separating pipeline stages.
+type StageSep struct{ stmtBase }
+
+// Assign is "x = e;" (combinational, value visible immediately) or
+// "x <- e;" (latched, value visible from the next stage). When the RHS is a
+// MemRead on a sync-read memory, only "<-" is legal.
+type Assign struct {
+	stmtBase
+	Name    string
+	Latched bool // true for <-
+	RHS     Expr
+}
+
+// MemWrite is "mem[idx] <- e;": stages a write in the memory's lock; it
+// commits when the write lock is released.
+type MemWrite struct {
+	stmtBase
+	Mem   string
+	Index Expr // nil for volatile single registers
+	RHS   Expr
+}
+
+// VolWrite is "vol <- e;": an immediate, final write to a volatile device
+// register (only legal in final blocks; checked by Rule V).
+type VolWrite struct {
+	stmtBase
+	Vol string
+	RHS Expr
+}
+
+// If is a two-armed conditional. Arms may not contain stage separators.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+}
+
+// LockOp distinguishes lock statements.
+type LockOp int
+
+// Lock operations (acquire is reserve+block sugar, kept explicit in the
+// AST so the checker sees exactly what the programmer wrote).
+const (
+	LockAcquire LockOp = iota
+	LockReserve
+	LockBlock
+	LockRelease
+)
+
+// String names the lock operation as written in source.
+func (op LockOp) String() string {
+	switch op {
+	case LockAcquire:
+		return "acquire"
+	case LockReserve:
+		return "reserve"
+	case LockBlock:
+		return "block"
+	case LockRelease:
+		return "release"
+	}
+	return "<bad lockop>"
+}
+
+// LockMode is the access mode of a reservation.
+type LockMode int
+
+// Lock modes.
+const (
+	ModeRead LockMode = iota
+	ModeWrite
+)
+
+// String renders the mode as R or W.
+func (m LockMode) String() string {
+	if m == ModeWrite {
+		return "W"
+	}
+	return "R"
+}
+
+// Lock is a lock-discipline statement: acquire/reserve/block/release on
+// mem or mem[idx].
+type Lock struct {
+	stmtBase
+	Op    LockOp
+	Mem   string
+	Index Expr // nil = whole-memory lock
+	Mode  LockMode
+}
+
+// Throw raises a pipeline exception (§3.2): marks the instruction
+// exceptional and captures the except-block arguments.
+type Throw struct {
+	stmtBase
+	Args []Expr
+}
+
+// Call spawns a new non-speculative instruction in the named pipeline.
+// For sub-pipelines with results, "x <- call sub(args);" binds the result.
+type Call struct {
+	stmtBase
+	Pipe   string
+	Args   []Expr
+	Result string // "" when no result is bound
+}
+
+// SpecCall is "s <- spec_call cpu(args);": spawns a speculative
+// instruction and binds its handle.
+type SpecCall struct {
+	stmtBase
+	Handle string
+	Pipe   string
+	Args   []Expr
+}
+
+// Verify marks the speculative instruction behind the handle as correctly
+// predicted.
+type Verify struct {
+	stmtBase
+	Handle Expr
+}
+
+// Invalidate kills the speculative instruction behind the handle (and its
+// descendants).
+type Invalidate struct {
+	stmtBase
+	Handle Expr
+}
+
+// SpecCheck asks the current instruction to check its speculative state
+// and die on misspeculation.
+type SpecCheck struct{ stmtBase }
+
+// SpecBarrier stalls the current instruction until it is non-speculative.
+type SpecBarrier struct{ stmtBase }
+
+// Return produces the sub-pipeline's result value.
+type Return struct {
+	stmtBase
+	Value Expr
+}
+
+// Skip is the explicit no-op.
+type Skip struct{ stmtBase }
+
+// ---------------------------------------------------------------------------
+// Compiler-internal statements (§3.3). The parser never produces these;
+// they exist only in translated programs. Exposing them to source programs
+// would let designs corrupt pipeline state, so the parser has no syntax
+// for them.
+
+// SetLEF sets the per-instruction local exception flag.
+type SetLEF struct{ stmtBase }
+
+// SetGEF sets or clears the module-level global exception flag.
+type SetGEF struct {
+	stmtBase
+	Value bool
+}
+
+// GefGuard wraps one body stage's statements: when gef is set the stage
+// does nothing (Fig. 7's extra control path).
+type GefGuard struct {
+	stmtBase
+	Body []Stmt
+}
+
+// LefBranch is the final-block fork: commit arm when lef is clear, except
+// arm when set. The except arm is a chain of ExcStage groups.
+type LefBranch struct {
+	stmtBase
+	Commit []Stmt // may contain StageSep
+	Except []Stmt // may contain StageSep
+}
+
+// PipeClear clears every pipeline (stage) register in the pipeline body.
+type PipeClear struct{ stmtBase }
+
+// SpecClear resets the speculation table.
+type SpecClear struct{ stmtBase }
+
+// Abort resets a lock to its last committed state, revoking ownership and
+// discarding uncommitted writes.
+type Abort struct {
+	stmtBase
+	Mem string
+}
+
+// SetEArg captures one canonicalized except-block argument.
+type SetEArg struct {
+	stmtBase
+	Index int
+	Value Expr
+}
+
+// NewStageSep builds a stage separator at pos (used by the translator).
+func NewStageSep(pos token.Pos) *StageSep { return &StageSep{stmtBase{Pos: pos}} }
+
+// NewSkip builds a skip statement at pos (used by the translator).
+func NewSkip(pos token.Pos) *Skip { return &Skip{stmtBase{Pos: pos}} }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by every expression node.
+type Expr interface {
+	exprNode()
+	ExprPos() token.Pos
+}
+
+type exprBase struct{ Pos token.Pos }
+
+func (e exprBase) exprNode()          {}
+func (e exprBase) ExprPos() token.Pos { return e.Pos }
+
+// SetPos records the source position on an expression node.
+func (e *exprBase) SetPos(p token.Pos) { e.Pos = p }
+
+// Ident references a local variable, pipeline parameter, constant, or
+// volatile register (volatile reads are plain identifier reads).
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// IntLit is an integer literal; Width 0 means "adopt width from context".
+type IntLit struct {
+	exprBase
+	Value uint64
+	Width int
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// BinOp identifies a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpLAnd
+	OpLOr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpLAnd: "&&", OpLOr: "||",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+// String returns the operator's source spelling.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Binary is a binary operation.
+type Binary struct {
+	exprBase
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp identifies a unary operator.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNot  UnOp = iota // !
+	OpBNot             // ~
+	OpNeg              // -
+)
+
+// Unary is a unary operation.
+type Unary struct {
+	exprBase
+	Op UnOp
+	X  Expr
+}
+
+// Ternary is "c ? a : b", the mux expression.
+type Ternary struct {
+	exprBase
+	Cond, Then, Else Expr
+}
+
+// CallExpr invokes an extern function, an in-language func, or a builtin
+// (ext, sext, cat, lts, les, gts, ges, shra, divs, rems, mulfull).
+type CallExpr struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// MemRead is "mem[idx]". On comb-read memories it may appear anywhere an
+// expression may; on sync-read memories only as the RHS of a latched
+// assignment.
+type MemRead struct {
+	exprBase
+	Mem   string
+	Index Expr
+}
+
+// Slice is "x[hi:lo]" with constant bounds.
+type Slice struct {
+	exprBase
+	X      Expr
+	Hi, Lo Expr // must be constant; validated by the checker
+}
+
+// FieldAccess is "x.f" on a record value.
+type FieldAccess struct {
+	exprBase
+	X     Expr
+	Field string
+}
+
+// EArgRef is the compiler-internal reference to a canonicalized except
+// argument (§3.3); only translated programs contain it.
+type EArgRef struct {
+	exprBase
+	Index int
+}
+
+// GefRef is the compiler-internal read of the global exception flag.
+type GefRef struct{ exprBase }
+
+// LefRef is the compiler-internal read of the local exception flag.
+type LefRef struct{ exprBase }
+
+// NewEArgRef builds an except-argument reference (used by the translator).
+func NewEArgRef(pos token.Pos, index int) *EArgRef {
+	return &EArgRef{exprBase{Pos: pos}, index}
+}
+
+// NewLefRef builds a lef read (used by the translator).
+func NewLefRef(pos token.Pos) *LefRef { return &LefRef{exprBase{Pos: pos}} }
+
+// NewGefRef builds a gef read (used by the translator).
+func NewGefRef(pos token.Pos) *GefRef { return &GefRef{exprBase{Pos: pos}} }
+
+// ---------------------------------------------------------------------------
+// Stage utilities
+
+// SplitStages partitions a statement list on StageSep markers. A leading or
+// trailing separator produces an empty stage, which the checker rejects.
+func SplitStages(stmts []Stmt) [][]Stmt {
+	var stages [][]Stmt
+	cur := []Stmt{}
+	for _, s := range stmts {
+		if _, ok := s.(*StageSep); ok {
+			stages = append(stages, cur)
+			cur = []Stmt{}
+			continue
+		}
+		cur = append(cur, s)
+	}
+	stages = append(stages, cur)
+	return stages
+}
+
+// JoinStages is the inverse of SplitStages.
+func JoinStages(stages [][]Stmt) []Stmt {
+	var out []Stmt
+	for i, st := range stages {
+		if i > 0 {
+			var pos token.Pos
+			if len(st) > 0 {
+				pos = st[0].StmtPos()
+			}
+			out = append(out, NewStageSep(pos))
+		}
+		out = append(out, st...)
+	}
+	return out
+}
+
+// CountStages reports how many stages a statement list spans.
+func CountStages(stmts []Stmt) int { return len(SplitStages(stmts)) }

@@ -1,0 +1,180 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/pdl/token"
+)
+
+func TestTypeBitWidths(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		want int
+	}{
+		{UIntType(32), 32},
+		{UIntType(1), 1},
+		{BoolType(), 1},
+		{HandleType(), 4},
+		{RecordType([]Field{{"a", UIntType(5)}, {"b", BoolType()}, {"c", UIntType(10)}}), 16},
+	}
+	for _, c := range cases {
+		if got := c.typ.BitWidth(); got != c.want {
+			t.Errorf("BitWidth(%s) = %d, want %d", c.typ, got, c.want)
+		}
+	}
+}
+
+func TestTypeEquality(t *testing.T) {
+	if !UIntType(8).Equal(UIntType(8)) {
+		t.Error("uint<8> == uint<8>")
+	}
+	if UIntType(8).Equal(UIntType(9)) {
+		t.Error("uint<8> != uint<9>")
+	}
+	if UIntType(1).Equal(BoolType()) {
+		t.Error("uint<1> and bool are distinct types")
+	}
+	r1 := RecordType([]Field{{"x", UIntType(4)}})
+	r2 := RecordType([]Field{{"x", UIntType(4)}})
+	r3 := RecordType([]Field{{"y", UIntType(4)}})
+	if !r1.Equal(r2) || r1.Equal(r3) {
+		t.Error("record equality is field-name sensitive")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := UIntType(16).String(); got != "uint<16>" {
+		t.Error(got)
+	}
+	if got := BoolType().String(); got != "bool" {
+		t.Error(got)
+	}
+	rec := RecordType([]Field{{"op", UIntType(5)}, {"ok", BoolType()}})
+	if got := rec.String(); got != "(op: uint<5>, ok: bool)" {
+		t.Error(got)
+	}
+}
+
+func TestFieldLookup(t *testing.T) {
+	rec := RecordType([]Field{{"op", UIntType(5)}})
+	if ft, ok := rec.FieldType("op"); !ok || ft.Width != 5 {
+		t.Error("FieldType(op)")
+	}
+	if _, ok := rec.FieldType("nope"); ok {
+		t.Error("missing field must not resolve")
+	}
+}
+
+func TestSplitJoinStagesRoundTrip(t *testing.T) {
+	pos := token.Pos{Line: 1, Col: 1}
+	mk := func(name string) Stmt {
+		a := &Assign{Name: name, RHS: &IntLit{Value: 1}}
+		a.SetPos(pos)
+		return a
+	}
+	stmts := []Stmt{mk("a"), NewStageSep(pos), mk("b"), mk("c"), NewStageSep(pos), mk("d")}
+	stages := SplitStages(stmts)
+	if len(stages) != 3 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	if len(stages[0]) != 1 || len(stages[1]) != 2 || len(stages[2]) != 1 {
+		t.Fatalf("stage sizes wrong: %d %d %d", len(stages[0]), len(stages[1]), len(stages[2]))
+	}
+	joined := JoinStages(stages)
+	if len(joined) != len(stmts) {
+		t.Fatalf("join length %d != %d", len(joined), len(stmts))
+	}
+	if CountStages(joined) != 3 {
+		t.Error("round trip changed stage count")
+	}
+}
+
+func TestSplitStagesEdges(t *testing.T) {
+	// Empty list: one empty stage.
+	if got := len(SplitStages(nil)); got != 1 {
+		t.Errorf("empty split = %d stages", got)
+	}
+	// Trailing separator yields a trailing empty stage.
+	pos := token.Pos{}
+	stages := SplitStages([]Stmt{NewSkip(pos), NewStageSep(pos)})
+	if len(stages) != 2 || len(stages[1]) != 0 {
+		t.Errorf("trailing separator handling: %v", stages)
+	}
+}
+
+func TestExprStringInternals(t *testing.T) {
+	if got := ExprString(NewEArgRef(token.Pos{}, 2)); got != "earg2" {
+		t.Error(got)
+	}
+	if got := ExprString(NewLefRef(token.Pos{})); got != "lef" {
+		t.Error(got)
+	}
+	if got := ExprString(NewGefRef(token.Pos{})); got != "gef" {
+		t.Error(got)
+	}
+	if got := ExprString(nil); got != "<nil>" {
+		t.Error(got)
+	}
+}
+
+func TestStmtsStringInternalConstructs(t *testing.T) {
+	pos := token.Pos{}
+	pcl := &PipeClear{}
+	pcl.SetPos(pos)
+	scl := &SpecClear{}
+	scl.SetPos(pos)
+	ab := &Abort{Mem: "rf"}
+	ab.SetPos(pos)
+	lef := &SetLEF{}
+	lef.SetPos(pos)
+	gef := &SetGEF{Value: true}
+	gef.SetPos(pos)
+	out := StmtsString([]Stmt{pcl, scl, ab, lef, gef})
+	for _, frag := range []string{"pipeclear;", "specclear;", "abort(rf);", "lef <- true;", "gef <- true;"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in %q", frag, out)
+		}
+	}
+}
+
+func TestMemDeclAddrWidth(t *testing.T) {
+	cases := []struct{ depth, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {32, 5}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		m := &MemDecl{Depth: c.depth}
+		if got := m.AddrWidth(); got != c.want {
+			t.Errorf("AddrWidth(%d) = %d, want %d", c.depth, got, c.want)
+		}
+	}
+}
+
+func TestLockOpAndModeStrings(t *testing.T) {
+	if LockAcquire.String() != "acquire" || LockRelease.String() != "release" {
+		t.Error("lock op names")
+	}
+	if ModeRead.String() != "R" || ModeWrite.String() != "W" {
+		t.Error("lock mode names")
+	}
+	if LockBypass.String() != "bypass" || LockRenaming.String() != "renaming" {
+		t.Error("lock kind names")
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	p := &Program{
+		Mems:  []*MemDecl{{Name: "rf"}},
+		Vols:  []*VolDecl{{Name: "mip"}},
+		Pipes: []*PipeDecl{{Name: "cpu"}},
+	}
+	if p.Mem("rf") == nil || p.Mem("zz") != nil {
+		t.Error("Mem lookup")
+	}
+	if p.Vol("mip") == nil || p.Vol("zz") != nil {
+		t.Error("Vol lookup")
+	}
+	if p.Pipe("cpu") == nil || p.Pipe("zz") != nil {
+		t.Error("Pipe lookup")
+	}
+}

@@ -1,0 +1,217 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fprint renders a pipeline (including compiler-internal constructs from
+// translated programs) in surface-like syntax. It exists for diagnostics
+// and golden tests; the output is not guaranteed to re-parse because
+// internal constructs have no source syntax.
+func Fprint(w io.Writer, p *PipeDecl) {
+	pr := &printer{w: w}
+	pr.printf("pipe %s(%s)[%s] {\n", p.Name, paramsString(p.Params), strings.Join(p.Mods, ", "))
+	pr.indent++
+	pr.stmts(p.Body)
+	if p.Commit != nil {
+		pr.indent--
+		pr.printf("commit:\n")
+		pr.indent++
+		pr.stmts(p.Commit)
+	}
+	if p.Except != nil {
+		pr.indent--
+		pr.printf("except(%s):\n", paramsString(p.ExceptArgs))
+		pr.indent++
+		pr.stmts(p.Except)
+	}
+	pr.indent--
+	pr.printf("}\n")
+}
+
+// PipeString renders a pipeline to a string; see Fprint.
+func PipeString(p *PipeDecl) string {
+	var b strings.Builder
+	Fprint(&b, p)
+	return b.String()
+}
+
+// StmtsString renders a statement list, one statement per line.
+func StmtsString(stmts []Stmt) string {
+	var b strings.Builder
+	pr := &printer{w: &b}
+	pr.stmts(stmts)
+	return b.String()
+}
+
+func paramsString(params []Param) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		parts[i] = p.Name + ": " + p.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+}
+
+func (pr *printer) printf(format string, args ...interface{}) {
+	fmt.Fprint(pr.w, strings.Repeat("    ", pr.indent))
+	fmt.Fprintf(pr.w, format, args...)
+}
+
+func (pr *printer) stmts(list []Stmt) {
+	for _, s := range list {
+		pr.stmt(s)
+	}
+}
+
+func (pr *printer) stmt(s Stmt) {
+	switch n := s.(type) {
+	case *StageSep:
+		old := pr.indent
+		pr.indent = 0
+		pr.printf("---\n")
+		pr.indent = old
+	case *Assign:
+		op := "="
+		if n.Latched {
+			op = "<-"
+		}
+		pr.printf("%s %s %s;\n", n.Name, op, ExprString(n.RHS))
+	case *MemWrite:
+		pr.printf("%s[%s] <- %s;\n", n.Mem, ExprString(n.Index), ExprString(n.RHS))
+	case *VolWrite:
+		pr.printf("%s <- %s;\n", n.Vol, ExprString(n.RHS))
+	case *If:
+		pr.printf("if (%s) {\n", ExprString(n.Cond))
+		pr.indent++
+		pr.stmts(n.Then)
+		pr.indent--
+		if n.Else != nil {
+			pr.printf("} else {\n")
+			pr.indent++
+			pr.stmts(n.Else)
+			pr.indent--
+		}
+		pr.printf("}\n")
+	case *Lock:
+		if n.Index != nil {
+			if n.Op == LockAcquire || n.Op == LockReserve {
+				pr.printf("%s(%s[%s], %s);\n", n.Op, n.Mem, ExprString(n.Index), n.Mode)
+			} else {
+				pr.printf("%s(%s[%s]);\n", n.Op, n.Mem, ExprString(n.Index))
+			}
+		} else {
+			if n.Op == LockAcquire || n.Op == LockReserve {
+				pr.printf("%s(%s, %s);\n", n.Op, n.Mem, n.Mode)
+			} else {
+				pr.printf("%s(%s);\n", n.Op, n.Mem)
+			}
+		}
+	case *Throw:
+		pr.printf("throw(%s);\n", exprsString(n.Args))
+	case *Call:
+		if n.Result != "" {
+			pr.printf("%s <- call %s(%s);\n", n.Result, n.Pipe, exprsString(n.Args))
+		} else {
+			pr.printf("call %s(%s);\n", n.Pipe, exprsString(n.Args))
+		}
+	case *SpecCall:
+		pr.printf("%s <- spec_call %s(%s);\n", n.Handle, n.Pipe, exprsString(n.Args))
+	case *Verify:
+		pr.printf("verify(%s);\n", ExprString(n.Handle))
+	case *Invalidate:
+		pr.printf("invalidate(%s);\n", ExprString(n.Handle))
+	case *SpecCheck:
+		pr.printf("spec_check();\n")
+	case *SpecBarrier:
+		pr.printf("spec_barrier();\n")
+	case *Return:
+		pr.printf("return %s;\n", ExprString(n.Value))
+	case *Skip:
+		pr.printf("skip;\n")
+	case *SetLEF:
+		pr.printf("lef <- true;\n")
+	case *SetGEF:
+		pr.printf("gef <- %t;\n", n.Value)
+	case *GefGuard:
+		pr.printf("if (gef) { skip; } else {\n")
+		pr.indent++
+		pr.stmts(n.Body)
+		pr.indent--
+		pr.printf("}\n")
+	case *LefBranch:
+		pr.printf("if (lef) {\n")
+		pr.indent++
+		pr.stmts(n.Except)
+		pr.indent--
+		pr.printf("} else {\n")
+		pr.indent++
+		pr.stmts(n.Commit)
+		pr.indent--
+		pr.printf("}\n")
+	case *PipeClear:
+		pr.printf("pipeclear;\n")
+	case *SpecClear:
+		pr.printf("specclear;\n")
+	case *Abort:
+		pr.printf("abort(%s);\n", n.Mem)
+	case *SetEArg:
+		pr.printf("earg%d <- %s;\n", n.Index, ExprString(n.Value))
+	default:
+		pr.printf("<?stmt %T>\n", s)
+	}
+}
+
+func exprsString(list []Expr) string {
+	parts := make([]string, len(list))
+	for i, e := range list {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders an expression in surface syntax with explicit
+// parentheses around binary operations.
+func ExprString(e Expr) string {
+	switch n := e.(type) {
+	case *Ident:
+		return n.Name
+	case *IntLit:
+		if n.Width > 0 {
+			return fmt.Sprintf("%d'd%d", n.Width, n.Value)
+		}
+		return fmt.Sprintf("%d", n.Value)
+	case *BoolLit:
+		return fmt.Sprintf("%t", n.Value)
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", ExprString(n.L), n.Op, ExprString(n.R))
+	case *Unary:
+		op := map[UnOp]string{OpNot: "!", OpBNot: "~", OpNeg: "-"}[n.Op]
+		return op + ExprString(n.X)
+	case *Ternary:
+		return fmt.Sprintf("(%s ? %s : %s)", ExprString(n.Cond), ExprString(n.Then), ExprString(n.Else))
+	case *CallExpr:
+		return fmt.Sprintf("%s(%s)", n.Name, exprsString(n.Args))
+	case *MemRead:
+		return fmt.Sprintf("%s[%s]", n.Mem, ExprString(n.Index))
+	case *Slice:
+		return fmt.Sprintf("%s[%s:%s]", ExprString(n.X), ExprString(n.Hi), ExprString(n.Lo))
+	case *FieldAccess:
+		return fmt.Sprintf("%s.%s", ExprString(n.X), n.Field)
+	case *EArgRef:
+		return fmt.Sprintf("earg%d", n.Index)
+	case *GefRef:
+		return "gef"
+	case *LefRef:
+		return "lef"
+	case nil:
+		return "<nil>"
+	}
+	return fmt.Sprintf("<?expr %T>", e)
+}

@@ -1,0 +1,140 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/pdl/token"
+)
+
+// buildFullPipe constructs a pipeline exercising every printable node.
+func buildFullPipe() *PipeDecl {
+	pos := token.Pos{Line: 1, Col: 1}
+	id := func(name string) Expr {
+		e := &Ident{Name: name}
+		e.SetPos(pos)
+		return e
+	}
+	lit := func(v uint64, w int) Expr {
+		e := &IntLit{Value: v, Width: w}
+		e.SetPos(pos)
+		return e
+	}
+	at := func(s interface{ SetPos(token.Pos) }) {
+		s.SetPos(pos)
+	}
+
+	assign := &Assign{Name: "x", RHS: &Binary{Op: OpAdd, L: id("a"), R: lit(1, 0)}}
+	at(assign)
+	latched := &Assign{Name: "y", Latched: true, RHS: &Unary{Op: OpBNot, X: id("x")}}
+	at(latched)
+	memw := &MemWrite{Mem: "m", Index: id("i"), RHS: &Ternary{Cond: id("c"), Then: id("a"), Else: id("b")}}
+	at(memw)
+	volw := &VolWrite{Vol: "pend", RHS: lit(0, 8)}
+	at(volw)
+	ifs := &If{Cond: &Binary{Op: OpEq, L: id("x"), R: lit(0, 0)},
+		Then: []Stmt{NewSkip(pos)}, Else: []Stmt{NewSkip(pos)}}
+	at(ifs)
+	acq := &Lock{Op: LockAcquire, Mem: "m", Index: id("i"), Mode: ModeWrite}
+	at(acq)
+	resv := &Lock{Op: LockReserve, Mem: "m", Mode: ModeRead}
+	at(resv)
+	blk := &Lock{Op: LockBlock, Mem: "m", Index: id("i")}
+	at(blk)
+	rel := &Lock{Op: LockRelease, Mem: "m"}
+	at(rel)
+	throw := &Throw{Args: []Expr{&CallExpr{Name: "cat", Args: []Expr{lit(1, 2), lit(2, 2)}}}}
+	at(throw)
+	call := &Call{Pipe: "p", Args: []Expr{&Slice{X: id("x"), Hi: lit(3, 0), Lo: lit(0, 0)}}}
+	at(call)
+	rcall := &Call{Pipe: "sub", Args: []Expr{id("x")}, Result: "r"}
+	at(rcall)
+	scall := &SpecCall{Handle: "s", Pipe: "p", Args: []Expr{&FieldAccess{X: id("d"), Field: "op"}}}
+	at(scall)
+	ver := &Verify{Handle: id("s")}
+	at(ver)
+	inv := &Invalidate{Handle: id("s")}
+	at(inv)
+	chk := &SpecCheck{}
+	at(chk)
+	bar := &SpecBarrier{}
+	at(bar)
+	ret := &Return{Value: &BoolLit{Value: true}}
+	at(ret)
+
+	return &PipeDecl{
+		Name:   "p",
+		Params: []Param{{Name: "x", Type: UIntType(8)}},
+		Mods:   []string{"m", "pend"},
+		Body: []Stmt{
+			assign, latched, NewStageSep(pos),
+			memw, volw, ifs, acq, resv, blk, rel, throw,
+			call, rcall, scall, ver, inv, chk, bar, ret,
+		},
+		Commit:     []Stmt{NewSkip(pos)},
+		ExceptArgs: []Param{{Name: "c", Type: UIntType(4)}},
+		Except:     []Stmt{NewSkip(pos)},
+	}
+}
+
+func TestPipeStringCoversAllNodes(t *testing.T) {
+	out := PipeString(buildFullPipe())
+	for _, frag := range []string{
+		"pipe p(x: uint<8>)[m, pend]",
+		"x = (a + 1);",
+		"y <- ~x;",
+		"m[i] <- (c ? a : b);",
+		"pend <- 8'd0;",
+		"if ((x == 0)) {",
+		"} else {",
+		"acquire(m[i], W);",
+		"reserve(m, R);",
+		"block(m[i]);",
+		"release(m);",
+		"throw(cat(2'd1, 2'd2));",
+		"call p(x[3:0]);",
+		"r <- call sub(x);",
+		"s <- spec_call p(d.op);",
+		"verify(s);",
+		"invalidate(s);",
+		"spec_check();",
+		"spec_barrier();",
+		"return true;",
+		"commit:",
+		"except(c: uint<4>):",
+		"---",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("printed pipe missing %q\n%s", frag, out)
+		}
+	}
+}
+
+func TestLefBranchAndGuardPrinting(t *testing.T) {
+	pos := token.Pos{}
+	guard := &GefGuard{Body: []Stmt{NewSkip(pos)}}
+	guard.SetPos(pos)
+	fork := &LefBranch{Commit: []Stmt{NewSkip(pos)}, Except: []Stmt{NewSkip(pos)}}
+	fork.SetPos(pos)
+	out := StmtsString([]Stmt{guard, fork})
+	for _, frag := range []string{"if (gef) { skip; } else {", "if (lef) {"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in\n%s", frag, out)
+		}
+	}
+}
+
+func TestExprStringUnaryAndBool(t *testing.T) {
+	neg := &Unary{Op: OpNeg, X: &Ident{Name: "v"}}
+	if got := ExprString(neg); got != "-v" {
+		t.Error(got)
+	}
+	b := &BoolLit{Value: false}
+	if got := ExprString(b); got != "false" {
+		t.Error(got)
+	}
+	lit := &IntLit{Value: 7}
+	if got := ExprString(lit); got != "7" {
+		t.Error(got)
+	}
+}

@@ -1,0 +1,375 @@
+// Package lexer turns XPDL source text into a token stream.
+//
+// The scanner is a conventional hand-written one. The only XPDL-specific
+// wrinkle is the stage separator: a run of three or more dashes on its own
+// lexes as a single STAGESEP token (the paper writes it "---").
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"xpdl/internal/pdl/token"
+)
+
+// Lexer scans one source buffer. Create with New; call Next until EOF.
+type Lexer struct {
+	src    string
+	off    int      // byte offset of the next unread character
+	line   int      // 1-based current line
+	lineAt int      // byte offset where the current line starts
+	errs   []string // scan errors, reported with positions
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1}
+}
+
+// Errors returns scan errors accumulated so far, one "line:col: msg" each.
+func (l *Lexer) Errors() []string { return l.errs }
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{Line: l.line, Col: l.off - l.lineAt + 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	ch := l.src[l.off]
+	l.off++
+	if ch == '\n' {
+		l.line++
+		l.lineAt = l.off
+	}
+	return ch
+}
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...interface{}) {
+	l.errs = append(l.errs, fmt.Sprintf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func isLetter(ch byte) bool {
+	return 'a' <= ch && ch <= 'z' || 'A' <= ch && ch <= 'Z' || ch == '_'
+}
+
+func isDigit(ch byte) bool { return '0' <= ch && ch <= '9' }
+
+func isHexDigit(ch byte) bool {
+	return isDigit(ch) || 'a' <= ch && ch <= 'f' || 'A' <= ch && ch <= 'F'
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		switch ch := l.peek(); {
+		case ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n':
+			l.advance()
+		case ch == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case ch == '/' && l.peekAt(1) == '*':
+			p := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(p, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token. At end of input it returns EOF
+// forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: p}
+	}
+
+	ch := l.peek()
+	switch {
+	case isLetter(ch):
+		return l.scanIdent(p)
+	case isDigit(ch):
+		return l.scanNumber(p)
+	}
+
+	l.advance()
+	mk := func(k token.Kind) token.Token { return token.Token{Kind: k, Lit: k.String(), Pos: p} }
+	switch ch {
+	case '+':
+		return mk(token.PLUS)
+	case '-':
+		if l.peek() == '-' && l.peekAt(1) == '-' {
+			for l.peek() == '-' {
+				l.advance()
+			}
+			return token.Token{Kind: token.STAGESEP, Lit: "---", Pos: p}
+		}
+		if l.peek() == '-' {
+			l.advance()
+			l.errorf(p, "unexpected \"--\" (stage separators need three dashes)")
+			return token.Token{Kind: token.ILLEGAL, Lit: "--", Pos: p}
+		}
+		if l.peek() == '>' {
+			l.advance()
+			return mk(token.ARROW)
+		}
+		return mk(token.MINUS)
+	case '*':
+		return mk(token.STAR)
+	case '/':
+		return mk(token.SLASH)
+	case '%':
+		return mk(token.PERCENT)
+	case '~':
+		return mk(token.TILDE)
+	case '^':
+		return mk(token.CARET)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return mk(token.LAND)
+		}
+		return mk(token.AMP)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return mk(token.LOR)
+		}
+		return mk(token.PIPEOP)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.NE)
+		}
+		return mk(token.BANG)
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.EQ)
+		}
+		return mk(token.ASSIGN)
+	case '<':
+		switch l.peek() {
+		case '-':
+			l.advance()
+			return mk(token.LARROW)
+		case '=':
+			l.advance()
+			return mk(token.LE)
+		case '<':
+			l.advance()
+			return mk(token.SHL)
+		}
+		return mk(token.LT)
+	case '>':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return mk(token.GE)
+		case '>':
+			l.advance()
+			return mk(token.SHR)
+		}
+		return mk(token.GT)
+	case '(':
+		return mk(token.LPAREN)
+	case ')':
+		return mk(token.RPAREN)
+	case '[':
+		return mk(token.LBRACKET)
+	case ']':
+		return mk(token.RBRACKET)
+	case '{':
+		return mk(token.LBRACE)
+	case '}':
+		return mk(token.RBRACE)
+	case ',':
+		return mk(token.COMMA)
+	case ';':
+		return mk(token.SEMI)
+	case ':':
+		return mk(token.COLON)
+	case '.':
+		return mk(token.DOT)
+	case '?':
+		return mk(token.QUESTION)
+	}
+	l.errorf(p, "unexpected character %q", string(ch))
+	return token.Token{Kind: token.ILLEGAL, Lit: string(ch), Pos: p}
+}
+
+func (l *Lexer) scanIdent(p token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	lit := l.src[start:l.off]
+	return token.Token{Kind: token.Lookup(lit), Lit: lit, Pos: p}
+}
+
+// scanNumber scans 123, 0x1F, 0b101 and sized literals such as 32'hFF,
+// 8'd200, 4'b1010.
+func (l *Lexer) scanNumber(p token.Pos) token.Token {
+	start := l.off
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek()) {
+			l.errorf(p, "malformed hex literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: p}
+		}
+		for isHexDigit(l.peek()) || l.peek() == '_' {
+			l.advance()
+		}
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: p}
+	}
+	if l.peek() == '0' && (l.peekAt(1) == 'b' || l.peekAt(1) == 'B') {
+		l.advance()
+		l.advance()
+		if l.peek() != '0' && l.peek() != '1' {
+			l.errorf(p, "malformed binary literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: p}
+		}
+		for l.peek() == '0' || l.peek() == '1' || l.peek() == '_' {
+			l.advance()
+		}
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: p}
+	}
+	for isDigit(l.peek()) || l.peek() == '_' {
+		l.advance()
+	}
+	if l.peek() == '\'' {
+		// Sized literal: width'basedigits.
+		l.advance()
+		base := l.peek()
+		if base != 'd' && base != 'h' && base != 'b' {
+			l.errorf(p, "sized literal needs base d, h or b, got %q", string(base))
+			return token.Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: p}
+		}
+		l.advance()
+		digits := 0
+		for isHexDigit(l.peek()) || l.peek() == '_' {
+			if l.peek() != '_' {
+				digits++
+			}
+			l.advance()
+		}
+		if digits == 0 {
+			l.errorf(p, "sized literal has no digits")
+			return token.Token{Kind: token.ILLEGAL, Lit: l.src[start:l.off], Pos: p}
+		}
+		return token.Token{Kind: token.SIZEDINT, Lit: l.src[start:l.off], Pos: p}
+	}
+	return token.Token{Kind: token.INT, Lit: l.src[start:l.off], Pos: p}
+}
+
+// All scans the entire input and returns every token up to and including
+// EOF. It is a convenience for tests and tools.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+// ParseIntLit converts the spelling of an INT or SIZEDINT literal into its
+// value and width. Plain literals report width 0, meaning "adopt from
+// context"; sized literals carry their declared width.
+func ParseIntLit(lit string) (value uint64, width int, err error) {
+	lit = strings.ReplaceAll(lit, "_", "")
+	if i := strings.IndexByte(lit, '\''); i >= 0 {
+		w, err := parseUint(lit[:i], 10)
+		if err != nil || w == 0 || w > 64 {
+			return 0, 0, fmt.Errorf("bad width in sized literal %q", lit)
+		}
+		base := 10
+		switch lit[i+1] {
+		case 'h':
+			base = 16
+		case 'b':
+			base = 2
+		}
+		v, err := parseUint(lit[i+2:], base)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad digits in sized literal %q", lit)
+		}
+		if int(w) < 64 && v >= 1<<uint(w) {
+			return 0, 0, fmt.Errorf("literal %q does not fit in %d bits", lit, w)
+		}
+		return v, int(w), nil
+	}
+	base := 10
+	switch {
+	case strings.HasPrefix(lit, "0x"), strings.HasPrefix(lit, "0X"):
+		base, lit = 16, lit[2:]
+	case strings.HasPrefix(lit, "0b"), strings.HasPrefix(lit, "0B"):
+		base, lit = 2, lit[2:]
+	}
+	v, err := parseUint(lit, base)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad integer literal %q", lit)
+	}
+	return v, 0, nil
+}
+
+func parseUint(s string, base int) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		var d uint64
+		ch := s[i]
+		switch {
+		case '0' <= ch && ch <= '9':
+			d = uint64(ch - '0')
+		case 'a' <= ch && ch <= 'f':
+			d = uint64(ch-'a') + 10
+		case 'A' <= ch && ch <= 'F':
+			d = uint64(ch-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad digit %q", string(ch))
+		}
+		if d >= uint64(base) {
+			return 0, fmt.Errorf("digit %q out of range for base %d", string(ch), base)
+		}
+		nv := v*uint64(base) + d
+		if nv < v {
+			return 0, fmt.Errorf("overflow")
+		}
+		v = nv
+	}
+	return v, nil
+}

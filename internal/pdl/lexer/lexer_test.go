@@ -1,0 +1,181 @@
+package lexer
+
+import (
+	"testing"
+
+	"xpdl/internal/pdl/token"
+)
+
+func kinds(src string) []token.Kind {
+	toks := New(src).All()
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func eqKinds(a, b []token.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds("pipe cpu throw commit except alu_out spec_call")
+	want := []token.Kind{token.PIPE, token.IDENT, token.THROW, token.COMMIT,
+		token.EXCEPT, token.IDENT, token.SPECCALL, token.EOF}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestStageSeparator(t *testing.T) {
+	got := kinds("a = 1; --- b = 2; ----- c = 3;")
+	want := []token.Kind{
+		token.IDENT, token.ASSIGN, token.INT, token.SEMI,
+		token.STAGESEP,
+		token.IDENT, token.ASSIGN, token.INT, token.SEMI,
+		token.STAGESEP,
+		token.IDENT, token.ASSIGN, token.INT, token.SEMI,
+		token.EOF,
+	}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDoubleDashIsError(t *testing.T) {
+	l := New("a -- b")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("expected error for --")
+	}
+}
+
+func TestArrowsAndComparisons(t *testing.T) {
+	got := kinds("x <- y -> z <= w < v == u != t >= s > r << q >> p")
+	want := []token.Kind{
+		token.IDENT, token.LARROW, token.IDENT, token.ARROW, token.IDENT,
+		token.LE, token.IDENT, token.LT, token.IDENT, token.EQ, token.IDENT,
+		token.NE, token.IDENT, token.GE, token.IDENT, token.GT, token.IDENT,
+		token.SHL, token.IDENT, token.SHR, token.IDENT, token.EOF,
+	}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `a // line comment with --- and <- inside
+	/* block
+	   comment */ b`
+	got := kinds(src)
+	want := []token.Kind{token.IDENT, token.IDENT, token.EOF}
+	if !eqKinds(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	l := New("a /* never closed")
+	l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("expected unterminated comment error")
+	}
+}
+
+func TestNumberForms(t *testing.T) {
+	toks := New("123 0x1F 0b101 32'hFF 8'd200 4'b1010 1_000").All()
+	wantKinds := []token.Kind{token.INT, token.INT, token.INT,
+		token.SIZEDINT, token.SIZEDINT, token.SIZEDINT, token.INT, token.EOF}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestParseIntLit(t *testing.T) {
+	cases := []struct {
+		lit   string
+		value uint64
+		width int
+	}{
+		{"123", 123, 0},
+		{"0x1F", 0x1F, 0},
+		{"0b101", 5, 0},
+		{"32'hFF", 0xFF, 32},
+		{"8'd200", 200, 8},
+		{"4'b1010", 10, 4},
+		{"1_000_000", 1000000, 0},
+		{"64'hFFFF_FFFF_FFFF_FFFF", ^uint64(0), 64},
+	}
+	for _, c := range cases {
+		v, w, err := ParseIntLit(c.lit)
+		if err != nil {
+			t.Errorf("ParseIntLit(%q): %v", c.lit, err)
+			continue
+		}
+		if v != c.value || w != c.width {
+			t.Errorf("ParseIntLit(%q) = (%d, %d), want (%d, %d)", c.lit, v, w, c.value, c.width)
+		}
+	}
+}
+
+func TestParseIntLitErrors(t *testing.T) {
+	for _, lit := range []string{"8'd256", "0'd1", "65'h0", "2'b111"} {
+		if _, _, err := ParseIntLit(lit); err == nil {
+			t.Errorf("ParseIntLit(%q) should fail", lit)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("ab\n  cd")
+	t1 := l.Next()
+	t2 := l.Next()
+	if t1.Pos.Line != 1 || t1.Pos.Col != 1 {
+		t.Errorf("first token at %v, want 1:1", t1.Pos)
+	}
+	if t2.Pos.Line != 2 || t2.Pos.Col != 3 {
+		t.Errorf("second token at %v, want 2:3", t2.Pos)
+	}
+}
+
+func TestPaperExampleLexes(t *testing.T) {
+	// Abbreviated Figure 2 from the paper.
+	src := `
+pipe cpu(pc: uint<32>)[rf, imem, dmem, csr] {
+    insn <- imem[pc];
+    ---
+    if (isInvalid(insn)) { throw(ERR_INV); }
+    ---
+    block(rf[rd]);
+    rf[rd] <- rd_data;
+commit:
+    release(rf[rd]);
+except(error_code: uint<5>):
+    call cpu(handler_pc);
+}
+`
+	l := New(src)
+	toks := l.All()
+	if len(l.Errors()) != 0 {
+		t.Fatalf("lex errors: %v", l.Errors())
+	}
+	if len(toks) < 40 {
+		t.Errorf("suspiciously few tokens: %d", len(toks))
+	}
+	for _, tok := range toks {
+		if tok.Kind == token.ILLEGAL {
+			t.Errorf("illegal token %v at %v", tok, tok.Pos)
+		}
+	}
+}

@@ -1,0 +1,787 @@
+// Package parser builds XPDL abstract syntax trees from source text.
+//
+// It is a conventional recursive-descent parser with precedence-climbing
+// expression parsing. Errors are collected (with positions) rather than
+// aborting at the first problem, so a design with several mistakes gets
+// several diagnostics.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"xpdl/internal/pdl/ast"
+	"xpdl/internal/pdl/lexer"
+	"xpdl/internal/pdl/token"
+)
+
+// Parse parses a complete XPDL program.
+func Parse(src string) (*ast.Program, error) {
+	p := newParser(src)
+	prog := p.parseProgram()
+	if len(p.errs) > 0 {
+		return nil, errors.New(strings.Join(p.errs, "\n"))
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	tok  token.Token // current token
+	next token.Token // one-token lookahead
+	errs []string
+}
+
+func newParser(src string) *parser {
+	p := &parser{lex: lexer.New(src)}
+	p.tok = p.lex.Next()
+	p.next = p.lex.Next()
+	return p
+}
+
+func (p *parser) advance() {
+	p.tok = p.next
+	p.next = p.lex.Next()
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...interface{}) {
+	if len(p.errs) < 25 {
+		p.errs = append(p.errs, fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	}
+}
+
+// expect consumes a token of the given kind, reporting an error otherwise.
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %q, found %s", k.String(), t)
+		// Do not consume: let the caller's recovery logic decide.
+		if t.Kind == token.EOF {
+			return t
+		}
+	}
+	p.advance()
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.tok.Kind == k }
+
+// accept consumes the token if it matches.
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// sync skips tokens until a likely declaration or statement boundary.
+func (p *parser) sync() {
+	for !p.at(token.EOF) {
+		switch p.tok.Kind {
+		case token.SEMI:
+			p.advance()
+			return
+		case token.RBRACE, token.PIPE, token.MEMORY, token.VOLATILE,
+			token.EXTERN, token.FUNC, token.CONST, token.STAGESEP:
+			return
+		}
+		p.advance()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for !p.at(token.EOF) {
+		nerr := len(p.errs)
+		switch p.tok.Kind {
+		case token.MEMORY:
+			if m := p.parseMemDecl(); m != nil {
+				prog.Mems = append(prog.Mems, m)
+			}
+		case token.VOLATILE:
+			if v := p.parseVolDecl(); v != nil {
+				prog.Vols = append(prog.Vols, v)
+			}
+		case token.EXTERN:
+			if e := p.parseExternDecl(); e != nil {
+				prog.Externs = append(prog.Externs, e)
+			}
+		case token.FUNC:
+			if f := p.parseFuncDecl(); f != nil {
+				prog.Funcs = append(prog.Funcs, f)
+			}
+		case token.CONST:
+			if c := p.parseConstDecl(); c != nil {
+				prog.Consts = append(prog.Consts, c)
+			}
+		case token.PIPE:
+			if pd := p.parsePipeDecl(); pd != nil {
+				prog.Pipes = append(prog.Pipes, pd)
+			}
+		default:
+			p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+			p.advance()
+		}
+		if len(p.errs) > nerr {
+			p.sync()
+		}
+	}
+	return prog
+}
+
+// memory rf: uint<32>[32] with renaming, comb_read;
+func (p *parser) parseMemDecl() *ast.MemDecl {
+	pos := p.expect(token.MEMORY).Pos
+	name := p.expect(token.IDENT)
+	p.expect(token.COLON)
+	elem := p.parseType()
+	p.expect(token.LBRACKET)
+	depth := p.parseConstInt()
+	p.expect(token.RBRACKET)
+	m := &ast.MemDecl{Pos: pos, Name: name.Lit, Elem: elem, Depth: depth,
+		Lock: ast.LockBasic}
+	if p.accept(token.WITH) {
+		for {
+			opt := p.expect(token.IDENT)
+			switch opt.Lit {
+			case "basic":
+				m.Lock = ast.LockBasic
+			case "bypass":
+				m.Lock = ast.LockBypass
+			case "renaming":
+				m.Lock = ast.LockRenaming
+			case "nolock":
+				m.Lock = ast.LockNone
+			case "comb_read":
+				m.CombRead = true
+			case "sync_read":
+				m.CombRead = false
+			default:
+				p.errorf(opt.Pos, "unknown memory option %q", opt.Lit)
+			}
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.SEMI)
+	if depth < 1 {
+		p.errorf(pos, "memory %s must have at least one word", m.Name)
+		return nil
+	}
+	return m
+}
+
+// volatile pending: uint<32>;
+func (p *parser) parseVolDecl() *ast.VolDecl {
+	pos := p.expect(token.VOLATILE).Pos
+	name := p.expect(token.IDENT)
+	p.expect(token.COLON)
+	elem := p.parseType()
+	p.expect(token.SEMI)
+	return &ast.VolDecl{Pos: pos, Name: name.Lit, Elem: elem}
+}
+
+// extern func decode(insn: uint<32>) -> (op: uint<5>, rd: uint<5>);
+func (p *parser) parseExternDecl() *ast.ExternDecl {
+	pos := p.expect(token.EXTERN).Pos
+	p.expect(token.FUNC)
+	name := p.expect(token.IDENT)
+	params := p.parseParams()
+	p.expect(token.ARROW)
+	res := p.parseResultType()
+	p.expect(token.SEMI)
+	return &ast.ExternDecl{Pos: pos, Name: name.Lit, Params: params, Result: res}
+}
+
+// func f(a: uint<32>) -> uint<32> { ... return e; }
+func (p *parser) parseFuncDecl() *ast.FuncDecl {
+	pos := p.expect(token.FUNC).Pos
+	name := p.expect(token.IDENT)
+	params := p.parseParams()
+	p.expect(token.ARROW)
+	res := p.parseType()
+	p.expect(token.LBRACE)
+	var body []ast.Stmt
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		s := p.parseStmt()
+		if s == nil {
+			break
+		}
+		if _, isSep := s.(*ast.StageSep); isSep {
+			p.errorf(s.StmtPos(), "functions are combinational; stage separators are not allowed")
+			continue
+		}
+		body = append(body, s)
+	}
+	p.expect(token.RBRACE)
+	return &ast.FuncDecl{Pos: pos, Name: name.Lit, Params: params, Result: res, Body: body}
+}
+
+// const ERR_INV = 5'd2;
+func (p *parser) parseConstDecl() *ast.ConstDecl {
+	pos := p.expect(token.CONST).Pos
+	name := p.expect(token.IDENT)
+	p.expect(token.ASSIGN)
+	v := p.parseExpr()
+	p.expect(token.SEMI)
+	return &ast.ConstDecl{Pos: pos, Name: name.Lit, Value: v}
+}
+
+// pipe cpu(pc: uint<32>)[rf, imem] { body commit: ... except(c: uint<5>): ... }
+func (p *parser) parsePipeDecl() *ast.PipeDecl {
+	pos := p.expect(token.PIPE).Pos
+	name := p.expect(token.IDENT)
+	params := p.parseParams()
+	pd := &ast.PipeDecl{Pos: pos, Name: name.Lit, Params: params}
+	if p.accept(token.ARROW) {
+		pd.Result = p.parseType()
+		pd.HasResult = true
+	}
+	p.expect(token.LBRACKET)
+	if !p.at(token.RBRACKET) {
+		for {
+			m := p.expect(token.IDENT)
+			pd.Mods = append(pd.Mods, m.Lit)
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RBRACKET)
+	p.expect(token.LBRACE)
+
+	section := 0 // 0 = body, 1 = commit, 2 = except
+	appendStmt := func(s ast.Stmt) {
+		switch section {
+		case 0:
+			pd.Body = append(pd.Body, s)
+		case 1:
+			pd.Commit = append(pd.Commit, s)
+		default:
+			pd.Except = append(pd.Except, s)
+		}
+	}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		switch {
+		case p.at(token.COMMIT) && p.next.Kind == token.COLON:
+			if section >= 1 {
+				p.errorf(p.tok.Pos, "a pipeline can have only one commit block, before the except block")
+			}
+			p.advance()
+			p.advance()
+			section = 1
+			if pd.Commit == nil {
+				pd.Commit = []ast.Stmt{}
+			}
+		case p.at(token.EXCEPT):
+			if section >= 2 {
+				p.errorf(p.tok.Pos, "a pipeline can have only one except block")
+			}
+			p.advance()
+			pd.ExceptArgs = p.parseParams()
+			p.expect(token.COLON)
+			section = 2
+			if pd.Except == nil {
+				pd.Except = []ast.Stmt{}
+			}
+		default:
+			s := p.parseStmt()
+			if s == nil {
+				p.sync()
+				continue
+			}
+			appendStmt(s)
+		}
+	}
+	p.expect(token.RBRACE)
+	if pd.Except != nil && pd.Commit == nil {
+		p.errorf(pos, "pipeline %s has an except block but no commit block", pd.Name)
+	}
+	if pd.Commit != nil && pd.Except == nil {
+		p.errorf(pos, "pipeline %s has a commit block but no except block", pd.Name)
+	}
+	return pd
+}
+
+func (p *parser) parseParams() []ast.Param {
+	p.expect(token.LPAREN)
+	var params []ast.Param
+	if !p.at(token.RPAREN) {
+		for {
+			name := p.expect(token.IDENT)
+			p.expect(token.COLON)
+			typ := p.parseType()
+			params = append(params, ast.Param{Name: name.Lit, Type: typ})
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	return params
+}
+
+func (p *parser) parseType() ast.Type {
+	switch p.tok.Kind {
+	case token.UINT:
+		p.advance()
+		p.expect(token.LT)
+		w := p.parseConstInt()
+		p.expect(token.GT)
+		if w < 1 || w > 64 {
+			p.errorf(p.tok.Pos, "uint width must be between 1 and 64, got %d", w)
+			w = 1
+		}
+		return ast.UIntType(w)
+	case token.BOOLTYPE:
+		p.advance()
+		return ast.BoolType()
+	}
+	p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+	p.advance()
+	return ast.Type{}
+}
+
+func (p *parser) parseResultType() ast.Type {
+	if p.at(token.LPAREN) {
+		fields := p.parseParams()
+		fs := make([]ast.Field, len(fields))
+		for i, f := range fields {
+			fs[i] = ast.Field{Name: f.Name, Type: f.Type}
+		}
+		return ast.RecordType(fs)
+	}
+	return p.parseType()
+}
+
+func (p *parser) parseConstInt() int {
+	t := p.expect(token.INT)
+	if t.Kind != token.INT {
+		return 0
+	}
+	v, _, err := lexer.ParseIntLit(t.Lit)
+	if err != nil {
+		p.errorf(t.Pos, "%v", err)
+		return 0
+	}
+	return int(v)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseStmt() ast.Stmt {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.STAGESEP:
+		p.advance()
+		return ast.NewStageSep(pos)
+	case token.SKIP:
+		p.advance()
+		p.expect(token.SEMI)
+		return ast.NewSkip(pos)
+	case token.IF:
+		return p.parseIf()
+	case token.THROW:
+		p.advance()
+		args := p.parseArgs()
+		p.expect(token.SEMI)
+		s := &ast.Throw{Args: args}
+		s.SetPos(pos)
+		return s
+	case token.CALL:
+		p.advance()
+		pipe := p.expect(token.IDENT)
+		args := p.parseArgs()
+		p.expect(token.SEMI)
+		s := &ast.Call{Pipe: pipe.Lit, Args: args}
+		s.SetPos(pos)
+		return s
+	case token.VERIFY:
+		p.advance()
+		p.expect(token.LPAREN)
+		h := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		s := &ast.Verify{Handle: h}
+		s.SetPos(pos)
+		return s
+	case token.INVALIDATE:
+		p.advance()
+		p.expect(token.LPAREN)
+		h := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		s := &ast.Invalidate{Handle: h}
+		s.SetPos(pos)
+		return s
+	case token.SPECCHECK:
+		p.advance()
+		p.expect(token.LPAREN)
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		s := &ast.SpecCheck{}
+		s.SetPos(pos)
+		return s
+	case token.SPECBARRIER:
+		p.advance()
+		p.expect(token.LPAREN)
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		s := &ast.SpecBarrier{}
+		s.SetPos(pos)
+		return s
+	case token.ACQUIRE:
+		return p.parseLock(ast.LockAcquire)
+	case token.RESERVE:
+		return p.parseLock(ast.LockReserve)
+	case token.BLOCK:
+		return p.parseLock(ast.LockBlock)
+	case token.RELEASE:
+		return p.parseLock(ast.LockRelease)
+	case token.RETURN:
+		p.advance()
+		v := p.parseExpr()
+		p.expect(token.SEMI)
+		s := &ast.Return{Value: v}
+		s.SetPos(pos)
+		return s
+	case token.IDENT:
+		return p.parseAssignLike()
+	}
+	p.errorf(pos, "expected statement, found %s", p.tok)
+	p.advance()
+	return nil
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.expect(token.IF).Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.parseStmtBlock()
+	var els []ast.Stmt
+	if p.accept(token.ELSE) {
+		if p.at(token.IF) {
+			els = []ast.Stmt{p.parseIf()}
+		} else {
+			els = p.parseStmtBlock()
+		}
+	}
+	s := &ast.If{Cond: cond, Then: then, Else: els}
+	s.SetPos(pos)
+	return s
+}
+
+func (p *parser) parseStmtBlock() []ast.Stmt {
+	p.expect(token.LBRACE)
+	var out []ast.Stmt
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		s := p.parseStmt()
+		if s == nil {
+			p.sync()
+			continue
+		}
+		if _, isSep := s.(*ast.StageSep); isSep {
+			p.errorf(s.StmtPos(), "stage separators are not allowed inside conditional arms")
+			continue
+		}
+		out = append(out, s)
+	}
+	p.expect(token.RBRACE)
+	return out
+}
+
+func (p *parser) parseLock(op ast.LockOp) ast.Stmt {
+	pos := p.tok.Pos
+	p.advance()
+	p.expect(token.LPAREN)
+	mem := p.expect(token.IDENT)
+	var idx ast.Expr
+	if p.accept(token.LBRACKET) {
+		idx = p.parseExpr()
+		p.expect(token.RBRACKET)
+	}
+	mode := ast.ModeWrite
+	modeGiven := false
+	if p.accept(token.COMMA) {
+		m := p.expect(token.IDENT)
+		modeGiven = true
+		switch m.Lit {
+		case "R":
+			mode = ast.ModeRead
+		case "W":
+			mode = ast.ModeWrite
+		default:
+			p.errorf(m.Pos, "lock mode must be R or W, got %q", m.Lit)
+		}
+	}
+	p.expect(token.RPAREN)
+	p.expect(token.SEMI)
+	if (op == ast.LockBlock || op == ast.LockRelease) && modeGiven {
+		// Mode travels with the reservation; block/release just name it.
+		// Accept and ignore, as PDL does.
+		_ = mode
+	}
+	s := &ast.Lock{Op: op, Mem: mem.Lit, Index: idx, Mode: mode}
+	s.SetPos(pos)
+	return s
+}
+
+// parseAssignLike parses statements that begin with an identifier:
+//
+//	x = e;          combinational assignment
+//	x <- e;         latched assignment (or volatile write; checker decides)
+//	mem[i] <- e;    memory write
+//	s <- spec_call cpu(a);
+//	x <- call sub(a);
+func (p *parser) parseAssignLike() ast.Stmt {
+	name := p.expect(token.IDENT)
+	pos := name.Pos
+	switch p.tok.Kind {
+	case token.LBRACKET:
+		p.advance()
+		idx := p.parseExpr()
+		p.expect(token.RBRACKET)
+		p.expect(token.LARROW)
+		rhs := p.parseExpr()
+		p.expect(token.SEMI)
+		s := &ast.MemWrite{Mem: name.Lit, Index: idx, RHS: rhs}
+		s.SetPos(pos)
+		return s
+	case token.ASSIGN:
+		p.advance()
+		rhs := p.parseExpr()
+		p.expect(token.SEMI)
+		s := &ast.Assign{Name: name.Lit, RHS: rhs}
+		s.SetPos(pos)
+		return s
+	case token.LARROW:
+		p.advance()
+		if p.at(token.SPECCALL) {
+			p.advance()
+			pipe := p.expect(token.IDENT)
+			args := p.parseArgs()
+			p.expect(token.SEMI)
+			s := &ast.SpecCall{Handle: name.Lit, Pipe: pipe.Lit, Args: args}
+			s.SetPos(pos)
+			return s
+		}
+		if p.at(token.CALL) {
+			p.advance()
+			pipe := p.expect(token.IDENT)
+			args := p.parseArgs()
+			p.expect(token.SEMI)
+			s := &ast.Call{Pipe: pipe.Lit, Args: args, Result: name.Lit}
+			s.SetPos(pos)
+			return s
+		}
+		rhs := p.parseExpr()
+		p.expect(token.SEMI)
+		s := &ast.Assign{Name: name.Lit, Latched: true, RHS: rhs}
+		s.SetPos(pos)
+		return s
+	}
+	p.errorf(p.tok.Pos, "expected =, <-, or [index] after %q, found %s", name.Lit, p.tok)
+	return nil
+}
+
+func (p *parser) parseArgs() []ast.Expr {
+	p.expect(token.LPAREN)
+	var args []ast.Expr
+	if !p.at(token.RPAREN) {
+		for {
+			args = append(args, p.parseExpr())
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	return args
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Binding powers, loosest to tightest.
+var binPrec = map[token.Kind]int{
+	token.LOR:    1,
+	token.LAND:   2,
+	token.PIPEOP: 3,
+	token.CARET:  4,
+	token.AMP:    5,
+	token.EQ:     6, token.NE: 6,
+	token.LT: 7, token.LE: 7, token.GT: 7, token.GE: 7,
+	token.SHL: 8, token.SHR: 8,
+	token.PLUS: 9, token.MINUS: 9,
+	token.STAR: 10, token.SLASH: 10, token.PERCENT: 10,
+}
+
+var binOps = map[token.Kind]ast.BinOp{
+	token.LOR: ast.OpLOr, token.LAND: ast.OpLAnd,
+	token.PIPEOP: ast.OpOr, token.CARET: ast.OpXor, token.AMP: ast.OpAnd,
+	token.EQ: ast.OpEq, token.NE: ast.OpNe,
+	token.LT: ast.OpLt, token.LE: ast.OpLe, token.GT: ast.OpGt, token.GE: ast.OpGe,
+	token.SHL: ast.OpShl, token.SHR: ast.OpShr,
+	token.PLUS: ast.OpAdd, token.MINUS: ast.OpSub,
+	token.STAR: ast.OpMul, token.SLASH: ast.OpDiv, token.PERCENT: ast.OpMod,
+}
+
+func (p *parser) parseExpr() ast.Expr {
+	return p.parseTernary()
+}
+
+func (p *parser) parseTernary() ast.Expr {
+	cond := p.parseBinary(1)
+	if !p.at(token.QUESTION) {
+		return cond
+	}
+	pos := p.tok.Pos
+	p.advance()
+	then := p.parseTernary()
+	p.expect(token.COLON)
+	els := p.parseTernary()
+	t := &ast.Ternary{Cond: cond, Then: then, Else: els}
+	setExprPos(t, pos)
+	return t
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	left := p.parseUnary()
+	for {
+		prec, ok := binPrec[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return left
+		}
+		op := binOps[p.tok.Kind]
+		pos := p.tok.Pos
+		p.advance()
+		right := p.parseBinary(prec + 1)
+		b := &ast.Binary{Op: op, L: left, R: right}
+		setExprPos(b, pos)
+		left = b
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.BANG:
+		p.advance()
+		u := &ast.Unary{Op: ast.OpNot, X: p.parseUnary()}
+		setExprPos(u, pos)
+		return u
+	case token.TILDE:
+		p.advance()
+		u := &ast.Unary{Op: ast.OpBNot, X: p.parseUnary()}
+		setExprPos(u, pos)
+		return u
+	case token.MINUS:
+		p.advance()
+		u := &ast.Unary{Op: ast.OpNeg, X: p.parseUnary()}
+		setExprPos(u, pos)
+		return u
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.tok.Kind {
+		case token.LBRACKET:
+			pos := p.tok.Pos
+			p.advance()
+			first := p.parseExpr()
+			if p.accept(token.COLON) {
+				lo := p.parseExpr()
+				p.expect(token.RBRACKET)
+				s := &ast.Slice{X: x, Hi: first, Lo: lo}
+				setExprPos(s, pos)
+				x = s
+				continue
+			}
+			p.expect(token.RBRACKET)
+			// mem[idx]: only legal directly on a memory identifier.
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				p.errorf(pos, "indexing is only allowed on memories (or use [hi:lo] slices)")
+				continue
+			}
+			m := &ast.MemRead{Mem: id.Name, Index: first}
+			setExprPos(m, id.ExprPos())
+			x = m
+		case token.DOT:
+			p.advance()
+			f := p.expect(token.IDENT)
+			fa := &ast.FieldAccess{X: x, Field: f.Lit}
+			setExprPos(fa, f.Pos)
+			x = fa
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.IDENT:
+		name := p.tok.Lit
+		p.advance()
+		if p.at(token.LPAREN) {
+			args := p.parseArgs()
+			c := &ast.CallExpr{Name: name, Args: args}
+			setExprPos(c, pos)
+			return c
+		}
+		id := &ast.Ident{Name: name}
+		setExprPos(id, pos)
+		return id
+	case token.INT, token.SIZEDINT:
+		lit := p.tok.Lit
+		p.advance()
+		v, w, err := lexer.ParseIntLit(lit)
+		if err != nil {
+			p.errorf(pos, "%v", err)
+		}
+		il := &ast.IntLit{Value: v, Width: w}
+		setExprPos(il, pos)
+		return il
+	case token.TRUE:
+		p.advance()
+		b := &ast.BoolLit{Value: true}
+		setExprPos(b, pos)
+		return b
+	case token.FALSE:
+		p.advance()
+		b := &ast.BoolLit{Value: false}
+		setExprPos(b, pos)
+		return b
+	case token.LPAREN:
+		p.advance()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf(pos, "expected expression, found %s", p.tok)
+	p.advance()
+	il := &ast.IntLit{}
+	setExprPos(il, pos)
+	return il
+}
+
+// setExprPos assigns the source position on any expression node.
+func setExprPos(e ast.Expr, pos token.Pos) {
+	type posSetter interface{ SetPos(token.Pos) }
+	if n, ok := e.(posSetter); ok {
+		n.SetPos(pos)
+	}
+}

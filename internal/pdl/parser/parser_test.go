@@ -1,0 +1,398 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/pdl/ast"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed:\n%v", err)
+	}
+	return prog
+}
+
+func parseErr(t *testing.T, src string) string {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("Parse unexpectedly succeeded")
+	}
+	return err.Error()
+}
+
+const figure1 = `
+// Figure 1 of the paper: the 5-stage CPU in base PDL (abbreviated types).
+extern func alu(op: uint<4>, a: uint<32>, b: uint<32>) -> uint<32>;
+extern func calc_npc(pc: uint<32>, insn: uint<32>) -> uint<32>;
+extern func isStore(insn: uint<32>) -> bool;
+extern func isLoad(insn: uint<32>) -> bool;
+
+memory rf: uint<32>[32] with renaming, comb_read;
+memory imem: uint<32>[1024] with nolock, sync_read;
+memory dmem: uint<32>[1024] with bypass, sync_read;
+
+pipe cpu(pc: uint<32>)[rf, imem, dmem] {
+    spec_check();
+    insn <- imem[pc];
+    ---
+    spec_check();
+    s <- spec_call cpu(pc + 1);
+    rs1 = insn[19:15];
+    rd = insn[11:7];
+    acquire(rf[rs1], R);
+    alu_arg1 = rf[rs1];
+    release(rf[rs1]);
+    reserve(rf[rd], W);
+    ---
+    spec_barrier();
+    alu_out = alu(insn[3:0], alu_arg1, alu_arg1);
+    npc = calc_npc(pc, insn);
+    if (npc == pc + 1) { verify(s); }
+    else { invalidate(s); call cpu(npc); }
+    ---
+    acquire(dmem[alu_out], W);
+    if (isStore(insn)) { dmem[alu_out] <- alu_arg1; }
+    if (isLoad(insn)) { dmem_out <- dmem[alu_out]; }
+    else { dmem_out = alu_out; }
+    release(dmem[alu_out]);
+    ---
+    block(rf[rd]);
+    rf[rd] <- dmem_out;
+    release(rf[rd]);
+}
+`
+
+func TestParseFigure1(t *testing.T) {
+	prog := mustParse(t, figure1)
+	if len(prog.Externs) != 4 || len(prog.Mems) != 3 || len(prog.Pipes) != 1 {
+		t.Fatalf("decl counts: externs=%d mems=%d pipes=%d",
+			len(prog.Externs), len(prog.Mems), len(prog.Pipes))
+	}
+	cpu := prog.Pipe("cpu")
+	if cpu == nil {
+		t.Fatal("pipe cpu not found")
+	}
+	if got := ast.CountStages(cpu.Body); got != 5 {
+		t.Errorf("cpu has %d stages, want 5", got)
+	}
+	if cpu.HasExcept() {
+		t.Error("figure 1 has no except block")
+	}
+	if len(cpu.Mods) != 3 || cpu.Mods[0] != "rf" {
+		t.Errorf("mods = %v", cpu.Mods)
+	}
+	rf := prog.Mem("rf")
+	if rf.Lock != ast.LockRenaming || !rf.CombRead || rf.Depth != 32 {
+		t.Errorf("rf decl = %+v", rf)
+	}
+	if prog.Mem("dmem").Lock != ast.LockBypass {
+		t.Error("dmem should use the bypass lock")
+	}
+}
+
+const figure2 = `
+const ERR_INV = 5'd2;
+extern func isInvalid(insn: uint<32>) -> bool;
+memory rf: uint<32>[32] with renaming, comb_read;
+memory imem: uint<32>[1024] with nolock, sync_read;
+memory dmem: uint<32>[1024] with bypass, sync_read;
+memory csr: uint<32>[32] with basic, comb_read;
+
+pipe cpu(pc: uint<32>)[rf, imem, dmem, csr] {
+    insn <- imem[pc];
+    ---
+    rd = insn[11:7];
+    if (isInvalid(insn)) { throw(ERR_INV); }
+    reserve(rf[rd], W);
+    ---
+    alu_out = insn;
+    ---
+    rd_data = alu_out;
+    ---
+    block(rf[rd]);
+    rf[rd] <- rd_data;
+commit:
+    release(rf[rd]);
+except(error_code: uint<5>):
+    csr[2] <- error_code;
+    acquire(csr[2], W);
+    release(csr[2]);
+    ---
+    call cpu(64);
+}
+`
+
+func TestParseFigure2FinalBlocks(t *testing.T) {
+	prog := mustParse(t, figure2)
+	cpu := prog.Pipe("cpu")
+	if cpu == nil {
+		t.Fatal("pipe cpu not found")
+	}
+	if !cpu.HasExcept() {
+		t.Fatal("expected final blocks")
+	}
+	if got := ast.CountStages(cpu.Body); got != 5 {
+		t.Errorf("body stages = %d, want 5", got)
+	}
+	if got := ast.CountStages(cpu.Commit); got != 1 {
+		t.Errorf("commit stages = %d, want 1", got)
+	}
+	if got := ast.CountStages(cpu.Except); got != 2 {
+		t.Errorf("except stages = %d, want 2", got)
+	}
+	if len(cpu.ExceptArgs) != 1 || cpu.ExceptArgs[0].Name != "error_code" {
+		t.Errorf("except args = %v", cpu.ExceptArgs)
+	}
+	if cpu.ExceptArgs[0].Type.Width != 5 {
+		t.Errorf("except arg width = %d, want 5", cpu.ExceptArgs[0].Type.Width)
+	}
+}
+
+func TestParseThrowInsideIf(t *testing.T) {
+	prog := mustParse(t, figure2)
+	stages := ast.SplitStages(prog.Pipe("cpu").Body)
+	var foundThrow bool
+	for _, s := range stages[1] {
+		if ifs, ok := s.(*ast.If); ok {
+			for _, ts := range ifs.Then {
+				if _, ok := ts.(*ast.Throw); ok {
+					foundThrow = true
+				}
+			}
+		}
+	}
+	if !foundThrow {
+		t.Error("throw not parsed inside if arm")
+	}
+}
+
+func TestCommitWithoutExceptRejected(t *testing.T) {
+	src := `pipe p(x: uint<8>)[] { y = x; commit: skip; }`
+	msg := parseErr(t, src)
+	if !strings.Contains(msg, "except") {
+		t.Errorf("error %q should mention except", msg)
+	}
+}
+
+func TestExceptWithoutCommitRejected(t *testing.T) {
+	src := `pipe p(x: uint<8>)[] { y = x; except(c: uint<4>): skip; }`
+	msg := parseErr(t, src)
+	if !strings.Contains(msg, "commit") {
+		t.Errorf("error %q should mention commit", msg)
+	}
+}
+
+func TestDuplicateExceptRejected(t *testing.T) {
+	src := `pipe p(x: uint<8>)[] {
+		y = x;
+	commit:
+		skip;
+	except(c: uint<4>):
+		skip;
+	except(d: uint<4>):
+		skip;
+	}`
+	msg := parseErr(t, src)
+	if !strings.Contains(msg, "only one except") {
+		t.Errorf("error %q should mention single except block", msg)
+	}
+}
+
+func TestStageSepInsideIfRejected(t *testing.T) {
+	src := `pipe p(x: uint<8>)[] { if (x == 0) { y = 1; --- z = 2; } }`
+	msg := parseErr(t, src)
+	if !strings.Contains(msg, "conditional") {
+		t.Errorf("error %q should mention conditionals", msg)
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	prog := mustParse(t, `const C = 1 + 2 * 3 == 7 && 4 < 5;`)
+	got := ast.ExprString(prog.Consts[0].Value)
+	want := "(((1 + (2 * 3)) == 7) && (4 < 5))"
+	if got != want {
+		t.Errorf("precedence: got %s, want %s", got, want)
+	}
+}
+
+func TestTernaryAndSliceExprs(t *testing.T) {
+	prog := mustParse(t, `const C = x == 0 ? y[7:0] : cat(a, b.f);`)
+	got := ast.ExprString(prog.Consts[0].Value)
+	want := "((x == 0) ? y[7:0] : cat(a, b.f))"
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestUnaryChain(t *testing.T) {
+	prog := mustParse(t, `const C = !~-x;`)
+	got := ast.ExprString(prog.Consts[0].Value)
+	if got != "!~-x" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestSubPipelineWithResult(t *testing.T) {
+	src := `
+pipe divide(n: uint<32>, d: uint<32>) -> uint<32> [] {
+    q = n / d;
+    ---
+    return q;
+}
+pipe cpu(pc: uint<32>)[divide] {
+    x <- call divide(pc, 2);
+}
+`
+	prog := mustParse(t, src)
+	div := prog.Pipe("divide")
+	if div == nil || !div.HasResult || div.Result.Width != 32 {
+		t.Fatalf("divide result not parsed: %+v", div)
+	}
+	cpu := prog.Pipe("cpu")
+	call, ok := cpu.Body[0].(*ast.Call)
+	if !ok || call.Result != "x" || call.Pipe != "divide" {
+		t.Errorf("result-binding call parsed as %+v", cpu.Body[0])
+	}
+}
+
+func TestVolatileDecl(t *testing.T) {
+	prog := mustParse(t, `volatile pending: uint<32>;`)
+	if len(prog.Vols) != 1 || prog.Vols[0].Name != "pending" || prog.Vols[0].Elem.Width != 32 {
+		t.Errorf("volatile decl = %+v", prog.Vols)
+	}
+}
+
+func TestFuncDecl(t *testing.T) {
+	prog := mustParse(t, `
+func isNop(op: uint<5>) -> bool {
+    r = op == 0;
+    return r;
+}`)
+	f := prog.Funcs[0]
+	if f.Name != "isNop" || len(f.Params) != 1 || len(f.Body) != 2 {
+		t.Errorf("func decl = %+v", f)
+	}
+}
+
+func TestExternRecordResult(t *testing.T) {
+	prog := mustParse(t, `extern func decode(insn: uint<32>) -> (op: uint<5>, rd: uint<5>);`)
+	e := prog.Externs[0]
+	if e.Result.Kind != ast.TRecord || len(e.Result.Fields) != 2 {
+		t.Fatalf("extern result = %v", e.Result)
+	}
+	if e.Result.BitWidth() != 10 {
+		t.Errorf("record width = %d, want 10", e.Result.BitWidth())
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	msg := parseErr(t, "pipe p(x: uint<8>)[] {\n  y = ;\n}")
+	if !strings.Contains(msg, "2:") {
+		t.Errorf("error %q should carry a line-2 position", msg)
+	}
+}
+
+func TestMultipleErrorsReported(t *testing.T) {
+	msg := parseErr(t, "memory m uint<8>[4];\nmemory n: uint<8>[0];\n")
+	if strings.Count(msg, "\n") < 1 {
+		t.Errorf("want at least two diagnostics, got %q", msg)
+	}
+}
+
+func TestPipeStringRoundTripShape(t *testing.T) {
+	prog := mustParse(t, figure2)
+	out := ast.PipeString(prog.Pipe("cpu"))
+	for _, frag := range []string{"pipe cpu", "commit:", "except(error_code: uint<5>):", "throw(ERR_INV);", "---"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("printed pipe missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestEmptyModList(t *testing.T) {
+	prog := mustParse(t, `pipe p(x: uint<8>)[] { y = x; }`)
+	if len(prog.Pipes[0].Mods) != 0 {
+		t.Errorf("mods = %v, want empty", prog.Pipes[0].Mods)
+	}
+}
+
+func TestSizedLiteralsInExprs(t *testing.T) {
+	prog := mustParse(t, `const C = 32'hDEADBEEF;`)
+	lit := prog.Consts[0].Value.(*ast.IntLit)
+	if lit.Value != 0xDEADBEEF || lit.Width != 32 {
+		t.Errorf("lit = %+v", lit)
+	}
+}
+
+func TestDeclarationErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"memory m: uint<8>[4] with turbo;", "unknown memory option"},
+		{"memory m: uint<8>[0];", "at least one word"},
+		{"pipe p(x: uint<0>)[] { y = x; }", "width must be between"},
+		{"pipe p(x: uint<65>)[] { y = x; }", "width must be between"},
+		{"pipe p(x: string)[] { y = x; }", "expected type"},
+		{"extern func f(a: uint<8>) uint<8>;", `expected "->"`},
+		{"func f(a: uint<8>) -> uint<8> { --- return a; }", "combinational"},
+		{"const C 5;", `expected "="`},
+		{"banana;", "expected declaration"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestStatementErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"pipe p(x: uint<8>)[] { acquire(m[x], Q); }", "lock mode must be R or W"},
+		{"pipe p(x: uint<8>)[] { x ?; }", "expected =, <-, or [index]"},
+		{"pipe p(x: uint<8>)[] { y = (x[0])[1]; }", "only allowed on memories"},
+		{"pipe p(x: uint<8>)[] { commit: skip; }", "no except block"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	prog := mustParse(t, `
+pipe p(x: uint<8>)[] {
+    if (x == 0) { a = 1; }
+    else if (x == 1) { a = 2; }
+    else { a = 3; }
+}`)
+	ifs := prog.Pipe("p").Body[0].(*ast.If)
+	if len(ifs.Else) != 1 {
+		t.Fatalf("else arm = %d stmts", len(ifs.Else))
+	}
+	if _, ok := ifs.Else[0].(*ast.If); !ok {
+		t.Error("else-if not chained")
+	}
+}
+
+func TestWhitespaceAndCommentsEverywhere(t *testing.T) {
+	mustParse(t, `
+/* header */ memory m: uint<8>[4] /* opts */ with basic, comb_read;
+pipe p(x: uint<8>)[m] { // trailing
+    /* pre */ acquire(m[x[1:0]], W); // post
+    m[x[1:0]] <- x; release(m[x[1:0]]);
+}`)
+}

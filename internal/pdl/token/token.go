@@ -1,0 +1,216 @@
+// Package token defines the lexical tokens of the XPDL language — the PDL
+// dialect of Zagieboylo et al. extended with pipeline exceptions (throw /
+// commit / except), volatile device memories, and extern combinational
+// functions.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Keywords occupy the range (keywordBeg, keywordEnd).
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	IDENT    // cpu, rf, alu_out
+	INT      // 123, 0x1F, 0b101
+	SIZEDINT // 32'hFF, 4'b1010, 8'd200
+
+	// Operators and delimiters.
+	ASSIGN   // =
+	LARROW   // <-
+	ARROW    // ->
+	STAGESEP // ---
+
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	AMP     // &
+	PIPEOP  // |
+	CARET   // ^
+	TILDE   // ~
+	BANG    // !
+	SHL     // <<
+	SHR     // >>
+	LAND    // &&
+	LOR     // ||
+
+	EQ // ==
+	NE // !=
+	LT // <
+	LE // <=
+	GT // >
+	GE // >=
+
+	LPAREN   // (
+	RPAREN   // )
+	LBRACKET // [
+	RBRACKET // ]
+	LBRACE   // {
+	RBRACE   // }
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	DOT      // .
+	QUESTION // ?
+
+	keywordBeg
+	PIPE
+	MEMORY
+	VOLATILE
+	EXTERN
+	FUNC
+	CONST
+	IF
+	ELSE
+	COMMIT
+	EXCEPT
+	THROW
+	CALL
+	SPECCALL
+	VERIFY
+	INVALIDATE
+	SPECCHECK
+	SPECBARRIER
+	ACQUIRE
+	RESERVE
+	BLOCK
+	RELEASE
+	RETURN
+	SKIP
+	WITH
+	UINT
+	BOOLTYPE
+	TRUE
+	FALSE
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL:  "ILLEGAL",
+	EOF:      "EOF",
+	IDENT:    "IDENT",
+	INT:      "INT",
+	SIZEDINT: "SIZEDINT",
+
+	ASSIGN:   "=",
+	LARROW:   "<-",
+	ARROW:    "->",
+	STAGESEP: "---",
+
+	PLUS:    "+",
+	MINUS:   "-",
+	STAR:    "*",
+	SLASH:   "/",
+	PERCENT: "%",
+	AMP:     "&",
+	PIPEOP:  "|",
+	CARET:   "^",
+	TILDE:   "~",
+	BANG:    "!",
+	SHL:     "<<",
+	SHR:     ">>",
+	LAND:    "&&",
+	LOR:     "||",
+
+	EQ: "==",
+	NE: "!=",
+	LT: "<",
+	LE: "<=",
+	GT: ">",
+	GE: ">=",
+
+	LPAREN:   "(",
+	RPAREN:   ")",
+	LBRACKET: "[",
+	RBRACKET: "]",
+	LBRACE:   "{",
+	RBRACE:   "}",
+	COMMA:    ",",
+	SEMI:     ";",
+	COLON:    ":",
+	DOT:      ".",
+	QUESTION: "?",
+
+	PIPE:        "pipe",
+	MEMORY:      "memory",
+	VOLATILE:    "volatile",
+	EXTERN:      "extern",
+	FUNC:        "func",
+	CONST:       "const",
+	IF:          "if",
+	ELSE:        "else",
+	COMMIT:      "commit",
+	EXCEPT:      "except",
+	THROW:       "throw",
+	CALL:        "call",
+	SPECCALL:    "spec_call",
+	VERIFY:      "verify",
+	INVALIDATE:  "invalidate",
+	SPECCHECK:   "spec_check",
+	SPECBARRIER: "spec_barrier",
+	ACQUIRE:     "acquire",
+	RESERVE:     "reserve",
+	BLOCK:       "block",
+	RELEASE:     "release",
+	RETURN:      "return",
+	SKIP:        "skip",
+	WITH:        "with",
+	UINT:        "uint",
+	BOOLTYPE:    "bool",
+	TRUE:        "true",
+	FALSE:       "false",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line, Col int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexeme: a kind, its source spelling, and where it begins.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+// String formats the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, SIZEDINT, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

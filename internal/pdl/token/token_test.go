@@ -1,0 +1,61 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"pipe": PIPE, "throw": THROW, "commit": COMMIT, "except": EXCEPT,
+		"spec_call": SPECCALL, "spec_barrier": SPECBARRIER,
+		"volatile": VOLATILE, "uint": UINT, "bool": BOOLTYPE,
+		"true": TRUE, "false": FALSE,
+		"notakeyword": IDENT, "Pipe": IDENT, "commits": IDENT,
+	}
+	for lit, want := range cases {
+		if got := Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		STAGESEP: "---", LARROW: "<-", ARROW: "->",
+		EQ: "==", SHL: "<<", PIPE: "pipe", EOF: "EOF",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if Kind(9999).String() != "Kind(9999)" {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestTokenAndPosStrings(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "alu", Pos: Pos{Line: 3, Col: 7}}
+	if tok.String() != `IDENT("alu")` {
+		t.Errorf("token string %q", tok.String())
+	}
+	if tok.Pos.String() != "3:7" {
+		t.Errorf("pos string %q", tok.Pos.String())
+	}
+	op := Token{Kind: LARROW, Lit: "<-"}
+	if op.String() != "<-" {
+		t.Errorf("operator token string %q", op.String())
+	}
+}
+
+func TestEveryKeywordHasUniqueSpelling(t *testing.T) {
+	seen := map[string]bool{}
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		s := k.String()
+		if seen[s] {
+			t.Errorf("duplicate keyword spelling %q", s)
+		}
+		seen[s] = true
+		if Lookup(s) != k {
+			t.Errorf("Lookup(%q) does not round-trip", s)
+		}
+	}
+}

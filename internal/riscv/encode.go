@@ -1,0 +1,61 @@
+package riscv
+
+// Encode is the inverse of Decode for well-formed instructions. ok is
+// false for ILLEGAL or out-of-range operands.
+func Encode(in Inst) (uint32, bool) {
+	rd, rs1, rs2 := in.Rd&0x1F, in.Rs1&0x1F, in.Rs2&0x1F
+	switch in.Op {
+	case LUI:
+		return EncodeU(in.Imm, rd, OpLUI), true
+	case AUIPC:
+		return EncodeU(in.Imm, rd, OpAUIPC), true
+	case JAL:
+		return EncodeJ(in.Imm, rd, OpJAL), true
+	case JALR:
+		return EncodeI(in.Imm, rs1, 0, rd, OpJALR), true
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		f3 := map[Op]uint32{BEQ: 0, BNE: 1, BLT: 4, BGE: 5, BLTU: 6, BGEU: 7}[in.Op]
+		return EncodeB(in.Imm, rs2, rs1, f3, OpBranch), true
+	case LB, LH, LW, LBU, LHU:
+		f3 := map[Op]uint32{LB: 0, LH: 1, LW: 2, LBU: 4, LHU: 5}[in.Op]
+		return EncodeI(in.Imm, rs1, f3, rd, OpLoad), true
+	case SB, SH, SW:
+		f3 := map[Op]uint32{SB: 0, SH: 1, SW: 2}[in.Op]
+		return EncodeS(in.Imm, rs2, rs1, f3, OpStore), true
+	case ADDI, SLTI, SLTIU, XORI, ORI, ANDI:
+		f3 := map[Op]uint32{ADDI: 0, SLTI: 2, SLTIU: 3, XORI: 4, ORI: 6, ANDI: 7}[in.Op]
+		return EncodeI(in.Imm&0xFFF|int32(int32(in.Imm)<<20>>20)&^0xFFF, rs1, f3, rd, OpImm), true
+	case SLLI:
+		return EncodeR(0, uint32(in.Imm)&0x1F, rs1, 1, rd, OpImm), true
+	case SRLI:
+		return EncodeR(0, uint32(in.Imm)&0x1F, rs1, 5, rd, OpImm), true
+	case SRAI:
+		return EncodeR(0x20, uint32(in.Imm)&0x1F, rs1, 5, rd, OpImm), true
+	case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND:
+		type rk struct {
+			f7, f3 uint32
+		}
+		k := map[Op]rk{
+			ADD: {0, 0}, SUB: {0x20, 0}, SLL: {0, 1}, SLT: {0, 2}, SLTU: {0, 3},
+			XOR: {0, 4}, SRL: {0, 5}, SRA: {0x20, 5}, OR: {0, 6}, AND: {0, 7},
+		}[in.Op]
+		return EncodeR(k.f7, rs2, rs1, k.f3, rd, OpReg), true
+	case MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU:
+		f3 := map[Op]uint32{MUL: 0, MULH: 1, MULHSU: 2, MULHU: 3, DIV: 4, DIVU: 5, REM: 6, REMU: 7}[in.Op]
+		return EncodeR(1, rs2, rs1, f3, rd, OpReg), true
+	case ECALL:
+		return 0x00000073, true
+	case EBREAK:
+		return 0x00100073, true
+	case MRET:
+		return 0x30200073, true
+	case WFI:
+		return 0x10500073, true
+	case CSRRW, CSRRS, CSRRC, CSRRWI, CSRRSI, CSRRCI:
+		f3 := map[Op]uint32{CSRRW: 1, CSRRS: 2, CSRRC: 3, CSRRWI: 5, CSRRSI: 6, CSRRCI: 7}[in.Op]
+		return in.CSR<<20 | rs1<<15 | f3<<12 | rd<<7 | OpSystem, true
+	case FENCE:
+		return 0x0000000F, true
+	}
+	return 0, false
+}

@@ -1,0 +1,184 @@
+package riscv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeKnownEncodings(t *testing.T) {
+	// Golden words cross-checked against the RISC-V spec examples.
+	cases := []struct {
+		raw  uint32
+		want string
+	}{
+		{0x00000013, "addi x0, x0, 0"},        // canonical nop
+		{0x00500093, "addi x1, x0, 5"},        // li x1, 5
+		{0x00208133, "add x2, x1, x2"},        //
+		{0x40110133, "sub x2, x2, x1"},        //
+		{0xFFF00113, "addi x2, x0, -1"},       //
+		{0x0000A103, "lw x2, 0(x1)"},          //
+		{0x0020A223, "sw x2, 4(x1)"},          //
+		{0xFE209EE3, "bne x1, x2, -4"},        //
+		{0x00C000EF, "jal x1, 12"},            //
+		{0x00008067, "jalr x0, 0(x1)"},        // ret
+		{0x000120B7, "lui x1, 0x12"},          //
+		{0x02208133, "mul x2, x1, x2"},        //
+		{0x0220C133, "div x2, x1, x2"},        //
+		{0x00000073, "ecall"},                 //
+		{0x30200073, "mret"},                  //
+		{0x30001073, "csrrw x0, mstatus, x0"}, //
+		{0x34202373, "csrrs x6, mcause, x0"},  //
+		{0xFFFFFFFF, "illegal"},               //
+		{0x00000000, "illegal"},               //
+	}
+	for _, c := range cases {
+		got := Decode(c.raw).String()
+		if got != c.want {
+			t.Errorf("Decode(%#08x) = %q, want %q", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestImmediateSignExtension(t *testing.T) {
+	in := Decode(0x80000000 | 0x13) // addi with imm[11]=0? construct explicitly
+	_ = in
+	neg := Decode(EncodeI(-1, 0, 0, 1, OpImm))
+	if neg.Imm != -1 {
+		t.Errorf("I-imm -1 decoded as %d", neg.Imm)
+	}
+	b := Decode(EncodeB(-4096, 0, 0, 0, OpBranch))
+	if b.Imm != -4096 {
+		t.Errorf("B-imm -4096 decoded as %d", b.Imm)
+	}
+	j := Decode(EncodeJ(-1048576, 0, OpJAL))
+	if j.Imm != -1048576 {
+		t.Errorf("J-imm min decoded as %d", j.Imm)
+	}
+	s := Decode(EncodeS(-2048, 0, 0, 2, OpStore))
+	if s.Imm != -2048 {
+		t.Errorf("S-imm -2048 decoded as %d", s.Imm)
+	}
+}
+
+func TestEncodeDecodeRoundTripExhaustiveOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for op := LUI; op < ILLEGAL; op++ {
+		if op == FENCE { // fence drops its operand fields; skip round-trip
+			continue
+		}
+		for trial := 0; trial < 50; trial++ {
+			in := Inst{Op: op, Rd: uint32(rng.Intn(32)), Rs1: uint32(rng.Intn(32)), Rs2: uint32(rng.Intn(32))}
+			switch {
+			case op == LUI || op == AUIPC:
+				in.Imm = int32(rng.Uint32()) &^ 0xFFF
+				in.Rs1, in.Rs2 = 0, 0
+			case op == JAL:
+				in.Imm = (int32(rng.Intn(1<<20)) - 1<<19) << 1
+				in.Rs1, in.Rs2 = 0, 0
+			case op == JALR || op.isIType():
+				in.Imm = int32(rng.Intn(1<<12)) - 1<<11
+				in.Rs2 = 0
+			case op.isShift():
+				in.Imm = int32(rng.Intn(32))
+				in.Rs2 = 0
+			case Inst{Op: op}.IsBranch():
+				in.Imm = (int32(rng.Intn(1<<12)) - 1<<11) << 1
+				in.Rd = 0
+			case Inst{Op: op}.IsStore():
+				in.Imm = int32(rng.Intn(1<<12)) - 1<<11
+				in.Rd = 0
+			case Inst{Op: op}.IsLoad():
+				in.Imm = int32(rng.Intn(1<<12)) - 1<<11
+				in.Rs2 = 0
+			case op == ECALL || op == EBREAK || op == MRET || op == WFI:
+				in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+			case Inst{Op: op}.IsCSR():
+				in.CSR = []uint32{CSRMStatus, CSRMTVec, CSRMEPC, CSRMCause, CSRMIE, CSRMIP, CSRMScratch, CSRMTVal}[rng.Intn(8)]
+				in.Rs2 = 0
+			}
+			raw, ok := Encode(in)
+			if !ok {
+				t.Fatalf("Encode(%v) failed", in)
+			}
+			got := Decode(raw)
+			got.Raw = 0
+			in.Raw = 0
+			if got != in {
+				t.Fatalf("round trip %v: encoded %#08x, decoded %v", in, raw, got)
+			}
+		}
+	}
+}
+
+func (o Op) isIType() bool {
+	return o == ADDI || o == SLTI || o == SLTIU || o == XORI || o == ORI || o == ANDI
+}
+func (o Op) isShift() bool { return o == SLLI || o == SRLI || o == SRAI }
+
+// Property: Decode never panics and ILLEGAL instructions have no operands.
+func TestQuickDecodeTotal(t *testing.T) {
+	f := func(raw uint32) bool {
+		in := Decode(raw)
+		if in.Op == ILLEGAL {
+			return in.Rd == 0 && in.Rs1 == 0 && in.Rs2 == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	lw := Decode(0x0000A103)
+	if !lw.IsLoad() || lw.IsStore() || !lw.WritesRd() {
+		t.Error("lw predicates")
+	}
+	sw := Decode(0x0020A223)
+	if !sw.IsStore() || sw.WritesRd() {
+		t.Error("sw predicates")
+	}
+	beq := Inst{Op: BEQ, Rd: 5}
+	if beq.WritesRd() {
+		t.Error("branches never write rd")
+	}
+	x0 := Inst{Op: ADD, Rd: 0}
+	if x0.WritesRd() {
+		t.Error("x0 writes must be suppressed")
+	}
+	csr := Inst{Op: CSRRW, Rd: 1}
+	if !csr.IsCSR() || !csr.WritesRd() {
+		t.Error("csr predicates")
+	}
+}
+
+func TestCSRIndexCoversImplementedSet(t *testing.T) {
+	addrs := []uint32{CSRMStatus, CSRMIE, CSRMTVec, CSRMScratch, CSRMEPC, CSRMCause, CSRMTVal, CSRMIP}
+	seen := map[uint32]bool{}
+	for _, a := range addrs {
+		idx, ok := CSRIndex(a)
+		if !ok {
+			t.Errorf("CSRIndex(%s) not implemented", CSRName(a))
+		}
+		if seen[idx] {
+			t.Errorf("CSR index %d reused", idx)
+		}
+		seen[idx] = true
+		if idx >= 32 {
+			t.Errorf("CSR index %d exceeds the 32-entry file", idx)
+		}
+	}
+	if _, ok := CSRIndex(0xC00); ok {
+		t.Error("cycle CSR should be unimplemented in this subset")
+	}
+}
+
+func TestCauseNames(t *testing.T) {
+	if CauseName(CauseECallM) != "ecall from M-mode" {
+		t.Error("cause name")
+	}
+	if CauseName(CauseMachineTimer) != "machine timer interrupt" {
+		t.Error("interrupt cause name")
+	}
+}

@@ -1,0 +1,871 @@
+package sim
+
+import (
+	"fmt"
+
+	"xpdl/internal/locks"
+	"xpdl/internal/pdl/ast"
+	"xpdl/internal/val"
+)
+
+// firing is the atomic attempt to execute one stage for one instruction.
+// Lock operations run inside lock transactions; everything else is
+// buffered until the attempt succeeds.
+type firing struct {
+	m    *Machine
+	node *stageNode
+	in   *inst
+
+	stalled bool
+	died    bool
+
+	// Combinational (=) and latched (<-) writes live in the machine's
+	// epoch-stamped slot scratch; see firingScratch.
+	wroteAny bool
+
+	lef   bool
+	eargs []val.Value
+
+	effects []func()
+	spawns  map[string]int // buffered spawns per target pipe, for queue capacity
+
+	dest      *stageNode // chosen continuation (fork overrides node.next)
+	destValid bool
+
+	funcEnv []map[string]V // scoped environments for in-language functions
+}
+
+// fire attempts to execute node's instruction for this cycle. It reports
+// whether the pipeline made progress (the stage fired or the instruction
+// died).
+func (m *Machine) fire(node *stageNode) bool {
+	in := node.cur
+	if in.waiting != nil {
+		return false // blocked on a sub-pipeline call
+	}
+	// The output register must be free. For the fork stage the commit
+	// tail must be free (the exception chain is free whenever gef is
+	// clear, which the gef guard already enforces).
+	if node.fork != nil {
+		if node.fork.commitNext != nil && node.fork.commitNext.cur != nil {
+			return false
+		}
+	} else if node.next != nil && node.next.cur != nil {
+		return false
+	}
+
+	m.scratch.epoch++
+	f := &firing{
+		m:     m,
+		node:  node,
+		in:    in,
+		lef:   in.lef,
+		eargs: in.eargs,
+	}
+
+	for _, l := range m.memList {
+		l.Begin()
+	}
+	f.exec(node.stmts)
+	if node.fork != nil && !f.stalled && !f.died {
+		if f.lef {
+			f.exec(node.fork.excStage0)
+			f.dest, f.destValid = node.fork.excNext, true
+		} else {
+			f.exec(node.fork.commitStage0)
+			f.dest, f.destValid = node.fork.commitNext, true
+		}
+	}
+	if f.stalled {
+		for _, l := range m.memList {
+			l.Rollback()
+		}
+		return f.died
+	}
+	for _, l := range m.memList {
+		l.Commit()
+	}
+
+	// Apply buffered state: combinational then latched variable writes,
+	// exception flags, then machine-level effects in program order.
+	if f.wroteAny {
+		sc := &m.scratch
+		for slot := range in.vars {
+			if sc.localEpoch[slot] == sc.epoch {
+				in.vars[slot] = slotVal{v: sc.local[slot], ok: true}
+			}
+			if sc.pendEpoch[slot] == sc.epoch {
+				in.vars[slot] = slotVal{v: sc.pend[slot], ok: true}
+			}
+		}
+	}
+	in.lef = f.lef
+	in.eargs = f.eargs
+	for _, e := range f.effects {
+		e()
+	}
+	m.firings++
+
+	if f.died {
+		if node.cur == in {
+			node.cur = nil
+		}
+		return true
+	}
+
+	dest := node.next
+	if f.destValid {
+		dest = f.dest
+	}
+	node.cur = nil
+	if dest == nil {
+		m.retire(in, node)
+		return true
+	}
+	if dest.cur != nil {
+		panic(fmt.Sprintf("sim: %s destination %s occupied by iid=%d", node.label(), dest.label(), dest.cur.iid))
+	}
+	dest.cur = in
+	return true
+}
+
+func (f *firing) stall() { f.stalled = true }
+
+// setLocal records a combinational (=) write, visible immediately.
+func (f *firing) setLocal(slot int, v V) {
+	sc := &f.m.scratch
+	sc.local[slot] = v
+	sc.localEpoch[slot] = sc.epoch
+	f.wroteAny = true
+}
+
+// setPend records a latched (<-) write, visible from the next stage.
+func (f *firing) setPend(slot int, v V) {
+	sc := &f.m.scratch
+	sc.pend[slot] = v
+	sc.pendEpoch[slot] = sc.epoch
+	f.wroteAny = true
+}
+
+// getLocal reads back a combinational write from this firing.
+func (f *firing) getLocal(slot int) (V, bool) {
+	sc := &f.m.scratch
+	if sc.localEpoch[slot] == sc.epoch {
+		return sc.local[slot], true
+	}
+	return V{}, false
+}
+
+func (f *firing) spawnCount(pipe string) int { return f.spawns[pipe] }
+
+func (f *firing) addSpawn(pipe string) {
+	if f.spawns == nil {
+		f.spawns = make(map[string]int, 2)
+	}
+	f.spawns[pipe]++
+}
+
+func (f *firing) effect(fn func()) { f.effects = append(f.effects, fn) }
+
+// ---------------------------------------------------------------------------
+// Statement execution
+
+func (f *firing) exec(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		if f.stalled || f.died {
+			return
+		}
+		f.stmt(s)
+	}
+}
+
+func (f *firing) stmt(s ast.Stmt) {
+	m := f.m
+	in := f.in
+	switch n := s.(type) {
+	case *ast.Skip:
+	case *ast.GefGuard:
+		if f.node.pipe.gef {
+			f.stall()
+			return
+		}
+		f.exec(n.Body)
+	case *ast.Assign:
+		if vol, isVol := m.assignVol[s]; isVol {
+			v := f.evalScalar(n.RHS, vol.decl.Elem.Width)
+			if f.stalled {
+				return
+			}
+			f.effect(func() { vol.v = v })
+			return
+		}
+		v := f.eval(n.RHS)
+		if f.stalled {
+			return
+		}
+		if n.Latched {
+			f.setPend(m.assignSlot[s], v)
+		} else {
+			f.setLocal(m.assignSlot[s], v)
+		}
+	case *ast.MemWrite:
+		b := m.memWBind[s]
+		addr := f.evalAddr(n.Index, b.decl)
+		v := f.evalScalar(n.RHS, b.decl.Elem.Width)
+		if f.stalled {
+			return
+		}
+		b.lock.Write(in.iid, addr, v)
+	case *ast.VolWrite:
+		vol := m.vols[n.Vol]
+		v := f.evalScalar(n.RHS, vol.decl.Elem.Width)
+		if f.stalled {
+			return
+		}
+		f.effect(func() { vol.v = v })
+	case *ast.If:
+		c := f.eval(n.Cond)
+		if f.stalled {
+			return
+		}
+		if c.Val.IsTrue() {
+			f.exec(n.Then)
+		} else if n.Else != nil {
+			f.exec(n.Else)
+		}
+	case *ast.Lock:
+		f.lockOp(n)
+	case *ast.SetLEF:
+		f.lef = true
+	case *ast.SetEArg:
+		tr := f.node.pipe.res
+		width := tr.EArgs[n.Index].Type.BitWidth()
+		v := f.evalScalar(n.Value, width)
+		if f.stalled {
+			return
+		}
+		for len(f.eargs) <= n.Index {
+			f.eargs = append(f.eargs, val.Value{})
+		}
+		// Copy-on-write: the instruction's slice is replaced on success.
+		cp := append([]val.Value(nil), f.eargs...)
+		cp[n.Index] = v
+		f.eargs = cp
+	case *ast.SetGEF:
+		ps := f.node.pipe
+		v := n.Value
+		f.effect(func() { ps.gef = v })
+	case *ast.PipeClear:
+		ps := f.node.pipe
+		self := in
+		f.effect(func() { m.pipeClear(ps, self) })
+	case *ast.SpecClear:
+		ps := f.node.pipe
+		f.effect(func() { ps.specTab.clear() })
+	case *ast.Abort:
+		m.memWBind[s].lock.Abort()
+	case *ast.Call:
+		f.call(n)
+	case *ast.SpecCall:
+		f.specCall(n)
+	case *ast.Verify:
+		h := f.eval(n.Handle).Uint()
+		ps := f.node.pipe
+		f.effect(func() {
+			if ps.specTab.entries[h] == specPending {
+				ps.specTab.entries[h] = specVerified
+			}
+		})
+	case *ast.Invalidate:
+		h := f.eval(n.Handle).Uint()
+		ps := f.node.pipe
+		f.effect(func() {
+			ps.specTab.entries[h] = specInvalid
+			for _, other := range m.snapshotAlive() {
+				if other.spec && other.specHandle == h {
+					m.squash(other.iid)
+				}
+			}
+		})
+	case *ast.SpecCheck:
+		if !in.spec {
+			return
+		}
+		tab := f.node.pipe.specTab
+		switch tab.status(in.specHandle) {
+		case specPending:
+			// Still speculative; keep executing speculatively.
+		case specVerified:
+			f.effect(func() {
+				in.spec = false
+				delete(tab.entries, in.specHandle)
+			})
+		case specInvalid:
+			f.die()
+		}
+	case *ast.SpecBarrier:
+		if !in.spec {
+			return
+		}
+		tab := f.node.pipe.specTab
+		switch tab.status(in.specHandle) {
+		case specPending:
+			f.stall()
+		case specVerified:
+			f.effect(func() {
+				in.spec = false
+				delete(tab.entries, in.specHandle)
+			})
+		case specInvalid:
+			f.die()
+		}
+	case *ast.Return:
+		v := f.eval(n.Value)
+		if f.stalled {
+			return
+		}
+		callerIID, resultVar := in.callerIID, in.resultVar
+		f.effect(func() {
+			caller, alive := m.alive[callerIID]
+			if !alive {
+				return // caller was squashed or flushed; result is dropped
+			}
+			if resultVar != "" {
+				if slot, ok := caller.pipe.slotOf[resultVar]; ok {
+					caller.vars[slot] = slotVal{v: v, ok: true}
+				}
+			}
+			caller.waiting = nil
+		})
+	case *ast.Throw:
+		panic("sim: untranslated throw reached the simulator")
+	case *ast.StageSep:
+		panic("sim: stage separator inside a stage")
+	default:
+		panic(fmt.Sprintf("sim: unhandled statement %T", s))
+	}
+}
+
+// die squashes the executing instruction (misspeculation kill at a
+// spec_check/spec_barrier). With this machine's eager invalidate —
+// invalidate squashes the wrong-path instruction the moment it resolves,
+// before the victim can fire another stage — these arms are defensive:
+// they would matter under deferred squashing, where victims self-
+// terminate at their next check point. The removal effect squashes the
+// instruction's lock reservations wholesale, covering anything staged
+// earlier in this firing.
+func (f *firing) die() {
+	f.died = true
+	in := f.in
+	m := f.m
+	f.effect(func() { m.removeInst(in) })
+}
+
+func (f *firing) lockOp(n *ast.Lock) {
+	in := f.in
+	b := f.m.memWBind[ast.Stmt(n)]
+	l := b.lock
+	addr := locks.Whole
+	if n.Index != nil {
+		addr = f.evalAddr(n.Index, b.decl)
+		if f.stalled {
+			return
+		}
+	}
+	switch n.Op {
+	case ast.LockAcquire:
+		if !l.CanReserve(in.iid, addr, n.Mode == ast.ModeWrite) {
+			f.stall()
+			return
+		}
+		l.Reserve(in.iid, addr, n.Mode == ast.ModeWrite)
+		if !l.Owns(in.iid, addr, n.Mode == ast.ModeWrite) {
+			f.stall()
+		}
+	case ast.LockReserve:
+		if !l.CanReserve(in.iid, addr, n.Mode == ast.ModeWrite) {
+			f.stall()
+			return
+		}
+		l.Reserve(in.iid, addr, n.Mode == ast.ModeWrite)
+	case ast.LockBlock:
+		if !l.Owns(in.iid, addr, n.Mode == ast.ModeWrite) {
+			f.stall()
+		}
+	case ast.LockRelease:
+		l.Release(in.iid, addr)
+	}
+}
+
+func (f *firing) call(n *ast.Call) {
+	m := f.m
+	in := f.in
+	target := m.pipes[n.Pipe]
+	if len(target.entryQ)+f.spawnCount(n.Pipe) >= m.cfg.EntryCap {
+		f.stall()
+		return
+	}
+	args := make([]val.Value, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = f.evalScalar(a, target.decl.Params[i].Type.BitWidth())
+		if f.stalled {
+			return
+		}
+	}
+	f.addSpawn(n.Pipe)
+	if n.Pipe == in.pipe.name {
+		parent := in.iid
+		f.effect(func() { m.enqueue(target, args, parent, false, 0, 0, "") })
+		return
+	}
+	// Blocking sub-pipeline call.
+	parent := in.iid
+	resultVar := n.Result
+	f.effect(func() {
+		m.enqueue(target, args, parent, false, 0, parent, resultVar)
+		if resultVar != "" {
+			in.waiting = &pendingCall{resultVar: resultVar, subPipe: n.Pipe}
+		}
+	})
+}
+
+func (f *firing) specCall(n *ast.SpecCall) {
+	m := f.m
+	in := f.in
+	ps := f.node.pipe
+	if len(ps.entryQ)+f.spawnCount(ps.name) >= m.cfg.EntryCap {
+		f.stall()
+		return
+	}
+	args := make([]val.Value, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = f.evalScalar(a, ps.decl.Params[i].Type.BitWidth())
+		if f.stalled {
+			return
+		}
+	}
+	// Handle ids are consumed even if the firing later stalls; ids are
+	// plentiful and stale pending entries are unreachable. The handle
+	// value must be wide enough never to alias (48 bits outlives any
+	// run); its hardware footprint is modeled separately (ast.THandle).
+	h := ps.specTab.nextHandle
+	ps.specTab.nextHandle++
+	f.setLocal(f.m.assignSlot[ast.Stmt(n)], Scalar(val.New(h, 48)))
+	f.addSpawn(ps.name)
+	parent := in.iid
+	f.effect(func() {
+		ps.specTab.entries[h] = specPending
+		m.enqueue(ps, args, parent, true, h, 0, "")
+	})
+}
+
+// pipeClear implements the translated pipeclear: every instruction in the
+// pipeline body (and the entry queue) dies, except the exceptional
+// instruction performing the rollback.
+func (m *Machine) pipeClear(ps *pipeState, self *inst) {
+	for _, node := range ps.body {
+		if node.cur != nil && node.cur != self {
+			m.squash(node.cur.iid)
+		}
+	}
+	for len(ps.entryQ) > 0 {
+		m.squash(ps.entryQ[0].iid)
+	}
+}
+
+// snapshotAlive returns the live instructions in a stable order.
+func (m *Machine) snapshotAlive() []*inst {
+	out := make([]*inst, 0, len(m.alive))
+	for _, in := range m.alive {
+		out = append(out, in)
+	}
+	// Deterministic order (by iid) so squash cascades are reproducible.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].iid > out[j].iid; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+// evalScalar evaluates and resizes to width bits.
+func (f *firing) evalScalar(e ast.Expr, width int) val.Value {
+	v := f.eval(e)
+	if f.stalled {
+		return val.New(0, width)
+	}
+	return val.New(v.Uint(), width)
+}
+
+// evalAddr evaluates a memory index, masking to the memory's depth.
+func (f *firing) evalAddr(e ast.Expr, md *ast.MemDecl) uint64 {
+	v := f.eval(e)
+	if f.stalled {
+		return 0
+	}
+	return v.Uint() % uint64(md.Depth)
+}
+
+func (f *firing) eval(e ast.Expr) V {
+	m := f.m
+	switch n := e.(type) {
+	case *ast.IntLit:
+		w := n.Width
+		if w == 0 {
+			w = 64
+		}
+		return Scalar(val.New(n.Value, w))
+	case *ast.BoolLit:
+		return Scalar(val.Bool(n.Value))
+	case *ast.Ident:
+		return f.lookup(n)
+	case *ast.EArgRef:
+		if n.Index < len(f.eargs) {
+			return Scalar(f.eargs[n.Index])
+		}
+		return Scalar(val.New(0, 1))
+	case *ast.LefRef:
+		return Scalar(val.Bool(f.lef))
+	case *ast.GefRef:
+		return Scalar(val.Bool(f.node.pipe.gef))
+	case *ast.Unary:
+		x := f.eval(n.X)
+		if f.stalled {
+			return x
+		}
+		switch n.Op {
+		case ast.OpNot:
+			return Scalar(val.Bool(!x.Val.IsTrue()))
+		case ast.OpBNot:
+			return Scalar(x.Val.Not())
+		default:
+			return Scalar(x.Val.Neg())
+		}
+	case *ast.Binary:
+		return f.evalBinary(n)
+	case *ast.Ternary:
+		c := f.eval(n.Cond)
+		if f.stalled {
+			return c
+		}
+		if c.Val.IsTrue() {
+			return f.eval(n.Then)
+		}
+		return f.eval(n.Else)
+	case *ast.CallExpr:
+		return f.evalCall(n)
+	case *ast.MemRead:
+		return f.evalMemRead(n)
+	case *ast.Slice:
+		x := f.eval(n.X)
+		hi := int(f.eval(n.Hi).Uint())
+		lo := int(f.eval(n.Lo).Uint())
+		if f.stalled {
+			return x
+		}
+		return Scalar(x.Val.Slice(hi, lo))
+	case *ast.FieldAccess:
+		x := f.eval(n.X)
+		if f.stalled {
+			return x
+		}
+		if x.Rec == nil {
+			panic(fmt.Sprintf("sim: field access .%s on scalar", n.Field))
+		}
+		if idx, ok := f.m.fieldIdx[n]; ok && idx >= 0 &&
+			idx < len(x.Rec.names) && x.Rec.names[idx] == n.Field {
+			return Scalar(x.Rec.vals[idx])
+		}
+		fv, ok := x.Rec.field(n.Field)
+		if !ok {
+			panic(fmt.Sprintf("sim: record has no field %q", n.Field))
+		}
+		return Scalar(fv)
+	}
+	_ = m
+	panic(fmt.Sprintf("sim: unhandled expression %T", e))
+}
+
+func (f *firing) lookup(n *ast.Ident) V {
+	// Function-local environments shadow everything when active (only
+	// in-language function bodies run with one; their identifiers are
+	// not pre-resolved).
+	if len(f.funcEnv) > 0 {
+		env := f.funcEnv[len(f.funcEnv)-1]
+		if v, ok := env[n.Name]; ok {
+			return v
+		}
+		if c, ok := f.m.consts[n.Name]; ok {
+			return c
+		}
+		panic(fmt.Sprintf("sim: function references unknown name %q", n.Name))
+	}
+	b, ok := f.m.identBind[n]
+	if !ok {
+		panic(fmt.Sprintf("sim: unresolved name %q in pipe %s", n.Name, f.in.pipe.name))
+	}
+	switch b.kind {
+	case 1:
+		return b.con
+	case 2:
+		return Scalar(b.vol.v)
+	}
+	if v, ok := f.getLocal(b.slot); ok {
+		return v
+	}
+	if sv := f.in.vars[b.slot]; sv.ok {
+		return sv.v
+	}
+	// A variable defined only on an untaken conditional path reads as a
+	// zero of its checked type (hardware: an undriven mux input).
+	return f.in.pipe.zeroes[b.slot]
+}
+
+// isUnsized reports whether an expression is an unsized literal (or a
+// composition of them), whose runtime width adapts to its context.
+func (f *firing) isUnsized(e ast.Expr) bool {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return n.Width == 0
+	case *ast.Ident:
+		c, ok := f.m.info.Consts[n.Name]
+		return ok && !c.IsBool && c.Width == 0
+	case *ast.Unary:
+		return f.isUnsized(n.X)
+	case *ast.Binary:
+		return f.isUnsized(n.L) && f.isUnsized(n.R)
+	}
+	return false
+}
+
+func (f *firing) evalBinary(n *ast.Binary) V {
+	l := f.eval(n.L)
+	if f.stalled {
+		return l
+	}
+	r := f.eval(n.R)
+	if f.stalled {
+		return r
+	}
+	lv, rv := l.Val, r.Val
+	if lv.Width() != rv.Width() && n.Op != ast.OpShl && n.Op != ast.OpShr {
+		switch {
+		case f.isUnsized(n.L):
+			lv = val.New(lv.Uint(), rv.Width())
+		case f.isUnsized(n.R):
+			rv = val.New(rv.Uint(), lv.Width())
+		}
+	}
+	switch n.Op {
+	case ast.OpAdd:
+		return Scalar(lv.Add(rv))
+	case ast.OpSub:
+		return Scalar(lv.Sub(rv))
+	case ast.OpMul:
+		return Scalar(lv.Mul(rv))
+	case ast.OpDiv:
+		return Scalar(lv.DivU(rv))
+	case ast.OpMod:
+		return Scalar(lv.RemU(rv))
+	case ast.OpAnd:
+		return Scalar(lv.And(rv))
+	case ast.OpOr:
+		return Scalar(lv.Or(rv))
+	case ast.OpXor:
+		return Scalar(lv.Xor(rv))
+	case ast.OpShl:
+		return Scalar(lv.Shl(rv))
+	case ast.OpShr:
+		return Scalar(lv.ShrU(rv))
+	case ast.OpLAnd:
+		return Scalar(val.Bool(lv.IsTrue() && rv.IsTrue()))
+	case ast.OpLOr:
+		return Scalar(val.Bool(lv.IsTrue() || rv.IsTrue()))
+	case ast.OpEq:
+		return Scalar(lv.EqV(rv))
+	case ast.OpNe:
+		return Scalar(lv.NeV(rv))
+	case ast.OpLt:
+		return Scalar(lv.LtU(rv))
+	case ast.OpLe:
+		return Scalar(lv.LeU(rv))
+	case ast.OpGt:
+		return Scalar(lv.GtU(rv))
+	case ast.OpGe:
+		return Scalar(lv.GeU(rv))
+	}
+	panic("sim: unhandled binary operator")
+}
+
+func (f *firing) evalCall(n *ast.CallExpr) V {
+	// Builtins.
+	switch n.Name {
+	case "ext":
+		x := f.eval(n.Args[0])
+		w := int(f.eval(n.Args[1]).Uint())
+		if f.stalled {
+			return x
+		}
+		return Scalar(x.Val.ZeroExt(w))
+	case "sext":
+		x := f.eval(n.Args[0])
+		w := int(f.eval(n.Args[1]).Uint())
+		if f.stalled {
+			return x
+		}
+		return Scalar(x.Val.SignExt(w))
+	case "cat":
+		parts := make([]val.Value, len(n.Args))
+		for i, a := range n.Args {
+			parts[i] = f.eval(a).Val
+			if f.stalled {
+				return Scalar(parts[i])
+			}
+		}
+		return Scalar(val.Cat(parts...))
+	case "lts", "les", "gts", "ges":
+		a := f.eval(n.Args[0])
+		b := f.eval(n.Args[1])
+		if f.stalled {
+			return a
+		}
+		av, bv := a.Val, b.Val
+		switch n.Name {
+		case "lts":
+			return Scalar(av.LtS(bv))
+		case "les":
+			return Scalar(av.LeS(bv))
+		case "gts":
+			return Scalar(av.GtS(bv))
+		default:
+			return Scalar(av.GeS(bv))
+		}
+	case "shra":
+		a := f.eval(n.Args[0])
+		b := f.eval(n.Args[1])
+		if f.stalled {
+			return a
+		}
+		return Scalar(a.Val.ShrS(b.Val))
+	case "divs":
+		a := f.eval(n.Args[0])
+		b := f.eval(n.Args[1])
+		if f.stalled {
+			return a
+		}
+		return Scalar(a.Val.DivS(b.Val))
+	case "rems":
+		a := f.eval(n.Args[0])
+		b := f.eval(n.Args[1])
+		if f.stalled {
+			return a
+		}
+		return Scalar(a.Val.RemS(b.Val))
+	case "mulfull":
+		a := f.eval(n.Args[0])
+		b := f.eval(n.Args[1])
+		if f.stalled {
+			return a
+		}
+		return Scalar(a.Val.MulFull(b.Val))
+	}
+
+	// Extern.
+	if ext, ok := f.m.externs[n.Name]; ok {
+		decl := externDecl(f.m, n.Name)
+		args := make([]val.Value, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = f.evalScalar(a, decl.Params[i].Type.BitWidth())
+			if f.stalled {
+				return Scalar(args[i])
+			}
+		}
+		return ext(args)
+	}
+
+	// In-language function.
+	fn := f.m.funcs[n.Name]
+	if fn == nil {
+		panic(fmt.Sprintf("sim: call to unknown function %q", n.Name))
+	}
+	args := make([]V, len(n.Args))
+	for i, a := range n.Args {
+		v := f.eval(a)
+		if f.stalled {
+			return v
+		}
+		args[i] = Scalar(val.New(v.Uint(), fn.Params[i].Type.BitWidth()))
+	}
+	return f.callFunc(fn, args)
+}
+
+func externDecl(m *Machine, name string) *ast.ExternDecl {
+	for _, e := range m.info.Prog.Externs {
+		if e.Name == name {
+			return e
+		}
+	}
+	panic(fmt.Sprintf("sim: extern %q not declared", name))
+}
+
+// callFunc interprets an in-language combinational function.
+func (f *firing) callFunc(fn *ast.FuncDecl, args []V) V {
+	env := make(map[string]V, len(fn.Params)+4)
+	for i, p := range fn.Params {
+		env[p.Name] = args[i]
+	}
+	f.funcEnv = append(f.funcEnv, env)
+	defer func() { f.funcEnv = f.funcEnv[:len(f.funcEnv)-1] }()
+
+	var ret V
+	returned := false
+	var walk func(stmts []ast.Stmt)
+	walk = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			if returned {
+				return
+			}
+			switch n := s.(type) {
+			case *ast.Assign:
+				env[n.Name] = f.eval(n.RHS)
+			case *ast.If:
+				if f.eval(n.Cond).Val.IsTrue() {
+					walk(n.Then)
+				} else if n.Else != nil {
+					walk(n.Else)
+				}
+			case *ast.Return:
+				ret = Scalar(val.New(f.eval(n.Value).Uint(), fn.Result.BitWidth()))
+				returned = true
+			case *ast.Skip:
+			default:
+				panic(fmt.Sprintf("sim: statement %T in function %s", s, fn.Name))
+			}
+		}
+	}
+	walk(fn.Body)
+	if !returned {
+		// Conditional fallthrough: the declared result's zero value.
+		ret = Scalar(val.New(0, fn.Result.BitWidth()))
+	}
+	return ret
+}
+
+func (f *firing) evalMemRead(n *ast.MemRead) V {
+	b := f.m.memBind[n]
+	addr := f.evalAddr(n.Index, b.decl)
+	if f.stalled {
+		return Scalar(val.New(0, b.decl.Elem.Width))
+	}
+	if b.plain != nil {
+		return Scalar(b.plain.Peek(addr))
+	}
+	if !b.lock.ReadReady(f.in.iid, addr) {
+		f.stall()
+		return Scalar(val.New(0, b.decl.Elem.Width))
+	}
+	return Scalar(b.lock.Read(f.in.iid, addr))
+}

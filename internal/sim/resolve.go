@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"sort"
+
+	"xpdl/internal/pdl/ast"
+	"xpdl/internal/val"
+)
+
+// buildSlots assigns every checker-recorded variable of a pipeline a
+// fixed slot, records the per-slot zero value (the typed zero an
+// undriven/untaken-path read observes), and resolves every identifier
+// and memory reference in the pipeline's code to its binding so the
+// simulator's hot path never hashes strings.
+func (m *Machine) buildSlots(ps *pipeState) {
+	if m.identBind == nil {
+		m.identBind = make(map[*ast.Ident]identBind)
+		m.memBind = make(map[*ast.MemRead]*memBinding)
+		m.memWBind = make(map[ast.Stmt]*memBinding)
+		m.assignSlot = make(map[ast.Stmt]int)
+		m.assignVol = make(map[ast.Stmt]*volatileReg)
+		m.fieldIdx = make(map[*ast.FieldAccess]int)
+	}
+	pi := m.info.Pipes[ps.name]
+	names := make([]string, 0, len(pi.Vars))
+	for name := range pi.Vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ps.slotOf = make(map[string]int, len(names))
+	ps.zeroes = make([]V, len(names))
+	for i, name := range names {
+		ps.slotOf[name] = i
+		ps.zeroes[i] = zeroOfType(pi.Vars[name])
+	}
+	m.scratch.grow(len(names))
+
+	for _, st := range ps.nodes {
+		m.resolveStmts(ps, st.stmts)
+		if st.fork != nil {
+			m.resolveStmts(ps, st.fork.commitStage0)
+			m.resolveStmts(ps, st.fork.excStage0)
+		}
+	}
+}
+
+func zeroOfType(t ast.Type) V {
+	if t.Kind == ast.TRecord {
+		rec := make(map[string]val.Value, len(t.Fields))
+		for _, f := range t.Fields {
+			rec[f.Name] = val.New(0, f.Type.BitWidth())
+		}
+		return Record(rec)
+	}
+	return Scalar(val.New(0, t.BitWidth()))
+}
+
+func (m *Machine) bindMem(name string) *memBinding {
+	b := &memBinding{decl: m.memDecl[name]}
+	if p, ok := m.plains[name]; ok {
+		b.plain = p
+	} else {
+		b.lock = m.mems[name]
+	}
+	return b
+}
+
+func (m *Machine) resolveStmts(ps *pipeState, stmts []ast.Stmt) {
+	for _, s := range stmts {
+		m.resolveStmt(ps, s)
+	}
+}
+
+func (m *Machine) resolveStmt(ps *pipeState, s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.Assign:
+		if vol, isVol := m.vols[n.Name]; isVol {
+			m.assignVol[s] = vol
+		} else if slot, ok := ps.slotOf[n.Name]; ok {
+			m.assignSlot[s] = slot
+		}
+		m.resolveExpr(ps, n.RHS)
+	case *ast.MemWrite:
+		if m.memDecl[n.Mem] != nil {
+			m.memWBind[s] = m.bindMem(n.Mem)
+		}
+		m.resolveExpr(ps, n.Index)
+		m.resolveExpr(ps, n.RHS)
+	case *ast.VolWrite:
+		m.resolveExpr(ps, n.RHS)
+	case *ast.If:
+		m.resolveExpr(ps, n.Cond)
+		m.resolveStmts(ps, n.Then)
+		m.resolveStmts(ps, n.Else)
+	case *ast.Lock:
+		m.memWBind[s] = m.bindMem(n.Mem)
+		if n.Index != nil {
+			m.resolveExpr(ps, n.Index)
+		}
+	case *ast.Abort:
+		m.memWBind[s] = m.bindMem(n.Mem)
+	case *ast.Throw:
+		for _, a := range n.Args {
+			m.resolveExpr(ps, a)
+		}
+	case *ast.Call:
+		for _, a := range n.Args {
+			m.resolveExpr(ps, a)
+		}
+	case *ast.SpecCall:
+		if slot, ok := ps.slotOf[n.Handle]; ok {
+			m.assignSlot[s] = slot
+		}
+		for _, a := range n.Args {
+			m.resolveExpr(ps, a)
+		}
+	case *ast.Verify:
+		m.resolveExpr(ps, n.Handle)
+	case *ast.Invalidate:
+		m.resolveExpr(ps, n.Handle)
+	case *ast.Return:
+		m.resolveExpr(ps, n.Value)
+	case *ast.SetEArg:
+		m.resolveExpr(ps, n.Value)
+	case *ast.GefGuard:
+		m.resolveStmts(ps, n.Body)
+	case *ast.LefBranch:
+		m.resolveStmts(ps, n.Commit)
+		m.resolveStmts(ps, n.Except)
+	}
+}
+
+func (m *Machine) resolveExpr(ps *pipeState, e ast.Expr) {
+	switch n := e.(type) {
+	case *ast.Ident:
+		if slot, ok := ps.slotOf[n.Name]; ok {
+			m.identBind[n] = identBind{kind: 0, slot: slot}
+		} else if c, ok := m.consts[n.Name]; ok {
+			m.identBind[n] = identBind{kind: 1, con: c}
+		} else if vol, ok := m.vols[n.Name]; ok {
+			m.identBind[n] = identBind{kind: 2, vol: vol}
+		}
+		// Unresolvable identifiers (checker rejects them in pipelines)
+		// fall back to the slow path at evaluation time.
+	case *ast.Unary:
+		m.resolveExpr(ps, n.X)
+	case *ast.Binary:
+		m.resolveExpr(ps, n.L)
+		m.resolveExpr(ps, n.R)
+	case *ast.Ternary:
+		m.resolveExpr(ps, n.Cond)
+		m.resolveExpr(ps, n.Then)
+		m.resolveExpr(ps, n.Else)
+	case *ast.CallExpr:
+		for _, a := range n.Args {
+			m.resolveExpr(ps, a)
+		}
+	case *ast.MemRead:
+		if m.memDecl[n.Mem] != nil {
+			m.memBind[n] = m.bindMem(n.Mem)
+		}
+		m.resolveExpr(ps, n.Index)
+	case *ast.Slice:
+		m.resolveExpr(ps, n.X)
+		m.resolveExpr(ps, n.Hi)
+		m.resolveExpr(ps, n.Lo)
+	case *ast.FieldAccess:
+		m.fieldIdx[n] = m.staticFieldIndex(ps, n)
+		m.resolveExpr(ps, n.X)
+	}
+}
+
+// staticFieldIndex computes the sorted-field index of a record access
+// when the operand's checked type is known (an Ident bound to a record
+// variable); -1 otherwise, falling back to a name scan at run time.
+func (m *Machine) staticFieldIndex(ps *pipeState, n *ast.FieldAccess) int {
+	id, ok := n.X.(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	pi := m.info.Pipes[ps.name]
+	t, ok := pi.Vars[id.Name]
+	if !ok || t.Kind != ast.TRecord {
+		return -1
+	}
+	names := make([]string, 0, len(t.Fields))
+	for _, f := range t.Fields {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		if name == n.Field {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,770 @@
+// Package sim is XPDL's cycle-accurate pipeline simulator.
+//
+// It executes the compiler's *translated* programs (see internal/core):
+// the exception machinery it runs — gef guards, padding stages, the
+// rollback stage with pipeclear/specclear/abort — is exactly what the
+// translation emitted, so simulating a design validates the translation,
+// not a shortcut reimplementation of its intent.
+//
+// Execution model. Each pipeline is a graph of stage nodes: the body
+// stages, an optional commit tail, and an optional exception chain. One
+// instruction occupies at most one node. Every cycle, nodes are processed
+// downstream-first; a node holding an instruction attempts to fire:
+//
+//   - Firing is atomic, like a Bluespec rule: every lock operation runs
+//     inside a transaction and every machine-level effect (latched
+//     variable writes, spawns, speculation updates, gef changes, volatile
+//     writes, flushes) is buffered. If any condition fails — a lock is
+//     not ownable, a value is not ready, the next stage register is
+//     occupied, gef stalls the stage — the transaction rolls back and the
+//     instruction stays put, leaving no trace.
+//   - On success the transaction commits, buffered effects apply, and
+//     the instruction advances (or retires).
+//
+// Spawned instructions enter a small entry queue; the first body stage
+// pulls from it the moment it is free, which yields the expected CPI ≈ 1
+// steady state for a classic five-stage pipeline.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xpdl/internal/check"
+	"xpdl/internal/core"
+	"xpdl/internal/locks"
+	"xpdl/internal/pdl/ast"
+	"xpdl/internal/val"
+)
+
+// V is a runtime value: a bit vector or (for extern decode-style results)
+// a record of named bit vectors. Records store fields sorted by name so
+// field access resolves to an index at machine-build time.
+type V struct {
+	Rec *recVal // non-nil for records
+	Val val.Value
+}
+
+type recVal struct {
+	names []string
+	vals  []val.Value
+}
+
+func (r *recVal) field(name string) (val.Value, bool) {
+	for i, n := range r.names {
+		if n == name {
+			return r.vals[i], true
+		}
+	}
+	return val.Value{}, false
+}
+
+// Uint returns the scalar payload; it panics on records.
+func (v V) Uint() uint64 {
+	if v.Rec != nil {
+		panic("sim: record used as scalar")
+	}
+	return v.Val.Uint()
+}
+
+// Scalar wraps a bit vector as a V.
+func Scalar(x val.Value) V { return V{Val: x} }
+
+// Record wraps named fields as a V.
+func Record(fields map[string]val.Value) V {
+	names := make([]string, 0, len(fields))
+	for n := range fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	vals := make([]val.Value, len(names))
+	for i, n := range names {
+		vals[i] = fields[n]
+	}
+	return V{Rec: &recVal{names: names, vals: vals}}
+}
+
+// ExternFunc implements an extern combinational function in Go — the
+// analogue of an imported Verilog module in PDL.
+type ExternFunc func(args []val.Value) V
+
+// Config tunes machine construction.
+type Config struct {
+	// Externs binds extern function names to implementations. Every
+	// extern declared by the program must be bound.
+	Externs map[string]ExternFunc
+	// RenamingExtra is the number of spare physical registers per
+	// renaming lock (default 16).
+	RenamingExtra int
+	// EntryCap bounds each pipeline's entry queue (default 8).
+	EntryCap int
+	// TraceRetirements keeps the full retirement trace (default true
+	// behaviour is controlled by the caller reading Retired).
+	MaxTrace int
+}
+
+// Retirement is one entry of the architectural retirement trace.
+type Retirement struct {
+	Pipe        string
+	IID         uint64
+	Args        []val.Value
+	Exceptional bool
+	EArgs       []val.Value // captured throw arguments, for exceptional retirements
+	Cycle       int
+}
+
+// Machine simulates one compiled XPDL program.
+type Machine struct {
+	info  *check.Info
+	trs   map[string]*core.Result
+	cfg   Config
+	pipes map[string]*pipeState
+	// pipeOrder is deterministic processing order (declaration order).
+	pipeOrder []string
+	mems      map[string]locks.Lock
+	memList   []locks.Lock // deterministic iteration for transactions
+	plains    map[string]*locks.Plain
+	memDecl   map[string]*ast.MemDecl
+	vols      map[string]*volatileReg
+	consts    map[string]V
+	funcs     map[string]*ast.FuncDecl
+	externs   map[string]ExternFunc
+
+	devices []func(m *Machine)
+	traceW  io.Writer
+
+	// Build-time identifier resolution: every Ident node in pipeline
+	// code resolves once to a slot, a constant, or a volatile register,
+	// so the hot path avoids string hashing.
+	identBind  map[*ast.Ident]identBind
+	memBind    map[*ast.MemRead]*memBinding
+	memWBind   map[ast.Stmt]*memBinding // MemWrite / Lock / Abort nodes
+	assignSlot map[ast.Stmt]int         // Assign/SpecCall target slots
+	assignVol  map[ast.Stmt]*volatileReg
+	fieldIdx   map[*ast.FieldAccess]int // sorted-field index, -1 when unknown
+	scratch    firingScratch
+
+	cycle   int
+	nextIID uint64
+	alive   map[uint64]*inst
+	retired []Retirement
+	firings uint64 // total successful stage firings, for utilization stats
+	idleFor int    // consecutive cycles with no firing and no movement
+}
+
+type volatileReg struct {
+	decl *ast.VolDecl
+	v    val.Value
+}
+
+// identBind is a resolved identifier.
+type identBind struct {
+	kind int8 // 0 = var slot, 1 = constant, 2 = volatile
+	slot int
+	con  V
+	vol  *volatileReg
+}
+
+// memBinding is a resolved memory reference.
+type memBinding struct {
+	decl  *ast.MemDecl
+	lock  locks.Lock   // nil for unlocked memories
+	plain *locks.Plain // nil for locked memories
+}
+
+// firingScratch is the per-machine reusable combinational/latched write
+// buffer, stamped by epoch so it never needs clearing.
+type firingScratch struct {
+	local      []V
+	localEpoch []uint32
+	pend       []V
+	pendEpoch  []uint32
+	epoch      uint32
+}
+
+func (fs *firingScratch) grow(n int) {
+	if n <= len(fs.local) {
+		return
+	}
+	fs.local = make([]V, n)
+	fs.localEpoch = make([]uint32, n)
+	fs.pend = make([]V, n)
+	fs.pendEpoch = make([]uint32, n)
+}
+
+type pipeState struct {
+	m       *Machine
+	name    string
+	decl    *ast.PipeDecl // translated declaration
+	orig    *ast.PipeDecl // original (pre-translation) declaration
+	res     *core.Result
+	nodes   []*stageNode // processing order: downstream first
+	body    []*stageNode
+	commit  []*stageNode
+	exc     []*stageNode
+	entryQ  []*inst
+	gef     bool
+	specTab *specTable
+
+	// Variable storage layout: every name the checker recorded for this
+	// pipeline gets a fixed slot; instruction state and firing scratch
+	// are slot-indexed slices instead of string-keyed maps (hot path).
+	slotOf map[string]int
+	zeroes []V // per-slot zero of the checked type (undriven reads)
+}
+
+type stageKind int
+
+const (
+	kindBody stageKind = iota
+	kindCommit
+	kindExc
+)
+
+type stageNode struct {
+	pipe  *pipeState
+	kind  stageKind
+	index int // index within its chain
+	stmts []ast.Stmt
+	next  *stageNode // linear successor; nil means retire
+	fork  *forkInfo  // non-nil on the translated final body stage
+	cur   *inst
+}
+
+func (n *stageNode) label() string {
+	switch n.kind {
+	case kindBody:
+		return fmt.Sprintf("%s.body%d", n.pipe.name, n.index)
+	case kindCommit:
+		return fmt.Sprintf("%s.commit%d", n.pipe.name, n.index)
+	default:
+		return fmt.Sprintf("%s.exc%d", n.pipe.name, n.index)
+	}
+}
+
+type forkInfo struct {
+	commitStage0 []ast.Stmt
+	excStage0    []ast.Stmt
+	commitNext   *stageNode
+	excNext      *stageNode
+}
+
+type specStatus int
+
+const (
+	specPending specStatus = iota
+	specVerified
+	specInvalid
+)
+
+type specTable struct {
+	nextHandle uint64
+	entries    map[uint64]specStatus
+}
+
+func newSpecTable() *specTable {
+	return &specTable{entries: make(map[uint64]specStatus)}
+}
+
+func (t *specTable) status(h uint64) specStatus {
+	if s, ok := t.entries[h]; ok {
+		return s
+	}
+	// A missing entry means it was resolved and reclaimed; treat as
+	// verified (the instruction already became non-speculative).
+	return specVerified
+}
+
+func (t *specTable) clear() {
+	t.entries = make(map[uint64]specStatus)
+	// Handles keep increasing so stale handle values never alias.
+}
+
+type pendingCall struct {
+	resultVar string
+	subPipe   string
+}
+
+type slotVal struct {
+	v  V
+	ok bool
+}
+
+type inst struct {
+	iid    uint64
+	pipe   *pipeState
+	args   []val.Value
+	vars   []slotVal // slot-indexed; see pipeState.slotOf
+	parent uint64    // spawner's iid (0 for the root)
+
+	lef   bool
+	eargs []val.Value
+
+	specHandle uint64
+	spec       bool
+
+	waiting *pendingCall
+
+	// For sub-pipeline instructions: where to deliver the Return value.
+	callerIID uint64
+	resultVar string
+}
+
+// New builds a machine for a checked, translated program.
+func New(info *check.Info, trs map[string]*core.Result, cfg Config) (*Machine, error) {
+	if cfg.RenamingExtra <= 0 {
+		cfg.RenamingExtra = 16
+	}
+	if cfg.EntryCap <= 0 {
+		cfg.EntryCap = 8
+	}
+	m := &Machine{
+		info:    info,
+		trs:     trs,
+		cfg:     cfg,
+		pipes:   make(map[string]*pipeState),
+		mems:    make(map[string]locks.Lock),
+		plains:  make(map[string]*locks.Plain),
+		memDecl: make(map[string]*ast.MemDecl),
+		vols:    make(map[string]*volatileReg),
+		consts:  make(map[string]V),
+		funcs:   make(map[string]*ast.FuncDecl),
+		externs: cfg.Externs,
+		alive:   make(map[uint64]*inst),
+		nextIID: 1,
+	}
+	for name, c := range info.Consts {
+		w := c.Width
+		if w == 0 {
+			w = 64
+		}
+		if c.IsBool {
+			m.consts[name] = Scalar(val.Bool(c.Bool))
+		} else {
+			m.consts[name] = Scalar(val.New(c.Value, w))
+		}
+	}
+	for _, f := range info.Prog.Funcs {
+		m.funcs[f.Name] = f
+	}
+	for _, e := range info.Prog.Externs {
+		if m.externs[e.Name] == nil {
+			return nil, fmt.Errorf("sim: extern %q is not bound", e.Name)
+		}
+	}
+	for _, md := range info.Prog.Mems {
+		m.memDecl[md.Name] = md
+		switch md.Lock {
+		case ast.LockNone:
+			m.plains[md.Name] = locks.NewPlain(md.Depth, md.Elem.Width)
+		case ast.LockBasic:
+			m.mems[md.Name] = locks.NewBasic(md.Depth, md.Elem.Width)
+		case ast.LockBypass:
+			m.mems[md.Name] = locks.NewBypass(md.Depth, md.Elem.Width)
+		case ast.LockRenaming:
+			m.mems[md.Name] = locks.NewRenaming(md.Depth, md.Elem.Width, cfg.RenamingExtra)
+		}
+	}
+	for _, vd := range info.Prog.Vols {
+		m.vols[vd.Name] = &volatileReg{decl: vd, v: val.New(0, vd.Elem.Width)}
+	}
+	for _, md := range info.Prog.Mems {
+		if l, ok := m.mems[md.Name]; ok {
+			m.memList = append(m.memList, l)
+		}
+	}
+	for _, pd := range info.Prog.Pipes {
+		tr := trs[pd.Name]
+		if tr == nil {
+			return nil, fmt.Errorf("sim: pipe %q has no translation result", pd.Name)
+		}
+		ps, err := m.buildPipe(pd, tr)
+		if err != nil {
+			return nil, err
+		}
+		m.pipes[pd.Name] = ps
+		m.pipeOrder = append(m.pipeOrder, pd.Name)
+	}
+	return m, nil
+}
+
+// buildPipe constructs the stage graph from the translated declaration.
+func (m *Machine) buildPipe(orig *ast.PipeDecl, tr *core.Result) (*pipeState, error) {
+	ps := &pipeState{
+		m:       m,
+		name:    orig.Name,
+		decl:    tr.Pipe,
+		orig:    orig,
+		res:     tr,
+		specTab: newSpecTable(),
+	}
+	stages := ast.SplitStages(tr.Pipe.Body)
+	for i, st := range stages {
+		ps.body = append(ps.body, &stageNode{pipe: ps, kind: kindBody, index: i, stmts: st})
+	}
+	for i := 0; i < len(ps.body)-1; i++ {
+		ps.body[i].next = ps.body[i+1]
+	}
+
+	if tr.Translated {
+		lastStage := ps.body[len(ps.body)-1]
+		guard, ok := lastStage.stmts[0].(*ast.GefGuard)
+		if !ok || len(lastStage.stmts) != 1 {
+			return nil, fmt.Errorf("sim: pipe %s: translated last stage is malformed", ps.name)
+		}
+		forkStmt, ok := guard.Body[len(guard.Body)-1].(*ast.LefBranch)
+		if !ok {
+			return nil, fmt.Errorf("sim: pipe %s: missing LefBranch in final stage", ps.name)
+		}
+		// The fork is handled structurally: execute a trimmed copy of the
+		// guard (the shared translated AST must stay intact for other
+		// backends such as the Verilog emitter and the cost model).
+		trimmed := &ast.GefGuard{Body: guard.Body[:len(guard.Body)-1]}
+		lastStage.stmts = []ast.Stmt{trimmed}
+
+		commitStages := ast.SplitStages(forkStmt.Commit)
+		for i := 1; i < len(commitStages); i++ {
+			ps.commit = append(ps.commit, &stageNode{pipe: ps, kind: kindCommit, index: i, stmts: commitStages[i]})
+		}
+		for i := 0; i < len(ps.commit)-1; i++ {
+			ps.commit[i].next = ps.commit[i+1]
+		}
+		excStages := ast.SplitStages(forkStmt.Except)
+		for i := 1; i < len(excStages); i++ {
+			ps.exc = append(ps.exc, &stageNode{pipe: ps, kind: kindExc, index: i, stmts: excStages[i]})
+		}
+		for i := 0; i < len(ps.exc)-1; i++ {
+			ps.exc[i].next = ps.exc[i+1]
+		}
+		fi := &forkInfo{
+			commitStage0: commitStages[0],
+			excStage0:    excStages[0],
+		}
+		if len(ps.commit) > 0 {
+			fi.commitNext = ps.commit[0]
+		}
+		if len(ps.exc) > 0 {
+			fi.excNext = ps.exc[0]
+		}
+		lastStage.fork = fi
+	}
+
+	// Processing order: exception chain (downstream first), commit tail,
+	// then body, all downstream first.
+	for i := len(ps.exc) - 1; i >= 0; i-- {
+		ps.nodes = append(ps.nodes, ps.exc[i])
+	}
+	for i := len(ps.commit) - 1; i >= 0; i-- {
+		ps.nodes = append(ps.nodes, ps.commit[i])
+	}
+	for i := len(ps.body) - 1; i >= 0; i-- {
+		ps.nodes = append(ps.nodes, ps.body[i])
+	}
+
+	m.buildSlots(ps)
+	return ps, nil
+}
+
+// OnCycle registers a device hook invoked at the start of every cycle —
+// the external writers of volatile memories (§3.6).
+func (m *Machine) OnCycle(fn func(m *Machine)) { m.devices = append(m.devices, fn) }
+
+// PipeTrace streams one line per cycle to w showing, for every pipeline,
+// which instruction occupies each stage (by iid), plus queue depth and
+// the gef flag — a textual waveform for debugging designs.
+func (m *Machine) PipeTrace(w io.Writer) { m.traceW = w }
+
+func (m *Machine) emitTrace() {
+	if m.traceW == nil {
+		return
+	}
+	fmt.Fprintf(m.traceW, "cycle %5d", m.cycle)
+	for _, name := range m.pipeOrder {
+		ps := m.pipes[name]
+		fmt.Fprintf(m.traceW, " | %s:", name)
+		for _, n := range ps.body {
+			m.emitSlot(n)
+		}
+		if len(ps.commit) > 0 {
+			fmt.Fprint(m.traceW, " /c")
+			for _, n := range ps.commit {
+				m.emitSlot(n)
+			}
+		}
+		if len(ps.exc) > 0 {
+			fmt.Fprint(m.traceW, " /x")
+			for _, n := range ps.exc {
+				m.emitSlot(n)
+			}
+		}
+		if len(ps.entryQ) > 0 {
+			fmt.Fprintf(m.traceW, " q=%d", len(ps.entryQ))
+		}
+		if ps.gef {
+			fmt.Fprint(m.traceW, " GEF")
+		}
+	}
+	fmt.Fprintln(m.traceW)
+}
+
+func (m *Machine) emitSlot(n *stageNode) {
+	if n.cur == nil {
+		fmt.Fprint(m.traceW, " ---")
+		return
+	}
+	mark := ""
+	if n.cur.lef {
+		mark = "!"
+	}
+	fmt.Fprintf(m.traceW, " %3d%s", n.cur.iid, mark)
+}
+
+// Start injects the initial instruction into a pipeline.
+func (m *Machine) Start(pipe string, args ...val.Value) error {
+	ps := m.pipes[pipe]
+	if ps == nil {
+		return fmt.Errorf("sim: unknown pipe %q", pipe)
+	}
+	if len(args) != len(ps.decl.Params) {
+		return fmt.Errorf("sim: pipe %s takes %d args, got %d", pipe, len(ps.decl.Params), len(args))
+	}
+	m.enqueue(ps, args, 0, false, 0, 0, "")
+	return nil
+}
+
+func (m *Machine) enqueue(ps *pipeState, args []val.Value, parent uint64, spec bool, handle uint64, callerIID uint64, resultVar string) *inst {
+	sized := make([]val.Value, len(args))
+	for i, a := range args {
+		sized[i] = val.New(a.Uint(), ps.decl.Params[i].Type.BitWidth())
+	}
+	in := &inst{
+		iid:        m.nextIID,
+		pipe:       ps,
+		args:       sized,
+		vars:       make([]slotVal, len(ps.zeroes)),
+		parent:     parent,
+		spec:       spec,
+		specHandle: handle,
+		callerIID:  callerIID,
+		resultVar:  resultVar,
+	}
+	m.nextIID++
+	for i, p := range ps.decl.Params {
+		in.vars[ps.slotOf[p.Name]] = slotVal{v: Scalar(sized[i]), ok: true}
+	}
+	ps.entryQ = append(ps.entryQ, in)
+	m.alive[in.iid] = in
+	return in
+}
+
+// Cycle reports the current cycle count.
+func (m *Machine) Cycle() int { return m.cycle }
+
+// Firings reports total successful stage firings (for utilization stats).
+func (m *Machine) Firings() uint64 { return m.firings }
+
+// Retired returns the retirement trace.
+func (m *Machine) Retired() []Retirement { return m.retired }
+
+// InFlight reports live instructions (in stages or entry queues).
+func (m *Machine) InFlight() int { return len(m.alive) }
+
+// MemPeek reads a memory's committed value.
+func (m *Machine) MemPeek(mem string, addr uint64) val.Value {
+	if p, ok := m.plains[mem]; ok {
+		return p.Peek(addr)
+	}
+	return m.mems[mem].Peek(addr)
+}
+
+// MemPoke sets a memory's committed value (initialization).
+func (m *Machine) MemPoke(mem string, addr uint64, v val.Value) {
+	if p, ok := m.plains[mem]; ok {
+		p.Poke(addr, v)
+		return
+	}
+	m.mems[mem].Poke(addr, v)
+}
+
+// MemDepth reports the word count of a memory.
+func (m *Machine) MemDepth(mem string) int {
+	if p, ok := m.plains[mem]; ok {
+		return p.Depth()
+	}
+	return m.mems[mem].Depth()
+}
+
+// VolPeek reads a volatile register.
+func (m *Machine) VolPeek(name string) val.Value { return m.vols[name].v }
+
+// VolPoke writes a volatile register, as an external device would.
+func (m *Machine) VolPoke(name string, v val.Value) {
+	reg := m.vols[name]
+	reg.v = val.New(v.Uint(), reg.decl.Elem.Width)
+}
+
+// GefSet reports whether a pipeline is in exception-handling mode.
+func (m *Machine) GefSet(pipe string) bool { return m.pipes[pipe].gef }
+
+// Step advances one cycle. It returns an error on livelock (no firing or
+// movement for a long stretch while work remains).
+func (m *Machine) Step() error {
+	for _, d := range m.devices {
+		d(m)
+	}
+	progressed := false
+	for _, name := range m.pipeOrder {
+		ps := m.pipes[name]
+		for _, node := range ps.nodes {
+			if node.cur == nil && node.kind == kindBody && node.index == 0 {
+				m.pullEntry(ps, node)
+			}
+			if node.cur == nil {
+				continue
+			}
+			if m.fire(node) {
+				progressed = true
+			}
+		}
+	}
+	m.emitTrace()
+	m.cycle++
+	if progressed || len(m.alive) == 0 {
+		m.idleFor = 0
+		return nil
+	}
+	m.idleFor++
+	if m.idleFor > 200 {
+		return fmt.Errorf("sim: livelock at cycle %d: %s", m.cycle, m.stateDump())
+	}
+	return nil
+}
+
+func (m *Machine) pullEntry(ps *pipeState, node *stageNode) {
+	if len(ps.entryQ) == 0 {
+		return
+	}
+	node.cur = ps.entryQ[0]
+	copy(ps.entryQ, ps.entryQ[1:])
+	ps.entryQ = ps.entryQ[:len(ps.entryQ)-1]
+}
+
+// Run advances up to maxCycles cycles, stopping early when no work
+// remains. It reports how many cycles elapsed.
+func (m *Machine) Run(maxCycles int) (int, error) {
+	start := m.cycle
+	for m.cycle-start < maxCycles {
+		if len(m.alive) == 0 {
+			break
+		}
+		if err := m.Step(); err != nil {
+			return m.cycle - start, err
+		}
+	}
+	return m.cycle - start, nil
+}
+
+// RunUntil advances until pred returns true, up to maxCycles.
+func (m *Machine) RunUntil(maxCycles int, pred func(*Machine) bool) (int, error) {
+	start := m.cycle
+	for m.cycle-start < maxCycles {
+		if pred(m) || len(m.alive) == 0 {
+			break
+		}
+		if err := m.Step(); err != nil {
+			return m.cycle - start, err
+		}
+	}
+	return m.cycle - start, nil
+}
+
+func (m *Machine) stateDump() string {
+	s := ""
+	for _, name := range m.pipeOrder {
+		ps := m.pipes[name]
+		for _, n := range ps.nodes {
+			if n.cur != nil {
+				s += fmt.Sprintf("[%s: iid=%d%s] ", n.label(), n.cur.iid,
+					map[bool]string{true: " waiting", false: ""}[n.cur.waiting != nil])
+			}
+		}
+		if len(ps.entryQ) > 0 {
+			s += fmt.Sprintf("[%s.entryQ: %d] ", name, len(ps.entryQ))
+		}
+		if ps.gef {
+			s += fmt.Sprintf("[%s.gef] ", name)
+		}
+	}
+	return s
+}
+
+// squash kills an instruction and all its descendants (younger spawns),
+// removing their lock reservations youngest-first.
+func (m *Machine) squash(iid uint64) {
+	victims := m.collectDescendants(iid)
+	sort.Slice(victims, func(i, j int) bool { return victims[i].iid > victims[j].iid })
+	for _, v := range victims {
+		m.removeInst(v)
+	}
+}
+
+func (m *Machine) collectDescendants(iid uint64) []*inst {
+	var out []*inst
+	for _, in := range m.alive {
+		for cur := in; ; {
+			if cur.iid == iid {
+				out = append(out, in)
+				break
+			}
+			p, ok := m.alive[cur.parent]
+			if !ok {
+				break
+			}
+			cur = p
+		}
+	}
+	return out
+}
+
+// removeInst erases one instruction from stages, entry queues and locks.
+func (m *Machine) removeInst(in *inst) {
+	for _, l := range m.mems {
+		l.Squash(in.iid)
+	}
+	ps := in.pipe
+	for _, n := range ps.nodes {
+		if n.cur == in {
+			n.cur = nil
+		}
+	}
+	for i, q := range ps.entryQ {
+		if q == in {
+			ps.entryQ = append(ps.entryQ[:i], ps.entryQ[i+1:]...)
+			break
+		}
+	}
+	delete(m.alive, in.iid)
+}
+
+func (m *Machine) retire(in *inst, node *stageNode) {
+	if len(m.retired) < maxTraceDefault(m.cfg.MaxTrace) {
+		m.retired = append(m.retired, Retirement{
+			Pipe:        in.pipe.name,
+			IID:         in.iid,
+			Args:        in.args,
+			Exceptional: in.lef,
+			EArgs:       in.eargs,
+			Cycle:       m.cycle,
+		})
+	}
+	delete(m.alive, in.iid)
+	_ = node
+}
+
+func maxTraceDefault(n int) int {
+	if n <= 0 {
+		return 1 << 20
+	}
+	return n
+}

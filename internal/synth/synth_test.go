@@ -1,0 +1,198 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/designs"
+	"xpdl/internal/ir"
+)
+
+func lower(t *testing.T, v designs.Variant) *ir.Design {
+	t.Helper()
+	p, err := designs.Build(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ir.Lower(p.Design.Info, p.Design.Translations)
+}
+
+func TestAreaGrowsWithFeatures(t *testing.T) {
+	tech := ASIC45()
+	base := AreaOf(lower(t, designs.Base), tech)
+	for _, v := range []designs.Variant{designs.Fatal, designs.Trap, designs.CSR, designs.All} {
+		a := AreaOf(lower(t, v), tech)
+		if a.Total() <= base.Total() {
+			t.Errorf("%s area %.0f not larger than base %.0f", v, a.Total(), base.Total())
+		}
+		if a.RegFileCSR <= base.RegFileCSR {
+			t.Errorf("%s rf+csr area did not grow", v)
+		}
+	}
+}
+
+func TestCombinedCheaperThanSumOfGroups(t *testing.T) {
+	// The paper: "even for the combined example, the total area cost is
+	// still much less than the sum of the areas of each group."
+	tech := ASIC45()
+	base := AreaOf(lower(t, designs.Base), tech).Total()
+	all := AreaOf(lower(t, designs.All), tech).Total()
+	sumDeltas := 0.0
+	for _, v := range []designs.Variant{designs.Fatal, designs.Trap, designs.CSR} {
+		sumDeltas += AreaOf(lower(t, v), tech).Total() - base
+	}
+	allDelta := all - base
+	if allDelta >= sumDeltas {
+		t.Errorf("combined delta %.0f is not below the sum of group deltas %.0f", allDelta, sumDeltas)
+	}
+}
+
+func TestCSRStorageDominatesTrapDelta(t *testing.T) {
+	// Within a group, the majority of the area difference should be CSR
+	// and stage-register storage, not combinational logic explosion.
+	tech := ASIC45()
+	base := AreaOf(lower(t, designs.Base), tech)
+	trap := AreaOf(lower(t, designs.Trap), tech)
+	dStorage := (trap.RegFileCSR - base.RegFileCSR) + (trap.StageRegs - base.StageRegs)
+	dComb := trap.Comb - base.Comb
+	if dStorage <= 0 {
+		t.Fatal("no storage growth")
+	}
+	if dComb > dStorage*2 {
+		t.Errorf("combinational delta %.0f dwarfs storage delta %.0f; expected storage-led growth", dComb, dStorage)
+	}
+}
+
+func TestFrequencyPenaltySmall(t *testing.T) {
+	tech := ASIC45()
+	base := TimingOf(lower(t, designs.Base), tech)
+	all := TimingOf(lower(t, designs.All), tech)
+	if all.FMaxMHz() >= base.FMaxMHz() {
+		t.Errorf("exceptions made the design faster? base %.2f, all %.2f", base.FMaxMHz(), all.FMaxMHz())
+	}
+	drop := (base.FMaxMHz() - all.FMaxMHz()) / base.FMaxMHz() * 100
+	if drop > 5.0 {
+		t.Errorf("fmax drop %.2f%% exceeds the paper-scale bound (~3.3%%)", drop)
+	}
+	// Calibration: the baseline should land near the paper's 169.49 MHz.
+	if base.FMaxMHz() < 130 || base.FMaxMHz() > 210 {
+		t.Errorf("baseline fmax %.2f MHz is out of the calibrated 45 nm range", base.FMaxMHz())
+	}
+}
+
+func TestCriticalPathIsExecuteStage(t *testing.T) {
+	tm := TimingOf(lower(t, designs.All), ASIC45())
+	if !strings.Contains(tm.Critical, "body2") {
+		t.Errorf("critical stage = %s, expected the execute stage (body2)", tm.Critical)
+	}
+}
+
+func TestFPGAModelScales(t *testing.T) {
+	base := TimingOf(lower(t, designs.Base), FPGA())
+	if base.FMaxMHz() < 50 || base.FMaxMHz() > 85 {
+		t.Errorf("FPGA fmax %.2f MHz; the paper's quick check sits near 65.6", base.FMaxMHz())
+	}
+}
+
+func TestStageRegistersGrowWithExceptions(t *testing.T) {
+	base := lower(t, designs.Base)
+	all := lower(t, designs.All)
+	bb := stageBits(base)
+	ab := stageBits(all)
+	if ab <= bb {
+		t.Errorf("stage register bits base=%d all=%d; eargs and lef must add bits", bb, ab)
+	}
+}
+
+func stageBits(d *ir.Design) int {
+	n := 0
+	for _, p := range d.Pipelines {
+		for _, s := range p.Stages() {
+			n += s.InRegBits
+		}
+	}
+	return n
+}
+
+func TestLoweringShape(t *testing.T) {
+	d := lower(t, designs.All)
+	if len(d.Pipelines) != 1 {
+		t.Fatalf("%d pipelines", len(d.Pipelines))
+	}
+	p := d.Pipelines[0]
+	if len(p.Body) != 5 {
+		t.Errorf("body stages = %d, want 5", len(p.Body))
+	}
+	if len(p.Except) < 1 {
+		t.Error("missing except chain stages")
+	}
+	if !p.Translated {
+		t.Error("all variant must be translated")
+	}
+	fork := p.Body[len(p.Body)-1]
+	if !fork.HasFork {
+		t.Error("final body stage must carry the fork")
+	}
+	for _, s := range p.Body {
+		if !s.GefGuarded {
+			t.Errorf("body stage %d not gef guarded", s.Index)
+		}
+	}
+	ex := p.Body[2].Externs
+	for _, want := range []string{"alu", "nextpc", "intcause", "memfault"} {
+		if ex[want] == 0 {
+			t.Errorf("execute stage missing extern %s", want)
+		}
+	}
+	if p.Body[2].Throws == 0 {
+		t.Error("execute stage should contain lowered throws")
+	}
+}
+
+func TestVerilogEmission(t *testing.T) {
+	p, err := designs.Build(designs.All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verilog(p.Design.Info, p.Design.Translations)
+	for _, frag := range []string{
+		"module pipe_cpu",
+		"reg gef;",
+		"s0_lef",
+		"gef <= 1'b1;",
+		"pipeclear = 1'b1;",
+		"specclear = 1'b1;",
+		"_abort = 1'b1;",
+		"module mem_rf",
+		"module vol_mstatus",
+		"module ext_decode",
+		"always @(posedge clk)",
+	} {
+		if !strings.Contains(v, frag) {
+			t.Errorf("verilog missing %q", frag)
+		}
+	}
+	if len(v) < 4000 {
+		t.Errorf("verilog suspiciously small: %d bytes", len(v))
+	}
+}
+
+func TestVerilogBaseHasNoExceptionLogic(t *testing.T) {
+	p, err := designs.Build(designs.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verilog(p.Design.Info, p.Design.Translations)
+	for _, frag := range []string{"gef", "pipeclear", "lef"} {
+		if strings.Contains(v, frag) {
+			t.Errorf("baseline verilog contains exception construct %q", frag)
+		}
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	r := Report(lower(t, designs.All), ASIC45())
+	if !strings.Contains(r, "fmax") || !strings.Contains(r, "µm²") {
+		t.Errorf("report: %s", r)
+	}
+}

@@ -1,0 +1,289 @@
+// Package val implements the sized bit-vector values that flow through
+// XPDL pipelines. Every wire, register and memory word in the language is a
+// Value: an unsigned bit pattern with an explicit width between 1 and 64
+// bits. All arithmetic wraps modulo 2^width, exactly as the corresponding
+// hardware datapath would.
+package val
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxWidth is the widest value the kernel supports. Sixty-four bits covers
+// RV32IM (the widest intermediate is the 64-bit product of MULH*).
+const MaxWidth = 64
+
+// Value is a fixed-width bit vector. The zero Value is a 1-bit zero, so
+// uninitialized wires read as hardware zeros rather than crashing.
+type Value struct {
+	bits  uint64
+	width int
+}
+
+// New builds a Value of the given width, truncating bits to fit.
+// It panics if width is out of range; widths come from the type checker,
+// so an invalid width is a compiler bug, not a user error.
+func New(bits uint64, width int) Value {
+	if width <= 0 || width > MaxWidth {
+		panic(fmt.Sprintf("val: invalid width %d", width))
+	}
+	return Value{bits: bits & mask(width), width: width}
+}
+
+// Bool builds a 1-bit Value from a Go bool.
+func Bool(b bool) Value {
+	if b {
+		return Value{bits: 1, width: 1}
+	}
+	return Value{bits: 0, width: 1}
+}
+
+func mask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+// Width reports the declared width in bits. The zero Value has width 1.
+func (v Value) Width() int {
+	if v.width == 0 {
+		return 1
+	}
+	return v.width
+}
+
+// Uint returns the raw bit pattern, zero-extended to 64 bits.
+func (v Value) Uint() uint64 { return v.bits }
+
+// Int returns the bit pattern reinterpreted as a signed two's-complement
+// integer of the value's width.
+func (v Value) Int() int64 {
+	w := v.Width()
+	if w == 64 {
+		return int64(v.bits)
+	}
+	sign := uint64(1) << uint(w-1)
+	if v.bits&sign != 0 {
+		return int64(v.bits | ^mask(w))
+	}
+	return int64(v.bits)
+}
+
+// IsTrue reports whether any bit is set; it is how conditions are tested.
+func (v Value) IsTrue() bool { return v.bits != 0 }
+
+// IsZero reports whether all bits are clear.
+func (v Value) IsZero() bool { return v.bits == 0 }
+
+// Bit returns bit i (0 = LSB) as 0 or 1. Out-of-range bits read as zero.
+func (v Value) Bit(i int) uint64 {
+	if i < 0 || i >= v.Width() {
+		return 0
+	}
+	return (v.bits >> uint(i)) & 1
+}
+
+// Eq reports bit-pattern equality after zero-extending both sides; the
+// language compares values numerically, not structurally.
+func (v Value) Eq(o Value) bool { return v.bits == o.bits }
+
+// String renders as width'hHEX, the conventional HDL literal form.
+func (v Value) String() string {
+	return fmt.Sprintf("%d'h%x", v.Width(), v.bits)
+}
+
+// BinString renders the value as a binary string, MSB first, for traces.
+func (v Value) BinString() string {
+	var b strings.Builder
+	for i := v.Width() - 1; i >= 0; i-- {
+		if v.Bit(i) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// --- Arithmetic. Results take the width of the left operand, matching the
+// language rule that mixed-width arithmetic adopts the destination width.
+
+// Add returns v + o mod 2^width.
+func (v Value) Add(o Value) Value { return New(v.bits+o.bits, v.Width()) }
+
+// Sub returns v - o mod 2^width.
+func (v Value) Sub(o Value) Value { return New(v.bits-o.bits, v.Width()) }
+
+// Mul returns the low width bits of v * o.
+func (v Value) Mul(o Value) Value { return New(v.bits*o.bits, v.Width()) }
+
+// MulFull returns the full 2w-bit product (capped at 64 bits), used by the
+// RISC-V MULH family.
+func (v Value) MulFull(o Value) Value {
+	w := v.Width() * 2
+	if w > MaxWidth {
+		w = MaxWidth
+	}
+	return New(v.bits*o.bits, w)
+}
+
+// DivU returns the unsigned quotient; division by zero yields all ones,
+// per the RISC-V M-extension convention.
+func (v Value) DivU(o Value) Value {
+	if o.bits == 0 {
+		return New(mask(v.Width()), v.Width())
+	}
+	return New(v.bits/o.bits, v.Width())
+}
+
+// RemU returns the unsigned remainder; remainder by zero yields the
+// dividend, per the RISC-V M-extension convention.
+func (v Value) RemU(o Value) Value {
+	if o.bits == 0 {
+		return v
+	}
+	return New(v.bits%o.bits, v.Width())
+}
+
+// DivS returns the signed quotient with RISC-V edge cases: x/0 = -1 and
+// MinInt / -1 = MinInt (overflow wraps).
+func (v Value) DivS(o Value) Value {
+	w := v.Width()
+	if o.bits == 0 {
+		return New(mask(w), w)
+	}
+	a, b := v.Int(), o.Int()
+	if b == -1 && a == minInt(w) {
+		return New(uint64(a), w)
+	}
+	return New(uint64(a/b), w)
+}
+
+// RemS returns the signed remainder with RISC-V edge cases: x%0 = x and
+// MinInt % -1 = 0.
+func (v Value) RemS(o Value) Value {
+	w := v.Width()
+	if o.bits == 0 {
+		return v
+	}
+	a, b := v.Int(), o.Int()
+	if b == -1 && a == minInt(w) {
+		return New(0, w)
+	}
+	return New(uint64(a%b), w)
+}
+
+func minInt(width int) int64 {
+	return -(int64(1) << uint(width-1))
+}
+
+// --- Bitwise.
+
+// And returns the bitwise AND.
+func (v Value) And(o Value) Value { return New(v.bits&o.bits, v.Width()) }
+
+// Or returns the bitwise OR.
+func (v Value) Or(o Value) Value { return New(v.bits|o.bits, v.Width()) }
+
+// Xor returns the bitwise XOR.
+func (v Value) Xor(o Value) Value { return New(v.bits^o.bits, v.Width()) }
+
+// Not returns the bitwise complement within the value's width.
+func (v Value) Not() Value { return New(^v.bits, v.Width()) }
+
+// Neg returns the two's-complement negation.
+func (v Value) Neg() Value { return New(-v.bits, v.Width()) }
+
+// Shl shifts left by o (amount taken mod width, as RISC-V shifters do).
+func (v Value) Shl(o Value) Value {
+	sh := o.bits % uint64(v.Width())
+	return New(v.bits<<sh, v.Width())
+}
+
+// ShrU shifts right logically by o mod width.
+func (v Value) ShrU(o Value) Value {
+	sh := o.bits % uint64(v.Width())
+	return New(v.bits>>sh, v.Width())
+}
+
+// ShrS shifts right arithmetically by o mod width.
+func (v Value) ShrS(o Value) Value {
+	sh := o.bits % uint64(v.Width())
+	return New(uint64(v.Int()>>sh), v.Width())
+}
+
+// --- Comparisons. All return 1-bit values.
+
+// EqV compares bit patterns for equality.
+func (v Value) EqV(o Value) Value { return Bool(v.bits == o.bits) }
+
+// NeV compares bit patterns for inequality.
+func (v Value) NeV(o Value) Value { return Bool(v.bits != o.bits) }
+
+// LtU is unsigned less-than.
+func (v Value) LtU(o Value) Value { return Bool(v.bits < o.bits) }
+
+// LeU is unsigned less-or-equal.
+func (v Value) LeU(o Value) Value { return Bool(v.bits <= o.bits) }
+
+// GtU is unsigned greater-than.
+func (v Value) GtU(o Value) Value { return Bool(v.bits > o.bits) }
+
+// GeU is unsigned greater-or-equal.
+func (v Value) GeU(o Value) Value { return Bool(v.bits >= o.bits) }
+
+// LtS is signed less-than.
+func (v Value) LtS(o Value) Value { return Bool(v.Int() < o.Int()) }
+
+// LeS is signed less-or-equal.
+func (v Value) LeS(o Value) Value { return Bool(v.Int() <= o.Int()) }
+
+// GtS is signed greater-than.
+func (v Value) GtS(o Value) Value { return Bool(v.Int() > o.Int()) }
+
+// GeS is signed greater-or-equal.
+func (v Value) GeS(o Value) Value { return Bool(v.Int() >= o.Int()) }
+
+// --- Structural operations.
+
+// Slice extracts bits hi..lo inclusive, producing a value of width
+// hi-lo+1. It panics on an inverted or out-of-range slice; slice bounds are
+// compile-time constants validated by the checker.
+func (v Value) Slice(hi, lo int) Value {
+	if lo < 0 || hi < lo || hi >= v.Width() {
+		panic(fmt.Sprintf("val: slice [%d:%d] of %d-bit value", hi, lo, v.Width()))
+	}
+	return New(v.bits>>uint(lo), hi-lo+1)
+}
+
+// Cat concatenates values MSB-first: Cat(a, b) places a above b.
+// It panics if the combined width exceeds MaxWidth.
+func Cat(parts ...Value) Value {
+	total := 0
+	var bits uint64
+	for _, p := range parts {
+		total += p.Width()
+		if total > MaxWidth {
+			panic("val: concatenation wider than 64 bits")
+		}
+		bits = bits<<uint(p.Width()) | p.bits
+	}
+	if total == 0 {
+		panic("val: empty concatenation")
+	}
+	return New(bits, total)
+}
+
+// ZeroExt widens (or truncates) to the target width with zero fill.
+func (v Value) ZeroExt(width int) Value { return New(v.bits, width) }
+
+// SignExt widens to the target width replicating the sign bit; narrowing
+// truncates.
+func (v Value) SignExt(width int) Value {
+	if width <= v.Width() {
+		return New(v.bits, width)
+	}
+	return New(uint64(v.Int()), width)
+}

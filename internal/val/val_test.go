@@ -1,0 +1,301 @@
+package val
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTruncates(t *testing.T) {
+	v := New(0x1FF, 8)
+	if v.Uint() != 0xFF {
+		t.Errorf("New(0x1FF, 8).Uint() = %#x, want 0xFF", v.Uint())
+	}
+	if v.Width() != 8 {
+		t.Errorf("Width() = %d, want 8", v.Width())
+	}
+}
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(_, %d) did not panic", w)
+				}
+			}()
+			New(0, w)
+		}()
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	var v Value
+	if v.Width() != 1 || v.Uint() != 0 || v.IsTrue() {
+		t.Errorf("zero Value = %v, want 1'h0", v)
+	}
+}
+
+func TestBool(t *testing.T) {
+	if Bool(true).Uint() != 1 || Bool(false).Uint() != 0 {
+		t.Error("Bool round-trip broken")
+	}
+	if Bool(true).Width() != 1 {
+		t.Error("Bool width != 1")
+	}
+}
+
+func TestIntSignInterpretation(t *testing.T) {
+	cases := []struct {
+		bits  uint64
+		width int
+		want  int64
+	}{
+		{0xFF, 8, -1},
+		{0x7F, 8, 127},
+		{0x80, 8, -128},
+		{0xFFFFFFFF, 32, -1},
+		{0x80000000, 32, -2147483648},
+		{0, 32, 0},
+		{^uint64(0), 64, -1},
+	}
+	for _, c := range cases {
+		if got := New(c.bits, c.width).Int(); got != c.want {
+			t.Errorf("New(%#x,%d).Int() = %d, want %d", c.bits, c.width, got, c.want)
+		}
+	}
+}
+
+func TestAddWraps(t *testing.T) {
+	v := New(0xFF, 8).Add(New(1, 8))
+	if v.Uint() != 0 {
+		t.Errorf("0xFF+1 (8-bit) = %#x, want 0", v.Uint())
+	}
+}
+
+func TestSubWraps(t *testing.T) {
+	v := New(0, 8).Sub(New(1, 8))
+	if v.Uint() != 0xFF {
+		t.Errorf("0-1 (8-bit) = %#x, want 0xFF", v.Uint())
+	}
+}
+
+func TestMulFull(t *testing.T) {
+	v := New(0xFFFFFFFF, 32).MulFull(New(0xFFFFFFFF, 32))
+	if v.Width() != 64 {
+		t.Fatalf("MulFull width = %d, want 64", v.Width())
+	}
+	if v.Uint() != 0xFFFFFFFE00000001 {
+		t.Errorf("MulFull = %#x", v.Uint())
+	}
+}
+
+func TestDivRemRISCVEdgeCases(t *testing.T) {
+	w := 32
+	allOnes := New(0xFFFFFFFF, w)
+	minI := New(0x80000000, w)
+	negOne := New(0xFFFFFFFF, w)
+	ten := New(10, w)
+
+	if got := ten.DivU(New(0, w)); !got.Eq(allOnes) {
+		t.Errorf("10 /u 0 = %v, want all ones", got)
+	}
+	if got := ten.RemU(New(0, w)); !got.Eq(ten) {
+		t.Errorf("10 %%u 0 = %v, want 10", got)
+	}
+	if got := ten.DivS(New(0, w)); !got.Eq(allOnes) {
+		t.Errorf("10 /s 0 = %v, want -1", got)
+	}
+	if got := ten.RemS(New(0, w)); !got.Eq(ten) {
+		t.Errorf("10 %%s 0 = %v, want 10", got)
+	}
+	if got := minI.DivS(negOne); !got.Eq(minI) {
+		t.Errorf("MinInt /s -1 = %v, want MinInt", got)
+	}
+	if got := minI.RemS(negOne); !got.IsZero() {
+		t.Errorf("MinInt %%s -1 = %v, want 0", got)
+	}
+	if got := New(7, w).DivS(New(0xFFFFFFFE, w)); got.Int() != -3 {
+		t.Errorf("7 /s -2 = %d, want -3", got.Int())
+	}
+}
+
+func TestShifts(t *testing.T) {
+	v := New(0x80000000, 32)
+	if got := v.ShrS(New(4, 32)); got.Uint() != 0xF8000000 {
+		t.Errorf("arith shift = %#x", got.Uint())
+	}
+	if got := v.ShrU(New(4, 32)); got.Uint() != 0x08000000 {
+		t.Errorf("logical shift = %#x", got.Uint())
+	}
+	// Shift amounts are taken mod width.
+	if got := New(1, 32).Shl(New(33, 32)); got.Uint() != 2 {
+		t.Errorf("shl 33 mod 32 = %#x, want 2", got.Uint())
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a := New(0xFFFFFFFF, 32) // -1 signed, max unsigned
+	b := New(1, 32)
+	if !a.GtU(b).IsTrue() {
+		t.Error("0xFFFFFFFF >u 1 should hold")
+	}
+	if !a.LtS(b).IsTrue() {
+		t.Error("-1 <s 1 should hold")
+	}
+	if !a.EqV(a).IsTrue() || a.EqV(b).IsTrue() {
+		t.Error("EqV broken")
+	}
+	if !a.NeV(b).IsTrue() {
+		t.Error("NeV broken")
+	}
+	if !b.LeU(b).IsTrue() || !b.GeS(b).IsTrue() {
+		t.Error("Le/Ge reflexivity broken")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	v := New(0xABCD, 16)
+	if got := v.Slice(15, 8); got.Uint() != 0xAB || got.Width() != 8 {
+		t.Errorf("slice [15:8] = %v", got)
+	}
+	if got := v.Slice(3, 0); got.Uint() != 0xD {
+		t.Errorf("slice [3:0] = %v", got)
+	}
+	if got := v.Slice(0, 0); got.Uint() != 1 || got.Width() != 1 {
+		t.Errorf("slice [0:0] = %v", got)
+	}
+}
+
+func TestSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range slice did not panic")
+		}
+	}()
+	New(0, 8).Slice(8, 0)
+}
+
+func TestCat(t *testing.T) {
+	v := Cat(New(0xAB, 8), New(0xCD, 8))
+	if v.Uint() != 0xABCD || v.Width() != 16 {
+		t.Errorf("Cat = %v", v)
+	}
+	v3 := Cat(New(1, 1), New(0, 2), New(0x7, 3))
+	if v3.Uint() != 0b100111 || v3.Width() != 6 {
+		t.Errorf("3-way Cat = %v", v3)
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	v := New(0x80, 8)
+	if got := v.ZeroExt(16); got.Uint() != 0x0080 {
+		t.Errorf("ZeroExt = %v", got)
+	}
+	if got := v.SignExt(16); got.Uint() != 0xFF80 {
+		t.Errorf("SignExt = %v", got)
+	}
+	// Narrowing truncates in both.
+	if got := New(0x1FF, 16).SignExt(8); got.Uint() != 0xFF {
+		t.Errorf("narrowing SignExt = %v", got)
+	}
+}
+
+func TestBit(t *testing.T) {
+	v := New(0b1010, 4)
+	want := []uint64{0, 1, 0, 1}
+	for i, w := range want {
+		if got := v.Bit(i); got != w {
+			t.Errorf("Bit(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if v.Bit(4) != 0 || v.Bit(-1) != 0 {
+		t.Error("out-of-range Bit should read 0")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	v := New(0x2A, 8)
+	if v.String() != "8'h2a" {
+		t.Errorf("String() = %q", v.String())
+	}
+	if v.BinString() != "00101010" {
+		t.Errorf("BinString() = %q", v.BinString())
+	}
+}
+
+// Property: slicing then concatenating reconstructs the original value.
+func TestQuickSliceCatRoundTrip(t *testing.T) {
+	f := func(bits uint64, cut uint8) bool {
+		w := 32
+		c := int(cut)%(w-1) + 1 // 1..31
+		v := New(bits, w)
+		hi := v.Slice(w-1, c)
+		lo := v.Slice(c-1, 0)
+		return Cat(hi, lo).Eq(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add and Sub are inverses at every width.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b uint64, wRaw uint8) bool {
+		w := int(wRaw)%MaxWidth + 1
+		x, y := New(a, w), New(b, w)
+		return x.Add(y).Sub(y).Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: signed and unsigned views agree on the bit pattern.
+func TestQuickIntRoundTrip(t *testing.T) {
+	f := func(a uint64, wRaw uint8) bool {
+		w := int(wRaw)%MaxWidth + 1
+		v := New(a, w)
+		return New(uint64(v.Int()), w).Eq(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DivU/RemU satisfy the division identity when divisor != 0.
+func TestQuickDivRemIdentity(t *testing.T) {
+	f := func(a, b uint64) bool {
+		w := 32
+		x, y := New(a, w), New(b, w)
+		if y.IsZero() {
+			return true
+		}
+		return y.Mul(x.DivU(y)).Add(x.RemU(y)).Eq(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Not is an involution and And/Or satisfy De Morgan.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(a, b uint64, wRaw uint8) bool {
+		w := int(wRaw)%MaxWidth + 1
+		x, y := New(a, w), New(b, w)
+		if !x.Not().Not().Eq(x) {
+			return false
+		}
+		return x.And(y).Not().Eq(x.Not().Or(y.Not()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := New(12345, 32), New(67890, 32)
+	for i := 0; i < b.N; i++ {
+		x = x.Add(y)
+	}
+	_ = x
+}

@@ -1,0 +1,574 @@
+// Package workloads provides the RV32IM benchmark kernels used by the
+// evaluation — the stand-in for MachSuite (the paper compiles MachSuite
+// to RV32IM with gcc; this repo has no compiler toolchain, so equivalent
+// kernels are written directly in assembly). Each kernel runs a real
+// algorithm over data-memory-resident state, stores a checksum to word 0
+// of data memory, and halts with ebreak.
+//
+// The kernels exercise the microarchitectural behaviours that determine
+// CPI: tight dependent ALU chains (fib), branchy control (sort, crc),
+// byte memory traffic (aes), word streaming (memcpy), and multiply-heavy
+// inner loops (gemm).
+package workloads
+
+import (
+	"fmt"
+
+	"xpdl/internal/asm"
+)
+
+// Workload is one benchmark kernel.
+type Workload struct {
+	Name string
+	// Source is the RV32IM assembly text.
+	Source string
+	// MaxSteps bounds golden-model steps (and derives a cycle budget).
+	MaxSteps int
+}
+
+// All returns the kernels in report order.
+func All() []Workload {
+	return []Workload{
+		{Name: "aes", Source: srcAES, MaxSteps: 60000},
+		{Name: "gemm", Source: srcGEMM, MaxSteps: 60000},
+		{Name: "sort", Source: srcSort, MaxSteps: 80000},
+		{Name: "crc", Source: srcCRC, MaxSteps: 120000},
+		{Name: "fib", Source: srcFib, MaxSteps: 20000},
+		{Name: "memcpy", Source: srcMemcpy, MaxSteps: 40000},
+		{Name: "spmv", Source: srcSPMV, MaxSteps: 40000},
+		{Name: "stencil", Source: srcStencil, MaxSteps: 60000},
+		{Name: "histogram", Source: srcHistogram, MaxSteps: 60000},
+	}
+}
+
+// ByName looks a kernel up.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown kernel %q", name)
+}
+
+// Assemble builds the kernel's binary.
+func (w Workload) Assemble() (*asm.Program, error) { return asm.Assemble(w.Source) }
+
+// srcAES is an AES-flavoured byte-substitution/xor kernel: it builds a
+// 256-entry S-box, then runs 10 rounds of sub+xor over a 16-byte state.
+const srcAES = `
+# aes-like kernel: sbox substitution + key xor rounds over a 16-byte state
+        li   s0, 256         # sbox base (bytes 256..511)
+        li   s1, 512         # state base (bytes 512..527)
+
+# build sbox[i] = (i*167 + 13) & 0xFF  (a byte permutation: gcd(167,256)=1)
+        li   t0, 0
+        li   t1, 256
+sbox_loop:
+        li   t2, 167
+        mul  t3, t0, t2
+        addi t3, t3, 13
+        andi t3, t3, 0xFF
+        add  t4, s0, t0
+        sb   t3, 0(t4)
+        addi t0, t0, 1
+        bne  t0, t1, sbox_loop
+
+# init state[i] = i*31+7
+        li   t0, 0
+        li   t1, 16
+st_loop:
+        li   t2, 31
+        mul  t3, t0, t2
+        addi t3, t3, 7
+        add  t4, s1, t0
+        sb   t3, 0(t4)
+        addi t0, t0, 1
+        bne  t0, t1, st_loop
+
+# 10 rounds: state[i] = sbox[state[i]] ^ (key=i*3+round)
+        li   s2, 0           # round
+        li   s3, 10
+round_loop:
+        li   t0, 0
+        li   t1, 16
+byte_loop:
+        add  t4, s1, t0
+        lbu  t5, 0(t4)
+        add  t6, s0, t5
+        lbu  t5, 0(t6)       # sbox lookup
+        li   t2, 3
+        mul  t3, t0, t2
+        add  t3, t3, s2
+        andi t3, t3, 0xFF
+        xor  t5, t5, t3
+        sb   t5, 0(t4)
+        addi t0, t0, 1
+        bne  t0, t1, byte_loop
+        addi s2, s2, 1
+        bne  s2, s3, round_loop
+
+# checksum: sum of state bytes, xored with rotations
+        li   t0, 0
+        li   t1, 16
+        li   a0, 0
+ck_loop:
+        add  t4, s1, t0
+        lbu  t5, 0(t4)
+        slli t6, t5, 3
+        add  a0, a0, t6
+        xor  a0, a0, t5
+        addi t0, t0, 1
+        bne  t0, t1, ck_loop
+        sw   a0, 0(zero)
+        ebreak
+`
+
+// srcGEMM multiplies two 6x6 integer matrices generated in place.
+const srcGEMM = `
+# gemm kernel: C = A * B over 6x6 matrices
+        li   s0, 256         # A base
+        li   s1, 512         # B base
+        li   s2, 768         # C base
+        li   s3, 6           # N
+
+# A[i][j] = i + 2*j + 1 ; B[i][j] = i*j + 3
+        li   t0, 0           # i
+initi:  li   t1, 0           # j
+initj:  mul  t2, t0, s3
+        add  t2, t2, t1
+        slli t2, t2, 2       # offset = (i*N+j)*4
+        slli t3, t1, 1
+        add  t3, t3, t0
+        addi t3, t3, 1
+        add  t4, s0, t2
+        sw   t3, 0(t4)
+        mul  t3, t0, t1
+        addi t3, t3, 3
+        add  t4, s1, t2
+        sw   t3, 0(t4)
+        addi t1, t1, 1
+        bne  t1, s3, initj
+        addi t0, t0, 1
+        bne  t0, s3, initi
+
+# triple loop
+        li   t0, 0           # i
+mi:     li   t1, 0           # j
+mj:     li   a1, 0           # acc
+        li   t2, 0           # k
+mk:     mul  t3, t0, s3
+        add  t3, t3, t2
+        slli t3, t3, 2
+        add  t3, t3, s0
+        lw   t4, 0(t3)       # A[i][k]
+        mul  t3, t2, s3
+        add  t3, t3, t1
+        slli t3, t3, 2
+        add  t3, t3, s1
+        lw   t5, 0(t3)       # B[k][j]
+        mul  t6, t4, t5
+        add  a1, a1, t6
+        addi t2, t2, 1
+        bne  t2, s3, mk
+        mul  t3, t0, s3
+        add  t3, t3, t1
+        slli t3, t3, 2
+        add  t3, t3, s2
+        sw   a1, 0(t3)
+        addi t1, t1, 1
+        bne  t1, s3, mj
+        addi t0, t0, 1
+        bne  t0, s3, mi
+
+# checksum: xor of all C entries rotated by index
+        li   t0, 0
+        li   t1, 36
+        li   a0, 0
+gck:    slli t2, t0, 2
+        add  t2, t2, s2
+        lw   t3, 0(t2)
+        andi t4, t0, 31
+        sll  t3, t3, t4
+        xor  a0, a0, t3
+        addi t0, t0, 1
+        bne  t0, t1, gck
+        sw   a0, 0(zero)
+        ebreak
+`
+
+// srcSort insertion-sorts 32 pseudorandom words.
+const srcSort = `
+# sort kernel: insertion sort of 32 LCG-generated words
+        li   s0, 256         # array base
+        li   s1, 32          # N
+
+# fill with LCG: x = x*1103515245 + 12345
+        li   t0, 0
+        li   t1, 42
+fill:   li   t2, 0x41C64E6D
+        mul  t1, t1, t2
+        li   t2, 12345
+        add  t1, t1, t2
+        srli t3, t1, 8
+        slli t4, t0, 2
+        add  t4, t4, s0
+        sw   t3, 0(t4)
+        addi t0, t0, 1
+        bne  t0, s1, fill
+
+# insertion sort
+        li   t0, 1           # i
+outer:  slli t2, t0, 2
+        add  t2, t2, s0
+        lw   a1, 0(t2)       # key
+        addi t3, t0, -1      # j
+inner:  blt  t3, zero, place
+        slli t4, t3, 2
+        add  t4, t4, s0
+        lw   t5, 0(t4)
+        bgeu a1, t5, place
+        sw   t5, 4(t4)
+        addi t3, t3, -1
+        j    inner
+place:  addi t3, t3, 1
+        slli t4, t3, 2
+        add  t4, t4, s0
+        sw   a1, 0(t4)
+        addi t0, t0, 1
+        bne  t0, s1, outer
+
+# checksum: sum(i * a[i]) — order sensitive
+        li   t0, 0
+        li   a0, 0
+sck:    slli t2, t0, 2
+        add  t2, t2, s0
+        lw   t3, 0(t2)
+        addi t4, t0, 1
+        mul  t3, t3, t4
+        add  a0, a0, t3
+        addi t0, t0, 1
+        bne  t0, s1, sck
+        sw   a0, 0(zero)
+        ebreak
+`
+
+// srcCRC runs a bitwise CRC-32 over 48 generated words.
+const srcCRC = `
+# crc kernel: bitwise CRC-32 (poly 0xEDB88320) over 48 words
+        li   s0, 0xFFFFFFFF  # crc
+        li   s1, 0xEDB88320  # polynomial
+        li   s2, 48          # words
+        li   t0, 0           # word index
+        li   t1, 777         # LCG state
+word:   li   t2, 0x19660D
+        mul  t1, t1, t2
+        li   t2, 0x3C6EF35F
+        add  t1, t1, t2
+        xor  s0, s0, t1
+        li   t3, 0           # bit
+bit:    andi t4, s0, 1
+        srli s0, s0, 1
+        beqz t4, nob
+        xor  s0, s0, s1
+nob:    addi t3, t3, 1
+        li   t5, 32
+        bne  t3, t5, bit
+        addi t0, t0, 1
+        bne  t0, s2, word
+        sw   s0, 0(zero)
+        ebreak
+`
+
+// srcFib computes fib(40) iteratively (a dependent ALU chain).
+const srcFib = `
+# fib kernel: iterative fibonacci, tight RAW dependences
+        li   t0, 0           # a
+        li   t1, 1           # b
+        li   t2, 0           # i
+        li   t3, 40
+floop:  add  t4, t0, t1
+        mv   t0, t1
+        mv   t1, t4
+        addi t2, t2, 1
+        bne  t2, t3, floop
+        sw   t1, 0(zero)
+        ebreak
+`
+
+// srcMemcpy copies 160 words plus a byte tail and checksums the copy.
+const srcMemcpy = `
+# memcpy kernel: word copy with byte tail
+        li   s0, 256         # src
+        li   s1, 1024        # dst
+        li   s2, 160         # words
+
+# fill source
+        li   t0, 0
+mf:     slli t1, t0, 2
+        add  t1, t1, s0
+        li   t2, 0x9E3779B9
+        mul  t3, t0, t2
+        addi t3, t3, 101
+        sw   t3, 0(t1)
+        addi t0, t0, 1
+        bne  t0, s2, mf
+
+# word copy
+        li   t0, 0
+mc:     slli t1, t0, 2
+        add  t2, t1, s0
+        lw   t3, 0(t2)
+        add  t2, t1, s1
+        sw   t3, 0(t2)
+        addi t0, t0, 1
+        bne  t0, s2, mc
+
+# byte tail: copy 5 bytes from the end, byte-wise
+        slli t1, s2, 2
+        add  t2, t1, s0
+        add  t4, t1, s1
+        li   t0, 0
+bt:     add  t5, t2, t0
+        lbu  t6, -5(t5)
+        add  t5, t4, t0
+        sb   t6, -5(t5)
+        addi t0, t0, 1
+        li   t5, 5
+        bne  t0, t5, bt
+
+# checksum over the destination
+        li   t0, 0
+        li   a0, 0
+cck:    slli t1, t0, 2
+        add  t1, t1, s1
+        lw   t2, 0(t1)
+        add  a0, a0, t2
+        xor  a0, a0, t0
+        addi t0, t0, 1
+        bne  t0, s2, cck
+        sw   a0, 0(zero)
+        ebreak
+`
+
+// srcSPMV multiplies a sparse matrix (CSR format, built at runtime) by a
+// dense vector — MachSuite's spmv analogue.
+const srcSPMV = `
+# spmv kernel: y = A*x, A sparse in CSR form (8 rows, 3 nonzeros each)
+        li   s0, 256         # values base
+        li   s1, 512         # column-index base
+        li   s2, 640         # row-pointer base
+        li   s3, 768         # x base
+        li   s4, 896         # y base
+        li   s5, 8           # rows
+
+# build: row i has nonzeros at columns (i, (i+3)%8, (i+5)%8), value i*2+c+1
+        li   t0, 0           # row
+        li   t1, 0           # nz index
+bld:    slli t2, t0, 2
+        add  t2, t2, s2
+        sw   t1, 0(t2)       # rowptr[i] = nz
+        li   t3, 0           # c = 0..2
+bldc:   slli t4, t3, 1
+        addi t4, t4, 3
+        mul  t4, t4, t3      # spread
+        add  t4, t4, t0
+        andi t4, t4, 7       # column
+        slli t5, t1, 2
+        add  t6, t5, s1
+        sw   t4, 0(t6)       # colidx[nz]
+        slli t6, t0, 1
+        add  t6, t6, t3
+        addi t6, t6, 1
+        add  t4, t5, s0
+        sw   t6, 0(t4)       # val[nz]
+        addi t1, t1, 1
+        addi t3, t3, 1
+        li   t4, 3
+        bne  t3, t4, bldc
+        addi t0, t0, 1
+        bne  t0, s5, bld
+        slli t2, t0, 2
+        add  t2, t2, s2
+        sw   t1, 0(t2)       # rowptr[rows] = total nz
+
+# x[j] = j*j + 1
+        li   t0, 0
+bx:     mul  t2, t0, t0
+        addi t2, t2, 1
+        slli t3, t0, 2
+        add  t3, t3, s3
+        sw   t2, 0(t3)
+        addi t0, t0, 1
+        bne  t0, s5, bx
+
+# y[i] = sum val[k]*x[colidx[k]] for k in rowptr[i]..rowptr[i+1]
+        li   t0, 0           # row
+rows:   slli t2, t0, 2
+        add  t2, t2, s2
+        lw   t3, 0(t2)       # k = rowptr[i]
+        lw   t4, 4(t2)       # end = rowptr[i+1]
+        li   a1, 0
+inner:  bge  t3, t4, rdone
+        slli t5, t3, 2
+        add  t6, t5, s0
+        lw   t6, 0(t6)       # val[k]
+        add  t5, t5, s1
+        lw   t5, 0(t5)       # col
+        slli t5, t5, 2
+        add  t5, t5, s3
+        lw   t5, 0(t5)       # x[col]
+        mul  t5, t5, t6
+        add  a1, a1, t5
+        addi t3, t3, 1
+        j    inner
+rdone:  slli t2, t0, 2
+        add  t2, t2, s4
+        sw   a1, 0(t2)
+        addi t0, t0, 1
+        bne  t0, s5, rows
+
+# checksum
+        li   t0, 0
+        li   a0, 0
+yck:    slli t2, t0, 2
+        add  t2, t2, s4
+        lw   t3, 0(t2)
+        add  a0, a0, t3
+        slli t3, t3, 1
+        xor  a0, a0, t3
+        addi t0, t0, 1
+        bne  t0, s5, yck
+        sw   a0, 0(zero)
+        ebreak
+`
+
+// srcStencil runs a 1-D 3-point stencil over 64 elements for 8 sweeps —
+// MachSuite's stencil analogue.
+const srcStencil = `
+# stencil kernel: b[i] = (a[i-1] + 2*a[i] + a[i+1]) / 4, ping-pong buffers
+        li   s0, 256         # buffer A
+        li   s1, 1024        # buffer B
+        li   s2, 64          # N
+        li   s3, 0           # sweep
+        li   s4, 8           # sweeps
+
+# init a[i] = i*13 & 0xFF
+        li   t0, 0
+ini:    li   t2, 13
+        mul  t2, t2, t0
+        andi t2, t2, 0xFF
+        slli t3, t0, 2
+        add  t3, t3, s0
+        sw   t2, 0(t3)
+        addi t0, t0, 1
+        bne  t0, s2, ini
+
+sweep:  li   t0, 1
+        addi t6, s2, -1
+body:   slli t2, t0, 2
+        add  t3, t2, s0
+        lw   t4, -4(t3)
+        lw   t5, 0(t3)
+        slli t5, t5, 1
+        add  t4, t4, t5
+        lw   t5, 4(t3)
+        add  t4, t4, t5
+        srli t4, t4, 2
+        add  t3, t2, s1
+        sw   t4, 0(t3)
+        addi t0, t0, 1
+        bne  t0, t6, body
+        # copy edges
+        lw   t2, 0(s0)
+        sw   t2, 0(s1)
+        slli t2, t6, 2
+        add  t3, t2, s0
+        lw   t4, 0(t3)
+        add  t3, t2, s1
+        sw   t4, 0(t3)
+        # swap buffers
+        mv   t2, s0
+        mv   s0, s1
+        mv   s1, t2
+        addi s3, s3, 1
+        bne  s3, s4, sweep
+
+# checksum over the final buffer (s0 after even swaps)
+        li   t0, 0
+        li   a0, 0
+sck2:   slli t2, t0, 2
+        add  t2, t2, s0
+        lw   t3, 0(t2)
+        add  a0, a0, t3
+        xor  a0, a0, t0
+        addi t0, t0, 1
+        bne  t0, s2, sck2
+        sw   a0, 0(zero)
+        ebreak
+`
+
+// srcHistogram bins 256 byte samples into 16 buckets (data-dependent
+// addressing, read-modify-write traffic).
+const srcHistogram = `
+# histogram kernel: 16 buckets over 256 LCG bytes
+        li   s0, 256         # samples base (bytes)
+        li   s1, 640         # buckets base (words)
+        li   s2, 256         # samples
+
+# generate samples
+        li   t0, 0
+        li   t1, 99
+gen:    li   t2, 0x19660D
+        mul  t1, t1, t2
+        li   t2, 0x3C6EF35F
+        add  t1, t1, t2
+        srli t3, t1, 16
+        andi t3, t3, 0xFF
+        add  t4, s0, t0
+        sb   t3, 0(t4)
+        addi t0, t0, 1
+        bne  t0, s2, gen
+
+# zero buckets
+        li   t0, 0
+        li   t5, 16
+zb:     slli t2, t0, 2
+        add  t2, t2, s1
+        sw   zero, 0(t2)
+        addi t0, t0, 1
+        bne  t0, t5, zb
+
+# bin
+        li   t0, 0
+bin:    add  t2, s0, t0
+        lbu  t3, 0(t2)
+        srli t3, t3, 4       # bucket = sample >> 4
+        slli t3, t3, 2
+        add  t3, t3, s1
+        lw   t4, 0(t3)
+        addi t4, t4, 1
+        sw   t4, 0(t3)
+        addi t0, t0, 1
+        bne  t0, s2, bin
+
+# checksum: sum buckets[i] * (i+1), plus total check
+        li   t0, 0
+        li   a0, 0
+        li   a1, 0
+hck:    slli t2, t0, 2
+        add  t2, t2, s1
+        lw   t3, 0(t2)
+        add  a1, a1, t3
+        addi t4, t0, 1
+        mul  t3, t3, t4
+        add  a0, a0, t3
+        addi t0, t0, 1
+        li   t5, 16
+        bne  t0, t5, hck
+        sub  a1, a1, s2      # must be zero: all samples binned
+        beqz a1, okh
+        li   a0, 0xDEAD
+okh:    sw   a0, 0(zero)
+        ebreak
+`

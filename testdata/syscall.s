@@ -1,0 +1,16 @@
+# Sample program for cmd/xpdlsim: one system call, serviced and resumed.
+#   go run ./cmd/xpdlsim -design all -trace testdata/syscall.s
+        li   t0, 32            # kernel entry address
+        csrw mtvec, t0
+        li   a0, 5
+        ecall                  # sys: a0 += 100
+        sw   a0, 0(zero)       # checksum convention: dmem word 0
+        ebreak
+        nop
+        nop
+# kernel entry (byte 32):
+        csrr t1, mepc
+        addi t1, t1, 4
+        csrw mepc, t1
+        addi a0, a0, 100
+        mret

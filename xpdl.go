@@ -1,0 +1,59 @@
+// Package xpdl is a Go implementation of XPDL — the hardware description
+// language of "Sequential Specifications for Precise Hardware Exceptions"
+// (ASPLOS 2026) — together with the compiler, static checker, exception
+// translation, cycle-accurate simulator and synthesis cost model used to
+// reproduce the paper's evaluation.
+//
+// The typical flow is:
+//
+//	design, err := xpdl.Compile(src)            // parse + check + translate
+//	m, err := design.NewMachine(sim.Config{...}) // bind externs, build simulator
+//	m.Start("cpu", val.New(0, 32))
+//	m.Run(100000)
+//
+// See the examples directory for complete programs.
+package xpdl
+
+import (
+	"xpdl/internal/check"
+	"xpdl/internal/core"
+	"xpdl/internal/pdl/ast"
+	"xpdl/internal/pdl/parser"
+	"xpdl/internal/sim"
+)
+
+// Design is a compiled XPDL program: parsed, statically checked, and with
+// every pipeline's exception logic translated into base-PDL form.
+type Design struct {
+	// Source is the original program text.
+	Source string
+	// Prog is the parsed syntax tree.
+	Prog *ast.Program
+	// Info carries the checker's analysis results.
+	Info *check.Info
+	// Translations maps each pipeline to its exception translation.
+	Translations map[string]*core.Result
+}
+
+// Compile parses, checks and translates an XPDL program.
+func Compile(src string) (*Design, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := check.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{
+		Source:       src,
+		Prog:         prog,
+		Info:         info,
+		Translations: core.TranslateProgram(info),
+	}, nil
+}
+
+// NewMachine builds a cycle-accurate simulator for the design.
+func (d *Design) NewMachine(cfg sim.Config) (*sim.Machine, error) {
+	return sim.New(d.Info, d.Translations, cfg)
+}

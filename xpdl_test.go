@@ -1,0 +1,57 @@
+package xpdl_test
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl"
+	"xpdl/internal/sim"
+	"xpdl/internal/val"
+)
+
+func TestCompileAndRunFacade(t *testing.T) {
+	design, err := xpdl.Compile(`
+memory m: uint<8>[4] with basic, comb_read;
+pipe p(i: uint<8>)[m] {
+    if (i < 3) { call p(i + 1); }
+    ---
+    acquire(m[i[1:0]], W);
+    m[i[1:0]] <- i + 1;
+    release(m[i[1:0]]);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design.Prog.Pipe("p") == nil || design.Translations["p"] == nil {
+		t.Fatal("design not populated")
+	}
+	m, err := design.NewMachine(sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("p", val.New(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if m.MemPeek("m", i).Uint() != i+1 {
+			t.Errorf("m[%d] = %d", i, m.MemPeek("m", i).Uint())
+		}
+	}
+}
+
+func TestCompileParseError(t *testing.T) {
+	_, err := xpdl.Compile(`pipe p( { }`)
+	if err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+func TestCompileCheckError(t *testing.T) {
+	_, err := xpdl.Compile(`pipe p(x: uint<8>)[] { y = nothere; }`)
+	if err == nil || !strings.Contains(err.Error(), "undefined name") {
+		t.Fatalf("check error not reported: %v", err)
+	}
+}
