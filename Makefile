@@ -1,0 +1,23 @@
+# Tier-1: everything must build and every test must pass.
+.PHONY: all test vet bench clean
+
+all: vet test
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+# bench vets the tree, runs the whole benchmark suite once as a smoke
+# check (one iteration per benchmark, with allocation stats), then takes
+# a real measurement of the executor-throughput benchmark, and records
+# the machine-readable results. BENCH_pr1.json is the committed snapshot
+# of the compile-once executor PR; rerun `make bench` to refresh it.
+bench: vet
+	{ go test -run='^$$' -bench=. -benchtime=1x -benchmem ./... && \
+	  go test -run='^$$' -bench=SimThroughput -benchtime=500ms -benchmem ./internal/sim/ ; } \
+	| go run ./cmd/benchjson > BENCH_pr1.json
+
+clean:
+	rm -f BENCH_pr1.json

@@ -4,18 +4,22 @@
 //
 // Usage:
 //
-//	xpdlsim [-design all] [-cycles N] [-trace] [-pipetrace] [-no-golden] prog.s
+//	xpdlsim [-design all] [-cycles N] [-trace] [-pipetrace] [-no-golden]
+//	        [-interp] [-cpuprofile f] [-memprofile f] prog.s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"xpdl/internal/asm"
 	"xpdl/internal/designs"
 	"xpdl/internal/golden"
 	"xpdl/internal/riscv"
+	"xpdl/internal/sim"
 )
 
 func main() {
@@ -24,10 +28,25 @@ func main() {
 	trace := flag.Bool("trace", false, "print the retirement trace")
 	pipetrace := flag.Bool("pipetrace", false, "stream per-cycle stage occupancy (textual waveform)")
 	noGolden := flag.Bool("no-golden", false, "skip the golden-model cross-check")
+	interp := flag.Bool("interp", false, "use the AST-interpreter executor instead of the compiled one")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to `file`")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	data, err := os.ReadFile(flag.Arg(0))
@@ -50,7 +69,7 @@ func main() {
 		fatal(fmt.Errorf("unknown design %q", *design))
 	}
 
-	p, err := designs.Build(variant)
+	p, err := designs.BuildCfg(variant, sim.Config{Interp: *interp})
 	if err != nil {
 		fatal(err)
 	}
@@ -66,6 +85,17 @@ func main() {
 	n, err := p.Run(*cycles)
 	if err != nil {
 		fatal(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	if p.M.InFlight() != 0 {
 		fatal(fmt.Errorf("pipeline did not drain within %d cycles", *cycles))

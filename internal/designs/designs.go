@@ -16,13 +16,24 @@ type Processor struct {
 	M       *sim.Machine
 }
 
-// Build compiles a variant and constructs its simulator.
+// Build compiles a variant and constructs its simulator with the
+// default configuration (compiled stage executor, fresh externs).
 func Build(v Variant) (*Processor, error) {
+	return BuildCfg(v, sim.Config{})
+}
+
+// BuildCfg compiles a variant and constructs its simulator with an
+// explicit configuration (e.g. Interp for the AST-interpreter oracle).
+// cfg.Externs defaults to Externs() when unset.
+func BuildCfg(v Variant, cfg sim.Config) (*Processor, error) {
 	d, err := xpdl.Compile(Source(v))
 	if err != nil {
 		return nil, fmt.Errorf("designs: compile %s: %w", v, err)
 	}
-	m, err := d.NewMachine(sim.Config{Externs: Externs()})
+	if cfg.Externs == nil {
+		cfg.Externs = Externs()
+	}
+	m, err := d.NewMachine(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("designs: machine %s: %w", v, err)
 	}

@@ -17,8 +17,16 @@ type Queue struct {
 	width   int
 	forward bool
 	resvs   []*qResv
-	undo    []func()
 	inTxn   bool
+
+	// Transaction journal: typed undo records in a reusable buffer (no
+	// per-operation closure allocations on the simulator's cycle loop).
+	undo []qUndo
+	// Reservation recycling: records unlinked inside a transaction park
+	// in deadTxn (a rollback may resurrect them via qUndoInsertResv) and
+	// move to the free pool only on Commit.
+	deadTxn []*qResv
+	pool    []*qResv
 }
 
 type qResv struct {
@@ -31,6 +39,25 @@ type qResv struct {
 type qWrite struct {
 	addr uint64
 	v    val.Value
+}
+
+type qUndoKind uint8
+
+const (
+	qUndoRemoveResv qUndoKind = iota // Reserve: unlink res (and recycle it)
+	qUndoPopWrite                    // Write: drop res's latest staged write
+	qUndoData                        // Release: restore committed word
+	qUndoInsertResv                  // Release/Squash: re-link res at idx
+	qUndoResvs                       // Abort: restore the whole queue
+)
+
+type qUndo struct {
+	kind  qUndoKind
+	res   *qResv
+	idx   int
+	addr  uint64
+	old   val.Value
+	resvs []*qResv
 }
 
 // NewBasic builds a basic (non-forwarding) queue lock.
@@ -60,25 +87,66 @@ func (q *Queue) Begin() {
 	q.undo = q.undo[:0]
 }
 
-// Commit keeps the transaction's effects.
+// Commit keeps the transaction's effects. Reservations unlinked during
+// the transaction are now unreachable and return to the free pool.
 func (q *Queue) Commit() {
 	q.inTxn = false
 	q.undo = q.undo[:0]
+	for _, r := range q.deadTxn {
+		q.pool = append(q.pool, r)
+	}
+	q.deadTxn = q.deadTxn[:0]
 }
 
 // Rollback undoes every mutation since Begin.
 func (q *Queue) Rollback() {
 	for i := len(q.undo) - 1; i >= 0; i-- {
-		q.undo[i]()
+		u := &q.undo[i]
+		switch u.kind {
+		case qUndoRemoveResv:
+			q.removeResv(u.res)
+			q.pool = append(q.pool, u.res) // allocated this txn; now unreachable
+		case qUndoPopWrite:
+			u.res.wr = u.res.wr[:len(u.res.wr)-1]
+		case qUndoData:
+			q.data[u.addr] = u.old
+		case qUndoInsertResv:
+			q.insertResv(u.res, u.idx)
+		case qUndoResvs:
+			q.resvs = u.resvs
+		}
 	}
 	q.inTxn = false
 	q.undo = q.undo[:0]
+	// Anything parked in deadTxn was re-linked by the undos above.
+	q.deadTxn = q.deadTxn[:0]
 }
 
-func (q *Queue) record(fn func()) {
+func (q *Queue) record(u qUndo) {
 	if q.inTxn {
-		q.undo = append(q.undo, fn)
+		q.undo = append(q.undo, u)
 	}
+}
+
+// retireResv recycles an unlinked reservation: deferred to Commit while
+// a transaction could still roll it back, immediate otherwise.
+func (q *Queue) retireResv(r *qResv) {
+	if q.inTxn {
+		q.deadTxn = append(q.deadTxn, r)
+	} else {
+		q.pool = append(q.pool, r)
+	}
+}
+
+func (q *Queue) newResv(id IID, addr uint64, write bool) *qResv {
+	if n := len(q.pool); n > 0 {
+		r := q.pool[n-1]
+		q.pool = q.pool[:n-1]
+		r.id, r.addr, r.write = id, addr, write
+		r.wr = r.wr[:0]
+		return r
+	}
+	return &qResv{id: id, addr: addr, write: write}
 }
 
 // find returns the oldest reservation by id exactly matching addr, and
@@ -115,9 +183,9 @@ func (q *Queue) CanReserve(IID, uint64, bool) bool { return true }
 // Reserve appends a reservation for id on addr.
 func (q *Queue) Reserve(id IID, addr uint64, write bool) {
 	boundsCheck(addr, len(q.data), "reserve")
-	r := &qResv{id: id, addr: addr, write: write}
+	r := q.newResv(id, addr, write)
 	q.resvs = append(q.resvs, r)
-	q.record(func() { q.removeResv(r) })
+	q.record(qUndo{kind: qUndoRemoveResv, res: r})
 }
 
 func (q *Queue) removeResv(r *qResv) int {
@@ -224,7 +292,7 @@ func (q *Queue) Write(id IID, addr uint64, v val.Value) {
 		panic(fmt.Sprintf("locks: write by %d to %d without a write reservation", id, addr))
 	}
 	r.wr = append(r.wr, qWrite{addr: addr, v: val.New(v.Uint(), q.width)})
-	q.record(func() { r.wr = r.wr[:len(r.wr)-1] })
+	q.record(qUndo{kind: qUndoPopWrite, res: r})
 }
 
 // Release removes id's oldest reservation matching addr, committing its
@@ -238,13 +306,12 @@ func (q *Queue) Release(id IID, addr uint64) {
 		panic(fmt.Sprintf("locks: release by %d of %d would commit out of order", id, addr))
 	}
 	for _, w := range r.wr {
-		old := q.data[w.addr]
-		addrCopy := w.addr
+		q.record(qUndo{kind: qUndoData, addr: w.addr, old: q.data[w.addr]})
 		q.data[w.addr] = w.v
-		q.record(func() { q.data[addrCopy] = old })
 	}
 	idx := q.removeResv(r)
-	q.record(func() { q.insertResv(r, idx) })
+	q.record(qUndo{kind: qUndoInsertResv, res: r, idx: idx})
+	q.retireResv(r)
 }
 
 // Squash drops every reservation (and staged write) of a killed
@@ -253,9 +320,9 @@ func (q *Queue) Squash(id IID) {
 	for i := len(q.resvs) - 1; i >= 0; i-- {
 		if q.resvs[i].id == id {
 			r := q.resvs[i]
-			idx := i
 			q.resvs = append(q.resvs[:i], q.resvs[i+1:]...)
-			q.record(func() { q.insertResv(r, idx) })
+			q.record(qUndo{kind: qUndoInsertResv, res: r, idx: i})
+			q.retireResv(r)
 		}
 	}
 }
@@ -263,9 +330,10 @@ func (q *Queue) Squash(id IID) {
 // Abort revokes all reservations and discards all uncommitted writes,
 // returning the lock to its last committed state (§3.4).
 func (q *Queue) Abort() {
-	old := q.resvs
+	// Rare (exception rollback): the revoked reservations stay reachable
+	// from the undo record until Commit and are then left to the GC.
+	q.record(qUndo{kind: qUndoResvs, resvs: q.resvs})
 	q.resvs = nil
-	q.record(func() { q.resvs = old })
 }
 
 // Peek reads the committed value at addr.

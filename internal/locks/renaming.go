@@ -27,8 +27,43 @@ type Renaming struct {
 	free    []int
 	resvs   []*rResv
 	width   int
-	undo    []func()
 	inTxn   bool
+
+	// Transaction journal: typed undo records in a reusable buffer (no
+	// per-operation closure allocations on the simulator's cycle loop).
+	undo []rUndo
+	// Reservation recycling; see Queue.deadTxn for the discipline.
+	deadTxn []*rResv
+	pool    []*rResv
+}
+
+type rUndoKind uint8
+
+const (
+	rUndoRemoveResv rUndoKind = iota // Reserve: unlink res (and recycle it)
+	rUndoInsertResv                  // Release/Squash: re-link res at idx
+	rUndoFreePush                    // Reserve: put allocated phys reg back
+	rUndoFreePop                     // Release/Squash: retract a freed reg
+	rUndoSpecMap                     // restore specMap[idx]
+	rUndoCommMap                     // restore commMap[idx]
+	rUndoPhys                        // restore phys[idx]
+	rUndoAbort                       // Abort: restore full snapshot
+)
+
+type rUndo struct {
+	kind rUndoKind
+	res  *rResv
+	idx  int
+	old  int
+	reg  physReg
+	snap *rSnap
+}
+
+// rSnap is Abort's (rare, exception-path) rollback snapshot.
+type rSnap struct {
+	specMap []int
+	free    []int
+	resvs   []*rResv
 }
 
 type physReg struct {
@@ -79,25 +114,73 @@ func (r *Renaming) Begin() {
 	r.undo = r.undo[:0]
 }
 
-// Commit keeps the transaction's effects.
+// Commit keeps the transaction's effects. Reservations unlinked during
+// the transaction are now unreachable and return to the free pool.
 func (r *Renaming) Commit() {
 	r.inTxn = false
 	r.undo = r.undo[:0]
+	for _, res := range r.deadTxn {
+		r.pool = append(r.pool, res)
+	}
+	r.deadTxn = r.deadTxn[:0]
 }
 
 // Rollback undoes every mutation since Begin.
 func (r *Renaming) Rollback() {
 	for i := len(r.undo) - 1; i >= 0; i-- {
-		r.undo[i]()
+		u := &r.undo[i]
+		switch u.kind {
+		case rUndoRemoveResv:
+			r.removeResv(u.res)
+			r.pool = append(r.pool, u.res) // allocated this txn; now unreachable
+		case rUndoInsertResv:
+			r.insertResv(u.res, u.idx)
+		case rUndoFreePush:
+			r.free = append(r.free, u.idx)
+		case rUndoFreePop:
+			r.free = r.free[:len(r.free)-1]
+		case rUndoSpecMap:
+			r.specMap[u.idx] = u.old
+		case rUndoCommMap:
+			r.commMap[u.idx] = u.old
+		case rUndoPhys:
+			r.phys[u.idx] = u.reg
+		case rUndoAbort:
+			copy(r.specMap, u.snap.specMap)
+			r.free = u.snap.free
+			r.resvs = u.snap.resvs
+		}
 	}
 	r.inTxn = false
 	r.undo = r.undo[:0]
+	// Anything parked in deadTxn was re-linked by the undos above.
+	r.deadTxn = r.deadTxn[:0]
 }
 
-func (r *Renaming) record(fn func()) {
+func (r *Renaming) record(u rUndo) {
 	if r.inTxn {
-		r.undo = append(r.undo, fn)
+		r.undo = append(r.undo, u)
 	}
+}
+
+// retireResv recycles an unlinked reservation: deferred to Commit while
+// a transaction could still roll it back, immediate otherwise.
+func (r *Renaming) retireResv(res *rResv) {
+	if r.inTxn {
+		r.deadTxn = append(r.deadTxn, res)
+	} else {
+		r.pool = append(r.pool, res)
+	}
+}
+
+func (r *Renaming) newResv(id IID, arch uint64, write bool) *rResv {
+	if n := len(r.pool); n > 0 {
+		res := r.pool[n-1]
+		r.pool = r.pool[:n-1]
+		*res = rResv{id: id, arch: arch, write: write}
+		return res
+	}
+	return &rResv{id: id, arch: arch, write: write}
 }
 
 func (r *Renaming) find(id IID, arch uint64) *rResv {
@@ -125,29 +208,27 @@ func (r *Renaming) Reserve(id IID, addr uint64, write bool) {
 		panic("locks: renaming locks do not support whole-memory reservations")
 	}
 	boundsCheck(addr, len(r.specMap), "reserve")
-	res := &rResv{id: id, arch: addr, write: write}
+	res := r.newResv(id, addr, write)
 	if write {
 		if len(r.free) == 0 {
 			panic("locks: renaming free list exhausted (check CanReserve first)")
 		}
 		p := r.free[len(r.free)-1]
 		r.free = r.free[:len(r.free)-1]
-		r.record(func() { r.free = append(r.free, p) })
+		r.record(rUndo{kind: rUndoFreePush, idx: p})
 
 		res.newPhys = p
 		res.oldPhys = r.specMap[addr]
-		old := r.specMap[addr]
+		r.record(rUndo{kind: rUndoSpecMap, idx: int(addr), old: r.specMap[addr]})
 		r.specMap[addr] = p
-		r.record(func() { r.specMap[addr] = old })
 
-		oldReg := r.phys[p]
+		r.record(rUndo{kind: rUndoPhys, idx: p, reg: r.phys[p]})
 		r.phys[p] = physReg{v: val.New(0, r.width), ready: false}
-		r.record(func() { r.phys[p] = oldReg })
 	} else {
 		res.phys = r.specMap[addr]
 	}
 	r.resvs = append(r.resvs, res)
-	r.record(func() { r.removeResv(res) })
+	r.record(rUndo{kind: rUndoRemoveResv, res: res})
 }
 
 func (r *Renaming) removeResv(res *rResv) int {
@@ -210,9 +291,8 @@ func (r *Renaming) Write(id IID, addr uint64, v val.Value) {
 		panic(fmt.Sprintf("locks: write by %d to %d without a write reservation", id, addr))
 	}
 	p := res.newPhys
-	old := r.phys[p]
+	r.record(rUndo{kind: rUndoPhys, idx: p, reg: r.phys[p]})
 	r.phys[p] = physReg{v: val.New(v.Uint(), r.width), ready: true}
-	r.record(func() { r.phys[p] = old })
 }
 
 // Release commits a write reservation (the new mapping becomes committed
@@ -224,16 +304,15 @@ func (r *Renaming) Release(id IID, addr uint64) {
 	}
 	if res.write {
 		arch := int(res.arch)
-		oldComm := r.commMap[arch]
+		r.record(rUndo{kind: rUndoCommMap, idx: arch, old: r.commMap[arch]})
 		r.commMap[arch] = res.newPhys
-		r.record(func() { r.commMap[arch] = oldComm })
 
-		freed := res.oldPhys
-		r.free = append(r.free, freed)
-		r.record(func() { r.free = r.free[:len(r.free)-1] })
+		r.free = append(r.free, res.oldPhys)
+		r.record(rUndo{kind: rUndoFreePop})
 	}
 	idx := r.removeResv(res)
-	r.record(func() { r.insertResv(res, idx) })
+	r.record(rUndo{kind: rUndoInsertResv, res: res, idx: idx})
+	r.retireResv(res)
 }
 
 // Squash undoes a killed instruction's reservations. Its write
@@ -248,17 +327,15 @@ func (r *Renaming) Squash(id IID) {
 		if res.write {
 			arch := int(res.arch)
 			if r.specMap[arch] == res.newPhys {
-				cur := r.specMap[arch]
+				r.record(rUndo{kind: rUndoSpecMap, idx: arch, old: r.specMap[arch]})
 				r.specMap[arch] = res.oldPhys
-				r.record(func() { r.specMap[arch] = cur })
 			}
-			p := res.newPhys
-			r.free = append(r.free, p)
-			r.record(func() { r.free = r.free[:len(r.free)-1] })
+			r.free = append(r.free, res.newPhys)
+			r.record(rUndo{kind: rUndoFreePop})
 		}
-		idx := i
 		r.resvs = append(r.resvs[:i], r.resvs[i+1:]...)
-		r.record(func() { r.insertResv(res, idx) })
+		r.record(rUndo{kind: rUndoInsertResv, res: res, idx: i})
+		r.retireResv(res)
 	}
 }
 
@@ -266,28 +343,26 @@ func (r *Renaming) Squash(id IID) {
 // committed one, all reservations disappear, and the free list is rebuilt
 // from the registers the committed map does not reference (§3.4).
 func (r *Renaming) Abort() {
-	oldSpec := append([]int(nil), r.specMap...)
-	oldFree := append([]int(nil), r.free...)
-	oldResvs := r.resvs
+	// Rare (exception rollback): snapshots allocate, and the revoked
+	// reservations are left to the GC.
+	r.record(rUndo{kind: rUndoAbort, snap: &rSnap{
+		specMap: append([]int(nil), r.specMap...),
+		free:    r.free,
+		resvs:   r.resvs,
+	}})
 
 	copy(r.specMap, r.commMap)
 	used := make(map[int]bool, len(r.commMap))
 	for _, p := range r.commMap {
 		used[p] = true
 	}
-	r.free = r.free[:0]
+	r.free = nil
 	for p := len(r.phys) - 1; p >= 0; p-- {
 		if !used[p] {
 			r.free = append(r.free, p)
 		}
 	}
 	r.resvs = nil
-
-	r.record(func() {
-		copy(r.specMap, oldSpec)
-		r.free = oldFree
-		r.resvs = oldResvs
-	})
 }
 
 // Peek reads the committed value of architectural register addr.

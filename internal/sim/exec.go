@@ -10,7 +10,9 @@ import (
 
 // firing is the atomic attempt to execute one stage for one instruction.
 // Lock operations run inside lock transactions; everything else is
-// buffered until the attempt succeeds.
+// buffered until the attempt succeeds. The machine owns a single firing
+// record (Machine.fr) that is reset per attempt, so the hot path never
+// allocates one.
 type firing struct {
 	m    *Machine
 	node *stageNode
@@ -26,13 +28,110 @@ type firing struct {
 	lef   bool
 	eargs []val.Value
 
-	effects []func()
-	spawns  map[string]int // buffered spawns per target pipe, for queue capacity
-
 	dest      *stageNode // chosen continuation (fork overrides node.next)
 	destValid bool
 
-	funcEnv []map[string]V // scoped environments for in-language functions
+	funcEnv []map[string]V // interpreter-only: scoped in-language function envs
+
+	// Compiled-executor function-call state: the current slot-indexed
+	// frame plus the return latch (see compile.go).
+	frame     []V
+	fret      V
+	freturned bool
+}
+
+// effKind discriminates buffered machine-level effects. Effects are
+// typed records in a reusable arena (Machine.effBuf) rather than
+// closures, so buffering them allocates nothing.
+type effKind uint8
+
+const (
+	effVolWrite effKind = iota
+	effSetGEF
+	effPipeClear
+	effSpecClear
+	effVerify
+	effInvalidate
+	effSpecResolve
+	effRemoveInst
+	effReturn
+	effSpawn
+	effSpecSpawn
+)
+
+type effectRec struct {
+	kind      effKind
+	flag      bool         // effSetGEF value; effSpawn blocking
+	vol       *volatileReg // effVolWrite target
+	ps        *pipeState   // pipe whose gef/specTab/entryQ is affected
+	in        *inst        // self (pipeClear), victim (removeInst), spawner, resolvee
+	v         val.Value    // effVolWrite payload
+	vv        V            // effReturn payload
+	h         uint64       // speculation handle
+	argOff    int          // effSpawn/effSpecSpawn: offset into Machine.spawnArena
+	argN      int
+	callerIID uint64
+	resultVar string
+}
+
+func (f *firing) eff(e effectRec) { f.m.effBuf = append(f.m.effBuf, e) }
+
+// applyEffects commits the buffered machine-level effects in program
+// order; called only after every lock transaction committed.
+func (m *Machine) applyEffects() {
+	for i := 0; i < len(m.effBuf); i++ {
+		e := &m.effBuf[i]
+		switch e.kind {
+		case effVolWrite:
+			e.vol.v = e.v
+		case effSetGEF:
+			e.ps.gef = e.flag
+		case effPipeClear:
+			m.pipeClear(e.ps, e.in)
+		case effSpecClear:
+			e.ps.specTab.clear()
+		case effVerify:
+			if e.ps.specTab.entries[e.h] == specPending {
+				e.ps.specTab.entries[e.h] = specVerified
+			}
+		case effInvalidate:
+			e.ps.specTab.entries[e.h] = specInvalid
+			for _, other := range m.snapshotAlive() {
+				if other.spec && other.specHandle == e.h {
+					m.squash(other.iid)
+				}
+			}
+		case effSpecResolve:
+			e.in.spec = false
+			delete(e.ps.specTab.entries, e.in.specHandle)
+		case effRemoveInst:
+			m.removeInst(e.in)
+		case effReturn:
+			caller, alive := m.alive[e.callerIID]
+			if !alive {
+				continue // caller was squashed or flushed; result is dropped
+			}
+			if e.resultVar != "" {
+				if slot, ok := caller.pipe.slotOf[e.resultVar]; ok {
+					caller.vars[slot] = slotVal{v: e.vv, ok: true}
+				}
+			}
+			caller.waiting = nil
+		case effSpawn:
+			args := m.spawnArena[e.argOff : e.argOff+e.argN]
+			if e.flag { // blocking cross-pipe call
+				m.enqueue(e.ps, args, e.in.iid, false, 0, e.in.iid, e.resultVar)
+				if e.resultVar != "" {
+					e.in.waiting = &pendingCall{resultVar: e.resultVar, subPipe: e.ps.name}
+				}
+			} else {
+				m.enqueue(e.ps, args, e.in.iid, false, 0, 0, "")
+			}
+		case effSpecSpawn:
+			e.ps.specTab.entries[e.h] = specPending
+			m.enqueue(e.ps, m.spawnArena[e.argOff:e.argOff+e.argN], e.in.iid, true, e.h, 0, "")
+		}
+	}
 }
 
 // fire attempts to execute node's instruction for this cycle. It reports
@@ -55,25 +154,46 @@ func (m *Machine) fire(node *stageNode) bool {
 	}
 
 	m.scratch.epoch++
-	f := &firing{
-		m:     m,
-		node:  node,
-		in:    in,
-		lef:   in.lef,
-		eargs: in.eargs,
+	f := &m.fr
+	f.node, f.in = node, in
+	f.stalled, f.died, f.wroteAny = false, false, false
+	f.lef, f.eargs = in.lef, in.eargs
+	f.dest, f.destValid = nil, false
+	f.frame, f.fret, f.freturned = nil, V{}, false
+	f.funcEnv = f.funcEnv[:0]
+	m.effBuf = m.effBuf[:0]
+	m.spawnArena = m.spawnArena[:0]
+	for _, i := range m.spawnDirty {
+		m.spawnCnt[i] = 0
 	}
+	m.spawnDirty = m.spawnDirty[:0]
+	m.frameTop = 0
+	m.extArgs = m.extArgs[:0]
 
 	for _, l := range m.memList {
 		l.Begin()
 	}
-	f.exec(node.stmts)
-	if node.fork != nil && !f.stalled && !f.died {
-		if f.lef {
-			f.exec(node.fork.excStage0)
-			f.dest, f.destValid = node.fork.excNext, true
-		} else {
-			f.exec(node.fork.commitStage0)
-			f.dest, f.destValid = node.fork.commitNext, true
+	if m.cfg.Interp {
+		f.exec(node.stmts)
+		if node.fork != nil && !f.stalled && !f.died {
+			if f.lef {
+				f.exec(node.fork.excStage0)
+				f.dest, f.destValid = node.fork.excNext, true
+			} else {
+				f.exec(node.fork.commitStage0)
+				f.dest, f.destValid = node.fork.commitNext, true
+			}
+		}
+	} else {
+		f.execC(node.code)
+		if node.fork != nil && !f.stalled && !f.died {
+			if f.lef {
+				f.execC(node.fork.excCode)
+				f.dest, f.destValid = node.fork.excNext, true
+			} else {
+				f.execC(node.fork.commitCode)
+				f.dest, f.destValid = node.fork.commitNext, true
+			}
 		}
 	}
 	if f.stalled {
@@ -101,9 +221,7 @@ func (m *Machine) fire(node *stageNode) bool {
 	}
 	in.lef = f.lef
 	in.eargs = f.eargs
-	for _, e := range f.effects {
-		e()
-	}
+	m.applyEffects()
 	m.firings++
 
 	if f.died {
@@ -156,19 +274,22 @@ func (f *firing) getLocal(slot int) (V, bool) {
 	return V{}, false
 }
 
-func (f *firing) spawnCount(pipe string) int { return f.spawns[pipe] }
+// spawnCountIdx / addSpawnIdx track per-firing spawns by pipe index so
+// entry-queue capacity checks see this firing's own buffered spawns.
+func (f *firing) spawnCountIdx(idx int) int { return f.m.spawnCnt[idx] }
 
-func (f *firing) addSpawn(pipe string) {
-	if f.spawns == nil {
-		f.spawns = make(map[string]int, 2)
+func (f *firing) addSpawnIdx(idx int) {
+	m := f.m
+	if m.spawnCnt[idx] == 0 {
+		m.spawnDirty = append(m.spawnDirty, idx)
 	}
-	f.spawns[pipe]++
+	m.spawnCnt[idx]++
 }
 
-func (f *firing) effect(fn func()) { f.effects = append(f.effects, fn) }
-
 // ---------------------------------------------------------------------------
-// Statement execution
+// Statement execution (AST interpreter; cfg.Interp). The compiled
+// executor in compile.go is the default — this walker is retained as the
+// differential-testing oracle and must stay observably equivalent.
 
 func (f *firing) exec(stmts []ast.Stmt) {
 	for _, s := range stmts {
@@ -196,7 +317,7 @@ func (f *firing) stmt(s ast.Stmt) {
 			if f.stalled {
 				return
 			}
-			f.effect(func() { vol.v = v })
+			f.eff(effectRec{kind: effVolWrite, vol: vol, v: v})
 			return
 		}
 		v := f.eval(n.RHS)
@@ -222,7 +343,7 @@ func (f *firing) stmt(s ast.Stmt) {
 		if f.stalled {
 			return
 		}
-		f.effect(func() { vol.v = v })
+		f.eff(effectRec{kind: effVolWrite, vol: vol, v: v})
 	case *ast.If:
 		c := f.eval(n.Cond)
 		if f.stalled {
@@ -244,24 +365,13 @@ func (f *firing) stmt(s ast.Stmt) {
 		if f.stalled {
 			return
 		}
-		for len(f.eargs) <= n.Index {
-			f.eargs = append(f.eargs, val.Value{})
-		}
-		// Copy-on-write: the instruction's slice is replaced on success.
-		cp := append([]val.Value(nil), f.eargs...)
-		cp[n.Index] = v
-		f.eargs = cp
+		f.storeEArg(n.Index, v)
 	case *ast.SetGEF:
-		ps := f.node.pipe
-		v := n.Value
-		f.effect(func() { ps.gef = v })
+		f.eff(effectRec{kind: effSetGEF, ps: f.node.pipe, flag: n.Value})
 	case *ast.PipeClear:
-		ps := f.node.pipe
-		self := in
-		f.effect(func() { m.pipeClear(ps, self) })
+		f.eff(effectRec{kind: effPipeClear, ps: f.node.pipe, in: in})
 	case *ast.SpecClear:
-		ps := f.node.pipe
-		f.effect(func() { ps.specTab.clear() })
+		f.eff(effectRec{kind: effSpecClear, ps: f.node.pipe})
 	case *ast.Abort:
 		m.memWBind[s].lock.Abort()
 	case *ast.Call:
@@ -270,36 +380,19 @@ func (f *firing) stmt(s ast.Stmt) {
 		f.specCall(n)
 	case *ast.Verify:
 		h := f.eval(n.Handle).Uint()
-		ps := f.node.pipe
-		f.effect(func() {
-			if ps.specTab.entries[h] == specPending {
-				ps.specTab.entries[h] = specVerified
-			}
-		})
+		f.eff(effectRec{kind: effVerify, ps: f.node.pipe, h: h})
 	case *ast.Invalidate:
 		h := f.eval(n.Handle).Uint()
-		ps := f.node.pipe
-		f.effect(func() {
-			ps.specTab.entries[h] = specInvalid
-			for _, other := range m.snapshotAlive() {
-				if other.spec && other.specHandle == h {
-					m.squash(other.iid)
-				}
-			}
-		})
+		f.eff(effectRec{kind: effInvalidate, ps: f.node.pipe, h: h})
 	case *ast.SpecCheck:
 		if !in.spec {
 			return
 		}
-		tab := f.node.pipe.specTab
-		switch tab.status(in.specHandle) {
+		switch f.node.pipe.specTab.status(in.specHandle) {
 		case specPending:
 			// Still speculative; keep executing speculatively.
 		case specVerified:
-			f.effect(func() {
-				in.spec = false
-				delete(tab.entries, in.specHandle)
-			})
+			f.eff(effectRec{kind: effSpecResolve, ps: f.node.pipe, in: in})
 		case specInvalid:
 			f.die()
 		}
@@ -307,15 +400,11 @@ func (f *firing) stmt(s ast.Stmt) {
 		if !in.spec {
 			return
 		}
-		tab := f.node.pipe.specTab
-		switch tab.status(in.specHandle) {
+		switch f.node.pipe.specTab.status(in.specHandle) {
 		case specPending:
 			f.stall()
 		case specVerified:
-			f.effect(func() {
-				in.spec = false
-				delete(tab.entries, in.specHandle)
-			})
+			f.eff(effectRec{kind: effSpecResolve, ps: f.node.pipe, in: in})
 		case specInvalid:
 			f.die()
 		}
@@ -324,19 +413,7 @@ func (f *firing) stmt(s ast.Stmt) {
 		if f.stalled {
 			return
 		}
-		callerIID, resultVar := in.callerIID, in.resultVar
-		f.effect(func() {
-			caller, alive := m.alive[callerIID]
-			if !alive {
-				return // caller was squashed or flushed; result is dropped
-			}
-			if resultVar != "" {
-				if slot, ok := caller.pipe.slotOf[resultVar]; ok {
-					caller.vars[slot] = slotVal{v: v, ok: true}
-				}
-			}
-			caller.waiting = nil
-		})
+		f.eff(effectRec{kind: effReturn, callerIID: in.callerIID, resultVar: in.resultVar, vv: v})
 	case *ast.Throw:
 		panic("sim: untranslated throw reached the simulator")
 	case *ast.StageSep:
@@ -344,6 +421,17 @@ func (f *firing) stmt(s ast.Stmt) {
 	default:
 		panic(fmt.Sprintf("sim: unhandled statement %T", s))
 	}
+}
+
+// storeEArg captures one canonicalized except argument, copy-on-write:
+// the instruction's slice is replaced only on a successful firing.
+func (f *firing) storeEArg(index int, v val.Value) {
+	for len(f.eargs) <= index {
+		f.eargs = append(f.eargs, val.Value{})
+	}
+	cp := append([]val.Value(nil), f.eargs...)
+	cp[index] = v
+	f.eargs = cp
 }
 
 // die squashes the executing instruction (misspeculation kill at a
@@ -356,9 +444,7 @@ func (f *firing) stmt(s ast.Stmt) {
 // earlier in this firing.
 func (f *firing) die() {
 	f.died = true
-	in := f.in
-	m := f.m
-	f.effect(func() { m.removeInst(in) })
+	f.eff(effectRec{kind: effRemoveInst, in: f.in})
 }
 
 func (f *firing) lockOp(n *ast.Lock) {
@@ -401,48 +487,43 @@ func (f *firing) call(n *ast.Call) {
 	m := f.m
 	in := f.in
 	target := m.pipes[n.Pipe]
-	if len(target.entryQ)+f.spawnCount(n.Pipe) >= m.cfg.EntryCap {
+	if len(target.entryQ)+f.spawnCountIdx(target.idx) >= m.cfg.EntryCap {
 		f.stall()
 		return
 	}
-	args := make([]val.Value, len(n.Args))
+	argOff := len(m.spawnArena)
 	for i, a := range n.Args {
-		args[i] = f.evalScalar(a, target.decl.Params[i].Type.BitWidth())
+		v := f.evalScalar(a, target.decl.Params[i].Type.BitWidth())
 		if f.stalled {
 			return
 		}
+		m.spawnArena = append(m.spawnArena, v)
 	}
-	f.addSpawn(n.Pipe)
+	f.addSpawnIdx(target.idx)
 	if n.Pipe == in.pipe.name {
-		parent := in.iid
-		f.effect(func() { m.enqueue(target, args, parent, false, 0, 0, "") })
+		f.eff(effectRec{kind: effSpawn, ps: target, in: in, argOff: argOff, argN: len(n.Args)})
 		return
 	}
 	// Blocking sub-pipeline call.
-	parent := in.iid
-	resultVar := n.Result
-	f.effect(func() {
-		m.enqueue(target, args, parent, false, 0, parent, resultVar)
-		if resultVar != "" {
-			in.waiting = &pendingCall{resultVar: resultVar, subPipe: n.Pipe}
-		}
-	})
+	f.eff(effectRec{kind: effSpawn, ps: target, in: in, argOff: argOff, argN: len(n.Args),
+		flag: true, resultVar: n.Result})
 }
 
 func (f *firing) specCall(n *ast.SpecCall) {
 	m := f.m
 	in := f.in
 	ps := f.node.pipe
-	if len(ps.entryQ)+f.spawnCount(ps.name) >= m.cfg.EntryCap {
+	if len(ps.entryQ)+f.spawnCountIdx(ps.idx) >= m.cfg.EntryCap {
 		f.stall()
 		return
 	}
-	args := make([]val.Value, len(n.Args))
+	argOff := len(m.spawnArena)
 	for i, a := range n.Args {
-		args[i] = f.evalScalar(a, ps.decl.Params[i].Type.BitWidth())
+		v := f.evalScalar(a, ps.decl.Params[i].Type.BitWidth())
 		if f.stalled {
 			return
 		}
+		m.spawnArena = append(m.spawnArena, v)
 	}
 	// Handle ids are consumed even if the firing later stalls; ids are
 	// plentiful and stale pending entries are unreachable. The handle
@@ -451,12 +532,8 @@ func (f *firing) specCall(n *ast.SpecCall) {
 	h := ps.specTab.nextHandle
 	ps.specTab.nextHandle++
 	f.setLocal(f.m.assignSlot[ast.Stmt(n)], Scalar(val.New(h, 48)))
-	f.addSpawn(ps.name)
-	parent := in.iid
-	f.effect(func() {
-		ps.specTab.entries[h] = specPending
-		m.enqueue(ps, args, parent, true, h, 0, "")
-	})
+	f.addSpawnIdx(ps.idx)
+	f.eff(effectRec{kind: effSpecSpawn, ps: ps, in: in, argOff: argOff, argN: len(n.Args), h: h})
 }
 
 // pipeClear implements the translated pipeclear: every instruction in the
@@ -473,9 +550,10 @@ func (m *Machine) pipeClear(ps *pipeState, self *inst) {
 	}
 }
 
-// snapshotAlive returns the live instructions in a stable order.
+// snapshotAlive returns the live instructions in a stable order. The
+// returned slice is a reusable machine buffer, valid until the next call.
 func (m *Machine) snapshotAlive() []*inst {
-	out := make([]*inst, 0, len(m.alive))
+	out := m.snapBuf[:0]
 	for _, in := range m.alive {
 		out = append(out, in)
 	}
@@ -485,6 +563,7 @@ func (m *Machine) snapshotAlive() []*inst {
 			out[j-1], out[j] = out[j], out[j-1]
 		}
 	}
+	m.snapBuf = out
 	return out
 }
 
@@ -626,17 +705,17 @@ func (f *firing) lookup(n *ast.Ident) V {
 
 // isUnsized reports whether an expression is an unsized literal (or a
 // composition of them), whose runtime width adapts to its context.
-func (f *firing) isUnsized(e ast.Expr) bool {
+func (m *Machine) isUnsized(e ast.Expr) bool {
 	switch n := e.(type) {
 	case *ast.IntLit:
 		return n.Width == 0
 	case *ast.Ident:
-		c, ok := f.m.info.Consts[n.Name]
+		c, ok := m.info.Consts[n.Name]
 		return ok && !c.IsBool && c.Width == 0
 	case *ast.Unary:
-		return f.isUnsized(n.X)
+		return m.isUnsized(n.X)
 	case *ast.Binary:
-		return f.isUnsized(n.L) && f.isUnsized(n.R)
+		return m.isUnsized(n.L) && m.isUnsized(n.R)
 	}
 	return false
 }
@@ -653,49 +732,54 @@ func (f *firing) evalBinary(n *ast.Binary) V {
 	lv, rv := l.Val, r.Val
 	if lv.Width() != rv.Width() && n.Op != ast.OpShl && n.Op != ast.OpShr {
 		switch {
-		case f.isUnsized(n.L):
+		case f.m.isUnsized(n.L):
 			lv = val.New(lv.Uint(), rv.Width())
-		case f.isUnsized(n.R):
+		case f.m.isUnsized(n.R):
 			rv = val.New(rv.Uint(), lv.Width())
 		}
 	}
-	switch n.Op {
+	return Scalar(binOp(n.Op, lv, rv))
+}
+
+// binOp applies one binary operator; shared by both executors.
+func binOp(op ast.BinOp, lv, rv val.Value) val.Value {
+	switch op {
 	case ast.OpAdd:
-		return Scalar(lv.Add(rv))
+		return lv.Add(rv)
 	case ast.OpSub:
-		return Scalar(lv.Sub(rv))
+		return lv.Sub(rv)
 	case ast.OpMul:
-		return Scalar(lv.Mul(rv))
+		return lv.Mul(rv)
 	case ast.OpDiv:
-		return Scalar(lv.DivU(rv))
+		return lv.DivU(rv)
 	case ast.OpMod:
-		return Scalar(lv.RemU(rv))
+		return lv.RemU(rv)
 	case ast.OpAnd:
-		return Scalar(lv.And(rv))
+		return lv.And(rv)
 	case ast.OpOr:
-		return Scalar(lv.Or(rv))
+		return lv.Or(rv)
 	case ast.OpXor:
-		return Scalar(lv.Xor(rv))
+		return lv.Xor(rv)
 	case ast.OpShl:
-		return Scalar(lv.Shl(rv))
+		return lv.Shl(rv)
 	case ast.OpShr:
-		return Scalar(lv.ShrU(rv))
+		return lv.ShrU(rv)
 	case ast.OpLAnd:
-		return Scalar(val.Bool(lv.IsTrue() && rv.IsTrue()))
+		return val.Bool(lv.IsTrue() && rv.IsTrue())
 	case ast.OpLOr:
-		return Scalar(val.Bool(lv.IsTrue() || rv.IsTrue()))
+		return val.Bool(lv.IsTrue() || rv.IsTrue())
 	case ast.OpEq:
-		return Scalar(lv.EqV(rv))
+		return lv.EqV(rv)
 	case ast.OpNe:
-		return Scalar(lv.NeV(rv))
+		return lv.NeV(rv)
 	case ast.OpLt:
-		return Scalar(lv.LtU(rv))
+		return lv.LtU(rv)
 	case ast.OpLe:
-		return Scalar(lv.LeU(rv))
+		return lv.LeU(rv)
 	case ast.OpGt:
-		return Scalar(lv.GtU(rv))
+		return lv.GtU(rv)
 	case ast.OpGe:
-		return Scalar(lv.GeU(rv))
+		return lv.GeU(rv)
 	}
 	panic("sim: unhandled binary operator")
 }

@@ -51,11 +51,21 @@ type recVal struct {
 	vals  []val.Value
 }
 
+// field looks a record field up by name. Names are sorted (see Record),
+// so the lookup is a binary search; the compiled executor avoids even
+// that by resolving field indices at machine-build time.
 func (r *recVal) field(name string) (val.Value, bool) {
-	for i, n := range r.names {
-		if n == name {
-			return r.vals[i], true
+	lo, hi := 0, len(r.names)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.names[mid] < name {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo < len(r.names) && r.names[lo] == name {
+		return r.vals[lo], true
 	}
 	return val.Value{}, false
 }
@@ -86,7 +96,9 @@ func Record(fields map[string]val.Value) V {
 }
 
 // ExternFunc implements an extern combinational function in Go — the
-// analogue of an imported Verilog module in PDL.
+// analogue of an imported Verilog module in PDL. The args slice is only
+// valid for the duration of the call (the compiled executor passes a
+// reusable scratch buffer); implementations must copy it to retain it.
 type ExternFunc func(args []val.Value) V
 
 // Config tunes machine construction.
@@ -102,6 +114,11 @@ type Config struct {
 	// TraceRetirements keeps the full retirement trace (default true
 	// behaviour is controlled by the caller reading Retired).
 	MaxTrace int
+	// Interp selects the per-cycle AST interpreter instead of the
+	// compile-once stage executor (the default). The two are semantically
+	// identical; the interpreter is kept as the differential-testing
+	// oracle and as a debugging aid.
+	Interp bool
 }
 
 // Retirement is one entry of the architectural retirement trace.
@@ -145,6 +162,27 @@ type Machine struct {
 	fieldIdx   map[*ast.FieldAccess]int // sorted-field index, -1 when unknown
 	scratch    firingScratch
 
+	// Compiled execution plans (built once at New unless cfg.Interp).
+	funcPlans map[string]*funcPlan
+
+	// Hot-path arenas, all reused across firings so the steady-state
+	// cycle loop allocates nothing: the single firing record, the typed
+	// effect buffer, spawn argument storage, per-pipe spawn counters,
+	// in-language function frames, extern argument scratch, the
+	// instruction free list, and the retirement-args arena.
+	fr         firing
+	effBuf     []effectRec
+	spawnArena []val.Value
+	spawnCnt   []int
+	spawnDirty []int
+	frameArena []V
+	frameTop   int
+	extArgs    []val.Value
+	instPool   []*inst
+	retArgs    []val.Value
+	snapBuf    []*inst
+	descBuf    []*inst
+
 	cycle   int
 	nextIID uint64
 	alive   map[uint64]*inst
@@ -152,6 +190,27 @@ type Machine struct {
 	firings uint64 // total successful stage firings, for utilization stats
 	idleFor int    // consecutive cycles with no firing and no movement
 }
+
+// pushFrame reserves n slots on the function-frame arena and returns
+// them zeroed. Frames are slices into a grow-only arena; growth leaves
+// outstanding frames pointing at the old backing array, which stays
+// valid and private to their callers.
+func (m *Machine) pushFrame(n int) []V {
+	need := m.frameTop + n
+	if need > len(m.frameArena) {
+		na := make([]V, need*2)
+		copy(na, m.frameArena[:m.frameTop])
+		m.frameArena = na
+	}
+	fr := m.frameArena[m.frameTop:need:need]
+	m.frameTop = need
+	for i := range fr {
+		fr[i] = V{}
+	}
+	return fr
+}
+
+func (m *Machine) popFrame(n int) { m.frameTop -= n }
 
 type volatileReg struct {
 	decl *ast.VolDecl
@@ -195,6 +254,7 @@ func (fs *firingScratch) grow(n int) {
 
 type pipeState struct {
 	m       *Machine
+	idx     int // position in pipeOrder; indexes Machine.spawnCnt
 	name    string
 	decl    *ast.PipeDecl // translated declaration
 	orig    *ast.PipeDecl // original (pre-translation) declaration
@@ -227,6 +287,7 @@ type stageNode struct {
 	kind  stageKind
 	index int // index within its chain
 	stmts []ast.Stmt
+	code  []cStmt    // compiled plan for stmts (nil under cfg.Interp)
 	next  *stageNode // linear successor; nil means retire
 	fork  *forkInfo  // non-nil on the translated final body stage
 	cur   *inst
@@ -246,6 +307,8 @@ func (n *stageNode) label() string {
 type forkInfo struct {
 	commitStage0 []ast.Stmt
 	excStage0    []ast.Stmt
+	commitCode   []cStmt // compiled commitStage0
+	excCode      []cStmt // compiled excStage0
 	commitNext   *stageNode
 	excNext      *stageNode
 }
@@ -309,6 +372,8 @@ type inst struct {
 	// For sub-pipeline instructions: where to deliver the Return value.
 	callerIID uint64
 	resultVar string
+
+	pooled bool // on the machine free list; guards double release
 }
 
 // New builds a machine for a checked, translated program.
@@ -383,8 +448,14 @@ func New(info *check.Info, trs map[string]*core.Result, cfg Config) (*Machine, e
 		if err != nil {
 			return nil, err
 		}
+		ps.idx = len(m.pipeOrder)
 		m.pipes[pd.Name] = ps
 		m.pipeOrder = append(m.pipeOrder, pd.Name)
+	}
+	m.spawnCnt = make([]int, len(m.pipeOrder))
+	m.fr.m = m
+	if !cfg.Interp {
+		m.compileAll()
 	}
 	return m, nil
 }
@@ -534,28 +605,63 @@ func (m *Machine) Start(pipe string, args ...val.Value) error {
 }
 
 func (m *Machine) enqueue(ps *pipeState, args []val.Value, parent uint64, spec bool, handle uint64, callerIID uint64, resultVar string) *inst {
-	sized := make([]val.Value, len(args))
-	for i, a := range args {
-		sized[i] = val.New(a.Uint(), ps.decl.Params[i].Type.BitWidth())
+	in := m.poolGet()
+	in.iid = m.nextIID
+	in.pipe = ps
+	in.parent = parent
+	in.lef = false
+	in.eargs = nil
+	in.spec = spec
+	in.specHandle = handle
+	in.waiting = nil
+	in.callerIID = callerIID
+	in.resultVar = resultVar
+	if cap(in.args) >= len(args) {
+		in.args = in.args[:len(args)]
+	} else {
+		in.args = make([]val.Value, len(args))
 	}
-	in := &inst{
-		iid:        m.nextIID,
-		pipe:       ps,
-		args:       sized,
-		vars:       make([]slotVal, len(ps.zeroes)),
-		parent:     parent,
-		spec:       spec,
-		specHandle: handle,
-		callerIID:  callerIID,
-		resultVar:  resultVar,
+	for i, a := range args {
+		in.args[i] = val.New(a.Uint(), ps.decl.Params[i].Type.BitWidth())
+	}
+	if n := len(ps.zeroes); cap(in.vars) >= n {
+		in.vars = in.vars[:n]
+		for i := range in.vars {
+			in.vars[i] = slotVal{}
+		}
+	} else {
+		in.vars = make([]slotVal, n)
 	}
 	m.nextIID++
 	for i, p := range ps.decl.Params {
-		in.vars[ps.slotOf[p.Name]] = slotVal{v: Scalar(sized[i]), ok: true}
+		in.vars[ps.slotOf[p.Name]] = slotVal{v: Scalar(in.args[i]), ok: true}
 	}
 	ps.entryQ = append(ps.entryQ, in)
 	m.alive[in.iid] = in
 	return in
+}
+
+// poolGet recycles a dead instruction record (or allocates the first
+// time); poolPut returns one once nothing references it. Pooling keeps
+// the steady-state cycle loop free of per-instruction allocations.
+func (m *Machine) poolGet() *inst {
+	if n := len(m.instPool); n > 0 {
+		in := m.instPool[n-1]
+		m.instPool = m.instPool[:n-1]
+		in.pooled = false
+		return in
+	}
+	return &inst{}
+}
+
+func (m *Machine) poolPut(in *inst) {
+	if in.pooled {
+		return
+	}
+	in.pooled = true
+	in.waiting = nil
+	in.eargs = nil
+	m.instPool = append(m.instPool, in)
 }
 
 // Cycle reports the current cycle count.
@@ -703,14 +809,20 @@ func (m *Machine) stateDump() string {
 // removing their lock reservations youngest-first.
 func (m *Machine) squash(iid uint64) {
 	victims := m.collectDescendants(iid)
-	sort.Slice(victims, func(i, j int) bool { return victims[i].iid > victims[j].iid })
+	// Insertion sort, descending iid (victim sets are small and the
+	// buffer is reused, so this stays allocation-free).
+	for i := 1; i < len(victims); i++ {
+		for j := i; j > 0 && victims[j-1].iid < victims[j].iid; j-- {
+			victims[j-1], victims[j] = victims[j], victims[j-1]
+		}
+	}
 	for _, v := range victims {
 		m.removeInst(v)
 	}
 }
 
 func (m *Machine) collectDescendants(iid uint64) []*inst {
-	var out []*inst
+	out := m.descBuf[:0]
 	for _, in := range m.alive {
 		for cur := in; ; {
 			if cur.iid == iid {
@@ -724,6 +836,7 @@ func (m *Machine) collectDescendants(iid uint64) []*inst {
 			cur = p
 		}
 	}
+	m.descBuf = out
 	return out
 }
 
@@ -745,20 +858,28 @@ func (m *Machine) removeInst(in *inst) {
 		}
 	}
 	delete(m.alive, in.iid)
+	m.poolPut(in)
 }
 
 func (m *Machine) retire(in *inst, node *stageNode) {
 	if len(m.retired) < maxTraceDefault(m.cfg.MaxTrace) {
+		// Copy args into the retirement arena: the instruction record is
+		// pooled, so the trace cannot alias its slices. EArgs transfer
+		// ownership (they are copy-on-write and never mutated again).
+		off := len(m.retArgs)
+		m.retArgs = append(m.retArgs, in.args...)
+		args := m.retArgs[off:len(m.retArgs):len(m.retArgs)]
 		m.retired = append(m.retired, Retirement{
 			Pipe:        in.pipe.name,
 			IID:         in.iid,
-			Args:        in.args,
+			Args:        args,
 			Exceptional: in.lef,
 			EArgs:       in.eargs,
 			Cycle:       m.cycle,
 		})
 	}
 	delete(m.alive, in.iid)
+	m.poolPut(in)
 	_ = node
 }
 

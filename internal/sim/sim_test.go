@@ -10,7 +10,7 @@ import (
 )
 
 // build compiles source and constructs a machine.
-func build(t *testing.T, src string, cfg Config) *Machine {
+func build(t testing.TB, src string, cfg Config) *Machine {
 	t.Helper()
 	prog, err := parser.Parse(src)
 	if err != nil {
@@ -27,7 +27,7 @@ func build(t *testing.T, src string, cfg Config) *Machine {
 	return m
 }
 
-func run(t *testing.T, m *Machine, cycles int) int {
+func run(t testing.TB, m *Machine, cycles int) int {
 	t.Helper()
 	n, err := m.Run(cycles)
 	if err != nil {
