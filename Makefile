@@ -1,5 +1,5 @@
 # Tier-1: everything must build and every test must pass.
-.PHONY: all test vet bench clean
+.PHONY: all test vet bench chaos fuzz-smoke clean
 
 all: vet test
 
@@ -8,6 +8,18 @@ test:
 
 vet:
 	go vet ./...
+
+# chaos runs the adversarial-timing differential suite on its own
+# (it is part of `go test ./...` too; this target isolates it).
+chaos:
+	go test -run TestChaosDifferential -v ./internal/sim/
+
+# fuzz-smoke runs each native fuzz target briefly — enough to catch
+# newly introduced panics in the assembler and the PDL parser without
+# turning CI into a fuzzing farm.
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm/
+	go test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/pdl/parser/
 
 # bench vets the tree, runs the whole benchmark suite once as a smoke
 # check (one iteration per benchmark, with allocation stats), then takes

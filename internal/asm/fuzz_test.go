@@ -1,0 +1,38 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble asserts the assembler's total-function contract: any
+// input, however malformed, must produce either a program or an error —
+// never a panic, and never both a nil program and a nil error.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		// Well-formed fragments spanning the directive and instruction
+		// surface, so mutation starts from deep parse paths.
+		"li t0, 42\nebreak\n",
+		"loop:\n addi t0, t0, 1\n bne t0, t1, loop\n",
+		"lw a0, 0(sp)\nsw a0, 4(sp)\n",
+		".data\n.word 1, 2, 3\n.text\nnop\n",
+		"csrw mtvec, t0\ncsrr t1, mepc\nmret\n",
+		"lui a0, 0xfffff\nauipc a1, 0\njal ra, 8\njalr zero, ra, 0\n",
+		"mul t0, t1, t2\ndivu t3, t4, t5\nremu t6, t0, t1\n",
+		"ecall\n# comment\n\tnop # trailing\n",
+		// Malformed shapes: bad registers, dangling labels, huge
+		// immediates, truncated operands.
+		"addi x99, x0, 1\n",
+		"lw a0, (\n",
+		"li t0, 99999999999999999999\n",
+		"undefined_op a, b, c\n",
+		":\n:\n:\n",
+		"beq t0, t1, nowhere\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err == nil && prog == nil {
+			t.Fatal("Assemble returned neither program nor error")
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package fault
+
+import "testing"
+
+// Two injectors with the same config must agree on every decision; a
+// different seed must disagree somewhere (or the injector is a constant
+// and injects nothing interesting).
+func TestDeterminism(t *testing.T) {
+	a := New(Default(42))
+	b := New(Default(42))
+	c := New(Default(43))
+	diff := 0
+	for cycle := 0; cycle < 2000; cycle++ {
+		for stage := 0; stage < 8; stage++ {
+			if a.StallStage(cycle, stage) != b.StallStage(cycle, stage) {
+				t.Fatalf("seed 42 disagrees with itself at (%d,%d)", cycle, stage)
+			}
+			if a.StallStage(cycle, stage) != c.StallStage(cycle, stage) {
+				diff++
+			}
+		}
+		if a.DelayExtern(cycle, 7, 0xbeef) != b.DelayExtern(cycle, 7, 0xbeef) {
+			t.Fatalf("extern decision not deterministic at cycle %d", cycle)
+		}
+		if a.HoldEntry(cycle, 1) != b.HoldEntry(cycle, 1) {
+			t.Fatalf("entry decision not deterministic at cycle %d", cycle)
+		}
+		al, aok := a.Storm(cycle, 3)
+		bl, bok := b.Storm(cycle, 3)
+		if al != bl || aok != bok {
+			t.Fatalf("storm decision not deterministic at cycle %d", cycle)
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 42 and 43 never diverged")
+	}
+}
+
+// Observed rates must track the configured percentages (they are exact
+// Bernoulli draws, so a wide tolerance suffices) and zero percentages
+// must inject nothing.
+func TestRates(t *testing.T) {
+	j := New(Config{Seed: 7, StallPct: 25, ExternPct: 50, EntryPct: 0})
+	const n = 20000
+	stalls, exts, entries := 0, 0, 0
+	for cycle := 0; cycle < n; cycle++ {
+		if j.StallStage(cycle, 3) {
+			stalls++
+		}
+		if j.DelayExtern(cycle, 9, 1) {
+			exts++
+		}
+		if j.HoldEntry(cycle, 0) {
+			entries++
+		}
+	}
+	if got := float64(stalls) / n; got < 0.22 || got > 0.28 {
+		t.Errorf("stall rate %.3f, want ~0.25", got)
+	}
+	if got := float64(exts) / n; got < 0.46 || got > 0.54 {
+		t.Errorf("extern delay rate %.3f, want ~0.50", got)
+	}
+	if entries != 0 {
+		t.Errorf("EntryPct=0 still injected %d holds", entries)
+	}
+}
+
+// Hook-point decision streams must be independent: at equal
+// coordinates, the stall and entry-hold streams should not be copies of
+// each other.
+func TestDomainSeparation(t *testing.T) {
+	j := New(Config{Seed: 11, StallPct: 50, EntryPct: 50})
+	same := 0
+	const n = 4000
+	for cycle := 0; cycle < n; cycle++ {
+		if j.StallStage(cycle, 2) == j.HoldEntry(cycle, 2) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("stall and entry streams are identical: domains not separated")
+	}
+}
+
+// A storm line pick must stay in range and hit every line eventually.
+func TestStormRange(t *testing.T) {
+	j := New(Config{Seed: 3, StormPct: 40})
+	seen := map[int]bool{}
+	for cycle := 0; cycle < 5000; cycle++ {
+		if line, ok := j.Storm(cycle, 3); ok {
+			if line < 0 || line >= 3 {
+				t.Fatalf("storm line %d out of range", line)
+			}
+			seen[line] = true
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("storm hit only lines %v, want all 3", seen)
+	}
+	if _, ok := j.Storm(100, 0); ok {
+		t.Error("storm with zero lines must stay quiet")
+	}
+}

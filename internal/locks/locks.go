@@ -83,6 +83,19 @@ type Lock interface {
 	// PendingCount reports live (unreleased) reservations, for tests and
 	// invariant checks.
 	PendingCount() int
+	// Resvs snapshots up to max live reservations in queue (age) order,
+	// for hang diagnostics. It allocates and must stay off the hot path.
+	Resvs(max int) []ResvInfo
+}
+
+// ResvInfo is one live reservation in a lock's diagnostic snapshot.
+type ResvInfo struct {
+	ID    IID
+	Addr  uint64 // Whole for whole-memory reservations
+	Write bool
+	// Owns reports whether the reservation currently owns the lock —
+	// a live reservation with Owns false is a waiter.
+	Owns bool
 }
 
 // boundsCheck panics on out-of-range addresses: the simulator masks

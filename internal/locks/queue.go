@@ -353,3 +353,20 @@ func (q *Queue) Depth() int { return len(q.data) }
 
 // PendingCount reports live reservations.
 func (q *Queue) PendingCount() int { return len(q.resvs) }
+
+// Resvs snapshots up to max live reservations in queue order.
+func (q *Queue) Resvs(max int) []ResvInfo {
+	n := len(q.resvs)
+	if n > max {
+		n = max
+	}
+	out := make([]ResvInfo, 0, n)
+	for i := 0; i < n; i++ {
+		r := q.resvs[i]
+		out = append(out, ResvInfo{
+			ID: r.id, Addr: r.addr, Write: r.write,
+			Owns: !q.conflictsBefore(i, r),
+		})
+	}
+	return out
+}

@@ -382,3 +382,22 @@ func (r *Renaming) Depth() int { return len(r.commMap) }
 
 // PendingCount reports live reservations.
 func (r *Renaming) PendingCount() int { return len(r.resvs) }
+
+// Resvs snapshots up to max live reservations in reservation order. A
+// read reservation owns once its source register is ready; write
+// reservations always own their freshly allocated register.
+func (r *Renaming) Resvs(max int) []ResvInfo {
+	n := len(r.resvs)
+	if n > max {
+		n = max
+	}
+	out := make([]ResvInfo, 0, n)
+	for i := 0; i < n; i++ {
+		res := r.resvs[i]
+		out = append(out, ResvInfo{
+			ID: res.id, Addr: res.arch, Write: res.write,
+			Owns: res.write || r.phys[res.phys].ready,
+		})
+	}
+	return out
+}

@@ -1,0 +1,38 @@
+package parser
+
+import "testing"
+
+// FuzzParse asserts the PDL parser's total-function contract: arbitrary
+// input must yield a program or an error, never a panic. The seeds walk
+// every declaration form plus the statement/expression surface the
+// checker and translator rely on.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"pipe p(i: uint<32>)[] { skip; }",
+		"memory m: uint<32>[16] with basic, comb_read;\npipe p(i: uint<32>)[m] {\n    acquire(m[i[3:0]], W);\n    m[i[3:0]] <- i;\n    release(m[i[3:0]]);\n}",
+		"memory rf: uint<32>[32] with renaming, comb_read;\npipe p(i: uint<32>)[rf] {\n    reserve(rf[ext(i, 5)], W);\n    ---\n    block(rf[ext(i, 5)]);\n    release(rf[ext(i, 5)]);\n}",
+		"extern func alu(a: uint<32>, b: uint<32>) -> uint<32>;\nconst W: uint<32> = 7;\npipe p(i: uint<32>)[] { v = alu(i, W); }",
+		"extern func dec(x: uint<32>) -> (op: uint<6>, rd: uint<5>);\npipe p(i: uint<32>)[] { d = dec(i); v = d.op; }",
+		"volatile mip: uint<32>;\npipe p(i: uint<32>)[] { mip <- i; }",
+		"pipe p(i: uint<32>)[] {\n    if (i == 0) { throw(4'd1); }\n    ---\n    skip;\ncommit:\n    skip;\nexcept(c: uint<4>):\n    call p(5);\n}",
+		"func clamp(x: uint<32>) -> uint<32> {\n    return x > 100 ? 100 : x;\n}\npipe p(i: uint<32>)[] { v = clamp(i); }",
+		"pipe p(i: uint<32>)[] {\n    h = spec_call p(i + 4);\n    ---\n    spec_check;\n    verify(h);\n}",
+		// Malformed shapes: unbalanced braces, stray separators, bad
+		// types, truncated declarations.
+		"pipe p(",
+		"pipe p(i: uint<32>)[] { --- }",
+		"memory m: uint<0>[0] with",
+		"pipe p(i: int)[] { i <- ; }",
+		"const = ;",
+		"pipe p(i: uint<32>)[] { v = ((((((i)))))); }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned neither program nor error")
+		}
+	})
+}

@@ -839,7 +839,7 @@ func (c *compiler) callExpr(n *ast.CallExpr) cExpr {
 		for i := range n.Args {
 			paramW[i] = decl.Params[i].Type.BitWidth()
 		}
-		return func(f *firing) V {
+		inner := func(f *firing) V {
 			m := f.m
 			base := len(m.extArgs)
 			for i, ae := range argsC {
@@ -854,6 +854,17 @@ func (c *compiler) callExpr(n *ast.CallExpr) cExpr {
 			r := ext(m.extArgs[base:end:end])
 			m.extArgs = m.extArgs[:base]
 			return r
+		}
+		if m.faults == nil {
+			return inner // no wrapper: disabled machines compile to the bare call
+		}
+		site := siteKey(n.Name)
+		return func(f *firing) V {
+			if f.m.faults.DelayExtern(f.m.cycle, f.in.iid, site) {
+				f.stall()
+				return Scalar(val.New(0, 1))
+			}
+			return inner(f)
 		}
 	}
 

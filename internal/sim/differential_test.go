@@ -10,6 +10,7 @@
 package sim_test
 
 import (
+	"errors"
 	"testing"
 
 	"xpdl/internal/asm"
@@ -51,7 +52,10 @@ func runOne(t *testing.T, p *designs.Processor, src string, maxCycles int, hook 
 		hook(p)
 	}
 	n, err := p.Run(maxCycles)
-	if err != nil {
+	var cb *sim.CycleBudgetError
+	if err != nil && !errors.As(err, &cb) {
+		// Budget exhaustion is fine: free-running workloads (e.g. a trap
+		// handler that never halts) are compared at the cycle horizon.
 		t.Fatalf("run: %v", err)
 	}
 	return n

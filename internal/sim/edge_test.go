@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -386,8 +387,15 @@ pipe p(i: uint<32>)[] {
 	if err == nil {
 		t.Fatal("deadlock not detected")
 	}
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("got %T (%v), want *DeadlockError", err, err)
+	}
+	if dl.InFlight == 0 {
+		t.Error("DeadlockError reports no instructions in flight")
+	}
 	msg := err.Error()
-	for _, frag := range []string{"livelock", "p.body0", "entryQ"} {
+	for _, frag := range []string{"deadlock", "p.body0", "entryQ"} {
 		if !strings.Contains(msg, frag) {
 			t.Errorf("diagnostic %q missing %q", msg, frag)
 		}

@@ -142,6 +142,9 @@ func (m *Machine) fire(node *stageNode) bool {
 	if in.waiting != nil {
 		return false // blocked on a sub-pipeline call
 	}
+	if m.faults != nil && m.faults.StallStage(m.cycle, node.gid) {
+		return false // injected structural stall: timing-only, no trace
+	}
 	// The output register must be free. For the fork stage the commit
 	// tail must be free (the exception chain is free whenever gef is
 	// clear, which the gef guard already enforces).
@@ -859,6 +862,10 @@ func (f *firing) evalCall(n *ast.CallExpr) V {
 
 	// Extern.
 	if ext, ok := f.m.externs[n.Name]; ok {
+		if f.m.faults != nil && f.m.faults.DelayExtern(f.m.cycle, f.in.iid, siteKey(n.Name)) {
+			f.stall()
+			return Scalar(val.New(0, 1))
+		}
 		decl := externDecl(f.m, n.Name)
 		args := make([]val.Value, len(n.Args))
 		for i, a := range n.Args {

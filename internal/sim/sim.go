@@ -29,6 +29,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 
 	"xpdl/internal/check"
@@ -101,6 +102,44 @@ func Record(fields map[string]val.Value) V {
 // reusable scratch buffer); implementations must copy it to retain it.
 type ExternFunc func(args []val.Value) V
 
+// FaultInjector is the hook-point contract for deterministic fault
+// injection (see internal/fault). Hooks are timing-only: a true return
+// delays work by (at least) one cycle exactly as a structural hazard
+// would, and must never alter a value. Implementations must be pure
+// functions of their arguments — the simulator may call a hook any
+// number of times per cycle and both executors must see identical
+// decisions — and must be allocation-free (they run on the cycle loop).
+//
+// The hooks and their coordinates:
+//
+//   - StallStage(cycle, stage): suppress the firing attempt of the
+//     stage with global id `stage` this cycle (the instruction stays
+//     put, like a failed condition).
+//   - DelayExtern(cycle, iid, site): stall a firing at an extern call
+//     site (site is a stable hash of the extern's name) — modeling a
+//     slow combinational unit / variable-latency functional unit.
+//   - HoldEntry(cycle, pipe): keep pipeline #pipe (pipeOrder index)
+//     from pulling its entry queue this cycle — entry backpressure.
+//
+// All hook sites are nil-checked: a machine built with Config.Faults
+// nil pays one predictable branch per site and nothing else.
+type FaultInjector interface {
+	StallStage(cycle, stage int) bool
+	DelayExtern(cycle int, iid uint64, site uint64) bool
+	HoldEntry(cycle, pipe int) bool
+}
+
+// siteKey stably hashes an extern name to a DelayExtern site id
+// (FNV-1a); both executors use it so a seed perturbs them identically.
+func siteKey(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // Config tunes machine construction.
 type Config struct {
 	// Externs binds extern function names to implementations. Every
@@ -119,7 +158,22 @@ type Config struct {
 	// identical; the interpreter is kept as the differential-testing
 	// oracle and as a debugging aid.
 	Interp bool
+	// Faults plugs a deterministic fault injector into the machine's
+	// hook points. nil (the default) disables injection entirely.
+	Faults FaultInjector
+	// WatchdogCycles is how many consecutive zero-firing cycles with
+	// instructions in flight the hang watchdog tolerates before Step
+	// returns a *DeadlockError. 0 selects the default (200); a negative
+	// value disables the watchdog.
+	WatchdogCycles int
 }
+
+// defaultWatchdog is the hang watchdog's default patience. It must
+// comfortably exceed any legitimate stall a design can produce (deep
+// lock queues, chained sub-pipeline calls, injected fault stalls); the
+// longest observed legitimate idle stretch in the test designs is far
+// under 50 cycles.
+const defaultWatchdog = 200
 
 // Retirement is one entry of the architectural retirement trace.
 type Retirement struct {
@@ -141,6 +195,7 @@ type Machine struct {
 	pipeOrder []string
 	mems      map[string]locks.Lock
 	memList   []locks.Lock // deterministic iteration for transactions
+	memOrder  []string     // names parallel to memList, for diagnostics
 	plains    map[string]*locks.Plain
 	memDecl   map[string]*ast.MemDecl
 	vols      map[string]*volatileReg
@@ -189,6 +244,10 @@ type Machine struct {
 	retired []Retirement
 	firings uint64 // total successful stage firings, for utilization stats
 	idleFor int    // consecutive cycles with no firing and no movement
+
+	faults   FaultInjector // from cfg.Faults; nil disables all hooks
+	watchdog int           // idle-cycle limit; <= 0 disables the watchdog
+	failed   error         // sticky *InternalError after a recovered panic
 }
 
 // pushFrame reserves n slots on the function-frame arena and returns
@@ -286,6 +345,7 @@ type stageNode struct {
 	pipe  *pipeState
 	kind  stageKind
 	index int // index within its chain
+	gid   int // machine-global stage id (FaultInjector coordinate)
 	stmts []ast.Stmt
 	code  []cStmt    // compiled plan for stmts (nil under cfg.Interp)
 	next  *stageNode // linear successor; nil means retire
@@ -437,6 +497,7 @@ func New(info *check.Info, trs map[string]*core.Result, cfg Config) (*Machine, e
 	for _, md := range info.Prog.Mems {
 		if l, ok := m.mems[md.Name]; ok {
 			m.memList = append(m.memList, l)
+			m.memOrder = append(m.memOrder, md.Name)
 		}
 	}
 	for _, pd := range info.Prog.Pipes {
@@ -451,6 +512,20 @@ func New(info *check.Info, trs map[string]*core.Result, cfg Config) (*Machine, e
 		ps.idx = len(m.pipeOrder)
 		m.pipes[pd.Name] = ps
 		m.pipeOrder = append(m.pipeOrder, pd.Name)
+	}
+	// Machine-global stage ids, in deterministic pipe/processing order:
+	// the StallStage coordinate both executors share.
+	gid := 0
+	for _, name := range m.pipeOrder {
+		for _, n := range m.pipes[name].nodes {
+			n.gid = gid
+			gid++
+		}
+	}
+	m.faults = cfg.Faults
+	m.watchdog = cfg.WatchdogCycles
+	if m.watchdog == 0 {
+		m.watchdog = defaultWatchdog
 	}
 	m.spawnCnt = make([]int, len(m.pipeOrder))
 	m.fr.m = m
@@ -713,9 +788,34 @@ func (m *Machine) VolPoke(name string, v val.Value) {
 // GefSet reports whether a pipeline is in exception-handling mode.
 func (m *Machine) GefSet(pipe string) bool { return m.pipes[pipe].gef }
 
-// Step advances one cycle. It returns an error on livelock (no firing or
-// movement for a long stretch while work remains).
-func (m *Machine) Step() error {
+// Step advances one cycle. It returns a *DeadlockError when the hang
+// watchdog trips (no stage fired for WatchdogCycles consecutive cycles
+// while instructions were in flight) and a *InternalError when a panic
+// escapes the executor or a compiled stage plan; after an internal
+// error the machine is poisoned and every later Step returns it again.
+func (m *Machine) Step() (err error) {
+	if m.failed != nil {
+		return m.failed
+	}
+	// The firing record identifies the stage a recovered panic hit;
+	// clear it so a pre-firing panic (device hook, entry pull) is not
+	// attributed to last cycle's firing.
+	m.fr.node, m.fr.in = nil, nil
+	defer func() {
+		if r := recover(); r != nil {
+			ie := &InternalError{Cycle: m.cycle, Panic: r, Stack: debug.Stack()}
+			if m.fr.node != nil && m.fr.in != nil {
+				ie.Stage = m.fr.node.label()
+				ie.IID = m.fr.in.iid
+			}
+			m.failed = ie
+			err = ie
+		}
+	}()
+	return m.step()
+}
+
+func (m *Machine) step() error {
 	for _, d := range m.devices {
 		d(m)
 	}
@@ -741,8 +841,11 @@ func (m *Machine) Step() error {
 		return nil
 	}
 	m.idleFor++
-	if m.idleFor > 200 {
-		return fmt.Errorf("sim: livelock at cycle %d: %s", m.cycle, m.stateDump())
+	if m.watchdog > 0 && m.idleFor > m.watchdog {
+		return &DeadlockError{
+			Cycle: m.cycle, Idle: m.idleFor,
+			InFlight: len(m.alive), Diag: m.diagnose(),
+		}
 	}
 	return nil
 }
@@ -751,21 +854,31 @@ func (m *Machine) pullEntry(ps *pipeState, node *stageNode) {
 	if len(ps.entryQ) == 0 {
 		return
 	}
+	if m.faults != nil && m.faults.HoldEntry(m.cycle, ps.idx) {
+		return
+	}
 	node.cur = ps.entryQ[0]
 	copy(ps.entryQ, ps.entryQ[1:])
 	ps.entryQ = ps.entryQ[:len(ps.entryQ)-1]
 }
 
 // Run advances up to maxCycles cycles, stopping early when no work
-// remains. It reports how many cycles elapsed.
+// remains. It reports how many cycles elapsed. Exhausting the budget
+// with instructions still in flight returns a *CycleBudgetError.
 func (m *Machine) Run(maxCycles int) (int, error) {
 	start := m.cycle
 	for m.cycle-start < maxCycles {
 		if len(m.alive) == 0 {
-			break
+			return m.cycle - start, nil
 		}
 		if err := m.Step(); err != nil {
 			return m.cycle - start, err
+		}
+	}
+	if len(m.alive) > 0 {
+		return maxCycles, &CycleBudgetError{
+			Budget: maxCycles, Cycle: m.cycle,
+			InFlight: len(m.alive), Diag: m.diagnose(),
 		}
 	}
 	return m.cycle - start, nil
@@ -785,24 +898,11 @@ func (m *Machine) RunUntil(maxCycles int, pred func(*Machine) bool) (int, error)
 	return m.cycle - start, nil
 }
 
+// stateDump renders the bounded machine diagnosis (see errors.go); the
+// old unbounded per-stage listing grew linearly with design size.
 func (m *Machine) stateDump() string {
-	s := ""
-	for _, name := range m.pipeOrder {
-		ps := m.pipes[name]
-		for _, n := range ps.nodes {
-			if n.cur != nil {
-				s += fmt.Sprintf("[%s: iid=%d%s] ", n.label(), n.cur.iid,
-					map[bool]string{true: " waiting", false: ""}[n.cur.waiting != nil])
-			}
-		}
-		if len(ps.entryQ) > 0 {
-			s += fmt.Sprintf("[%s.entryQ: %d] ", name, len(ps.entryQ))
-		}
-		if ps.gef {
-			s += fmt.Sprintf("[%s.gef] ", name)
-		}
-	}
-	return s
+	d := m.diagnose()
+	return d.String()
 }
 
 // squash kills an instruction and all its descendants (younger spawns),
