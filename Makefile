@@ -1,7 +1,15 @@
 # Tier-1: everything must build and every test must pass.
-.PHONY: all test vet bench chaos fuzz-smoke clean
+.PHONY: all test vet vet-xpdl bench chaos fuzz-smoke clean
 
-all: vet test
+all: vet vet-xpdl test
+
+# vet-xpdl runs the XPDL static analyzer over every program in the tree:
+# the built-in processor variants (which back examples/) and all .xpdl
+# sources under testdata/, including the per-diagnostic fixture corpus.
+# Fixtures that intentionally trigger diagnostics carry xpdlvet:expect
+# annotations, so any NEW warning fails the build via -Werror.
+vet-xpdl:
+	go run ./cmd/xpdlvet -Werror -design all testdata/*.xpdl testdata/diag/*.xpdl
 
 test:
 	go test ./...
@@ -20,6 +28,7 @@ chaos:
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm/
 	go test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/pdl/parser/
+	go test -run='^$$' -fuzz=FuzzCheck -fuzztime=10s ./internal/check/
 
 # bench vets the tree, runs the whole benchmark suite once as a smoke
 # check (one iteration per benchmark, with allocation stats), then takes

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	xpdlc [-o out.v] [-dump-translated] [-report] file.xpdl
+//	xpdlc [-o out.v] [-dump-translated] [-report] [-Werror] file.xpdl
 //	xpdlc -design base|fatal|trap|csr|all [-o out.v] [-report]
 //
 // With -design, the built-in processor variants are compiled instead of a
-// source file.
+// source file. Diagnostics are rendered with source excerpts; warnings
+// from the whole-program lints (see cmd/xpdlvet and DIAGNOSTICS.md) do
+// not stop compilation unless -Werror is given.
 package main
 
 import (
@@ -15,11 +17,13 @@ import (
 	"fmt"
 	"os"
 
-	"xpdl"
+	"xpdl/internal/core"
 	"xpdl/internal/designs"
+	"xpdl/internal/diag"
 	"xpdl/internal/ir"
 	"xpdl/internal/pdl/ast"
 	"xpdl/internal/synth"
+	"xpdl/internal/vet"
 )
 
 func main() {
@@ -27,6 +31,7 @@ func main() {
 	dump := flag.Bool("dump-translated", false, "print the translated (post-Fig.4) pipelines")
 	report := flag.Bool("report", false, "print the area/timing model report")
 	design := flag.String("design", "", "compile a built-in processor variant (base|fatal|trap|csr|all)")
+	werror := flag.Bool("Werror", false, "treat analysis warnings as errors")
 	flag.Parse()
 
 	var src, name string
@@ -54,19 +59,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	d, err := xpdl.Compile(src)
-	if err != nil {
-		fatal(fmt.Errorf("%s: %w", name, err))
+	res := vet.Analyze(name, src, vet.Options{})
+	if len(res.Unexpected) > 0 {
+		fmt.Fprint(os.Stderr, diag.NewRenderer(name, src).RenderAll(res.Unexpected))
 	}
-	fmt.Fprintf(os.Stderr, "xpdlc: %s: %d pipeline(s) checked and translated\n", name, len(d.Prog.Pipes))
+	errs, warns := res.Counts()
+	if errs > 0 || res.Info == nil {
+		fatal(fmt.Errorf("%s: %d error(s)", name, errs))
+	}
+	if warns > 0 && *werror {
+		fatal(fmt.Errorf("%s: %d warning(s) with -Werror", name, warns))
+	}
+	translations := core.TranslateProgram(res.Info)
+	fmt.Fprintf(os.Stderr, "xpdlc: %s: %d pipeline(s) checked and translated\n", name, len(res.Prog.Pipes))
 
 	if *dump {
-		for _, tr := range d.Translations {
+		for _, tr := range translations {
 			ast.Fprint(os.Stderr, tr.Pipe)
 		}
 	}
 
-	v := synth.Verilog(d.Info, d.Translations)
+	v := synth.Verilog(res.Info, translations)
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(v), 0o644); err != nil {
 			fatal(err)
@@ -77,7 +90,7 @@ func main() {
 	}
 
 	if *report {
-		low := ir.Lower(d.Info, d.Translations)
+		low := ir.Lower(res.Info, translations)
 		fmt.Fprint(os.Stderr, synth.Report(low, synth.ASIC45()))
 	}
 }

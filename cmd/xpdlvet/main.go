@@ -1,0 +1,106 @@
+// Command xpdlvet runs XPDL's static analyses — the error checks plus the
+// whole-program lints (static lock-order deadlock detection, dead code,
+// stage cost) — and reports structured diagnostics without compiling.
+//
+// Usage:
+//
+//	xpdlvet [-json] [-Werror] [-stage-budget ns] [file.xpdl ...]
+//	xpdlvet -design base|fatal|trap|csr|all [flags]
+//
+// Files may declare diagnostics they intentionally trigger with
+// `// xpdlvet:expect CODE ...` comments; expected diagnostics are
+// suppressed from the report, and expected codes that never fire are
+// flagged so the annotations cannot go stale. DIAGNOSTICS.md lists every
+// code.
+//
+// Exit status: 2 if any (unexpected) error was reported, 1 if -Werror and
+// any unexpected warning or unmet expectation remains, 0 otherwise. With
+// -json, one JSON array of every diagnostic from every input (expected
+// ones included) is written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xpdl/internal/designs"
+	"xpdl/internal/diag"
+	"xpdl/internal/vet"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
+	werror := flag.Bool("Werror", false, "treat warnings as errors (exit 1)")
+	budget := flag.Float64("stage-budget", 0, fmt.Sprintf("stage critical-path budget in ns (default %.1f)", vet.DefaultStageBudgetNS))
+	design := flag.String("design", "", "vet built-in processor variants (base|fatal|trap|csr|all)")
+	flag.Parse()
+
+	type input struct{ name, src string }
+	var inputs []input
+	if *design != "" {
+		found := false
+		for _, v := range designs.Variants() {
+			if *design == v.String() || *design == "all" {
+				inputs = append(inputs, input{"design:" + v.String(), designs.Source(v)})
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "xpdlvet: unknown design %q\n", *design)
+			os.Exit(2)
+		}
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpdlvet:", err)
+			os.Exit(2)
+		}
+		inputs = append(inputs, input{path, string(data)})
+	}
+	if len(inputs) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	totalErrs, totalWarns := 0, 0
+	var allDiags []diag.Diagnostic
+	for _, in := range inputs {
+		r := vet.Analyze(in.name, in.src, vet.Options{StageBudgetNS: *budget})
+		allDiags = append(allDiags, r.Diags...)
+		errs, warns := r.Counts()
+		totalErrs += errs
+		totalWarns += warns
+		if *jsonOut {
+			continue
+		}
+		rend := diag.NewRenderer(in.name, in.src)
+		fmt.Fprint(os.Stderr, rend.RenderAll(r.Unexpected))
+		for _, code := range r.Unmet {
+			fmt.Fprintf(os.Stderr, "%s: expected diagnostic %s never fired; drop it from the xpdlvet:expect directive\n", in.name, code)
+		}
+		if n := len(r.Expected); n > 0 {
+			fmt.Fprintf(os.Stderr, "xpdlvet: %s: %d expected diagnostic(s) suppressed\n", in.name, n)
+		}
+	}
+	if *jsonOut {
+		data, err := diag.ToJSON(allDiags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xpdlvet:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(data)
+	}
+
+	switch {
+	case totalErrs > 0:
+		fmt.Fprintf(os.Stderr, "xpdlvet: %d error(s), %d warning(s)\n", totalErrs, totalWarns)
+		os.Exit(2)
+	case totalWarns > 0:
+		fmt.Fprintf(os.Stderr, "xpdlvet: %d warning(s)\n", totalWarns)
+		if *werror {
+			os.Exit(1)
+		}
+	}
+}

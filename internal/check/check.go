@@ -18,13 +18,20 @@
 // Volatile memories (§3.6) get their own placement rules: reads only in
 // non-speculative in-order regions, writes only in final blocks, and no
 // lock operations ever.
+//
+// All findings are emitted as structured diag.Diagnostics with stable
+// codes (DIAGNOSTICS.md lists them). On top of the error analyses, three
+// whole-program warning passes run when a program is otherwise valid:
+// static lock-order deadlock detection (lockorder.go), dead-code and
+// unused-entity detection (deadcode.go), and the stage-cost lint
+// (cost.go). Use Analyze for the full structured interface; Check is the
+// legacy error-only entry point.
 package check
 
 import (
-	"errors"
 	"fmt"
-	"strings"
 
+	"xpdl/internal/diag"
 	"xpdl/internal/pdl/ast"
 	"xpdl/internal/pdl/token"
 )
@@ -78,15 +85,56 @@ type PipeInfo struct {
 // and except stages do not collide.
 const ExceptBase = 1000
 
-// Check runs all static analyses over a parsed program.
+// Options configures Analyze.
+type Options struct {
+	// MaxErrors caps the number of stored error diagnostics; when the
+	// cap trips, a final E-LIMIT diagnostic counts the suppressed rest.
+	// 0 means diag.DefaultMaxErrors.
+	MaxErrors int
+	// StageBudgetNS enables the stage-cost lint: stages whose estimated
+	// combinational depth exceeds the budget get a W-STAGE-COST warning.
+	// 0 disables the lint.
+	StageBudgetNS float64
+	// Cost is the delay model for the stage-cost lint (internal/synth
+	// derives one from its synthesis cost model). nil disables the lint.
+	Cost *CostModel
+	// NoWarnings suppresses the whole-program warning passes; error
+	// analyses still run.
+	NoWarnings bool
+}
+
+// Check runs all static analyses over a parsed program, returning an
+// error that joins the error diagnostics (warnings are not computed).
+// It is the legacy entry point; new callers should prefer Analyze.
 func Check(prog *ast.Program) (*Info, error) {
+	info, diags := Analyze(prog, Options{NoWarnings: true})
+	if err := diag.ToError(diags); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// Analyze runs every static analysis over a parsed program and returns
+// the analysis facts plus all diagnostics, sorted by source position.
+// The Info is valid only when no error diagnostics are present. Warning
+// passes (lock order, dead code, stage cost) run only on error-free
+// programs, where the resolution facts they rely on are trustworthy.
+func Analyze(prog *ast.Program, opts Options) (*Info, []diag.Diagnostic) {
 	c := &checker{
-		prog: prog,
+		prog:  prog,
+		diags: &diag.List{Max: opts.MaxErrors},
 		info: &Info{
 			Prog:   prog,
 			Consts: make(map[string]Const),
 			Pipes:  make(map[string]*PipeInfo),
 		},
+		lockSeq:     make(map[string][]lockEvent),
+		usedMems:    make(map[string]bool),
+		writtenMems: make(map[string]bool),
+		usedVols:    make(map[string]bool),
+		usedExterns: make(map[string]bool),
+		usedFuncs:   make(map[string]bool),
+		usedConsts:  make(map[string]bool),
 	}
 	c.collect()
 	for _, f := range prog.Funcs {
@@ -95,28 +143,54 @@ func Check(prog *ast.Program) (*Info, error) {
 	for _, p := range prog.Pipes {
 		c.checkPipe(p)
 	}
-	if len(c.errs) > 0 {
-		return nil, errors.New(strings.Join(c.errs, "\n"))
+	if !opts.NoWarnings && !c.diags.HasErrors() {
+		c.lockOrderPass()
+		c.deadCodePass()
+		if opts.StageBudgetNS > 0 && opts.Cost != nil {
+			c.stageCostPass(opts.Cost, opts.StageBudgetNS)
+		}
 	}
-	return c.info, nil
+	diags := c.diags.Flush()
+	diag.Sort(diags)
+	if c.diags.HasErrors() {
+		return nil, diags
+	}
+	return c.info, diags
 }
 
 type checker struct {
-	prog *ast.Program
-	info *Info
-	errs []string
+	prog  *ast.Program
+	info  *Info
+	diags *diag.List
 
 	externs map[string]*ast.ExternDecl
 	funcs   map[string]*ast.FuncDecl
 	mems    map[string]*ast.MemDecl
 	vols    map[string]*ast.VolDecl
 	pipes   map[string]*ast.PipeDecl
+
+	// lockSeq records, per pipeline, the textual sequence of lock
+	// operations for the static lock-order analysis.
+	lockSeq map[string][]lockEvent
+	// pipeLocals collects per-pipeline (and per-function) local-variable
+	// usage for the dead-code pass, in declaration order.
+	pipeLocals []*localUsage
+
+	// Whole-program use sets for the dead-code pass.
+	usedMems    map[string]bool
+	writtenMems map[string]bool
+	usedVols    map[string]bool
+	usedExterns map[string]bool
+	usedFuncs   map[string]bool
+	usedConsts  map[string]bool
 }
 
-func (c *checker) errorf(pos token.Pos, format string, args ...interface{}) {
-	if len(c.errs) < 50 {
-		c.errs = append(c.errs, fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...)))
-	}
+func (c *checker) errorf(pos token.Pos, code, format string, args ...interface{}) {
+	c.diags.Errorf(pos, code, format, args...)
+}
+
+func (c *checker) warnf(pos token.Pos, code, format string, args ...interface{}) {
+	c.diags.Warnf(pos, code, format, args...)
 }
 
 // collect resolves top-level declarations and evaluates constants.
@@ -130,7 +204,11 @@ func (c *checker) collect() {
 	seen := map[string]token.Pos{}
 	declare := func(name string, pos token.Pos) bool {
 		if prev, dup := seen[name]; dup {
-			c.errorf(pos, "%s redeclared (previously at %s)", name, prev)
+			c.diags.Add(diag.Diagnostic{
+				Pos: pos, Severity: diag.Error, Code: "E-REDECL",
+				Message: fmt.Sprintf("%s redeclared (previously at %s)", name, prev),
+				Related: []diag.Related{{Pos: prev, Message: "first declaration here"}},
+			})
 			return false
 		}
 		seen[name] = pos
@@ -141,7 +219,7 @@ func (c *checker) collect() {
 			c.mems[m.Name] = m
 		}
 		if m.Elem.Kind != ast.TUInt {
-			c.errorf(m.Pos, "memory %s must hold uint elements", m.Name)
+			c.errorf(m.Pos, "E-TYPE", "memory %s must hold uint elements", m.Name)
 		}
 	}
 	for _, v := range c.prog.Vols {
@@ -170,7 +248,7 @@ func (c *checker) collect() {
 		}
 		cv, ok := c.evalConst(cd.Value)
 		if !ok {
-			c.errorf(cd.Pos, "const %s is not a compile-time constant", cd.Name)
+			c.errorf(cd.Pos, "E-CONST", "const %s is not a compile-time constant", cd.Name)
 			continue
 		}
 		c.info.Consts[cd.Name] = cv

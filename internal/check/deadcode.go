@@ -1,0 +1,62 @@
+package check
+
+// Dead-code and unused-entity detection.
+//
+// The error analyses populate whole-program use sets (memories, volatile
+// registers, externs, functions, constants) and per-pipeline local-usage
+// tables as they resolve names; this pass reads them back and warns about
+// everything declared but never read. Statements that follow an
+// unconditional throw get W-UNREACHABLE at the walk itself (pipe.go),
+// since that needs statement order.
+
+import "xpdl/internal/pdl/ast"
+
+func (c *checker) deadCodePass() {
+	// Locals, in definition order per pipeline/function.
+	for _, lu := range c.pipeLocals {
+		for _, name := range lu.order {
+			if lu.used[name] {
+				continue
+			}
+			if lu.latched[name] {
+				c.warnf(lu.def[name], "W-DEAD-LATCH", "latched value %s in %s is written but never read (it still costs a stage register)", name, lu.owner)
+			} else {
+				c.warnf(lu.def[name], "W-DEAD-VAR", "%s in %s is assigned but never read", name, lu.owner)
+			}
+		}
+	}
+
+	// Declarations, in source order.
+	for _, m := range c.prog.Mems {
+		if c.mems[m.Name] != m {
+			continue // redeclared; only the first declaration is tracked
+		}
+		if !c.usedMems[m.Name] {
+			c.warnf(m.Pos, "W-DEAD-MEM", "memory %s is declared but never accessed", m.Name)
+			continue
+		}
+		if m.Lock != ast.LockNone && !c.writtenMems[m.Name] {
+			c.warnf(m.Pos, "W-DEAD-LOCK", "memory %s declares a %s lock but is never written; its lock is pure overhead (declare it nolock)", m.Name, m.Lock)
+		}
+	}
+	for _, v := range c.prog.Vols {
+		if c.vols[v.Name] == v && !c.usedVols[v.Name] {
+			c.warnf(v.Pos, "W-DEAD-VOL", "volatile %s is declared but never accessed", v.Name)
+		}
+	}
+	for _, e := range c.prog.Externs {
+		if c.externs[e.Name] == e && !c.usedExterns[e.Name] {
+			c.warnf(e.Pos, "W-DEAD-EXTERN", "extern %s is declared but never called", e.Name)
+		}
+	}
+	for _, f := range c.prog.Funcs {
+		if c.funcs[f.Name] == f && !c.usedFuncs[f.Name] {
+			c.warnf(f.Pos, "W-DEAD-FUNC", "function %s is declared but never called", f.Name)
+		}
+	}
+	for _, cd := range c.prog.Consts {
+		if _, tracked := c.info.Consts[cd.Name]; tracked && !c.usedConsts[cd.Name] {
+			c.warnf(cd.Pos, "W-DEAD-CONST", "const %s is declared but never used", cd.Name)
+		}
+	}
+}

@@ -32,12 +32,12 @@ func (pc *pipeChecker) exprTypeEx(e ast.Expr, allowSync bool) ast.Type {
 		switch n.Op {
 		case ast.OpNot:
 			if !isBoolish(t) {
-				c.errorf(n.ExprPos(), "operand of ! must be bool, got %s", t)
+				c.errorf(n.ExprPos(), "E-TYPE", "operand of ! must be bool, got %s", t)
 			}
 			return ast.BoolType()
 		case ast.OpBNot, ast.OpNeg:
 			if t.Kind != ast.TUInt {
-				c.errorf(n.ExprPos(), "operand of %s must be uint, got %s",
+				c.errorf(n.ExprPos(), "E-TYPE", "operand of %s must be uint, got %s",
 					map[ast.UnOp]string{ast.OpBNot: "~", ast.OpNeg: "-"}[n.Op], t)
 				return ast.UIntType(1)
 			}
@@ -48,7 +48,7 @@ func (pc *pipeChecker) exprTypeEx(e ast.Expr, allowSync bool) ast.Type {
 	case *ast.Ternary:
 		ct := pc.exprTypeEx(n.Cond, false)
 		if !isBoolish(ct) {
-			c.errorf(n.ExprPos(), "ternary condition must be bool, got %s", ct)
+			c.errorf(n.ExprPos(), "E-TYPE", "ternary condition must be bool, got %s", ct)
 		}
 		tt := pc.exprTypeEx(n.Then, false)
 		et := pc.exprTypeEx(n.Else, false)
@@ -58,7 +58,7 @@ func (pc *pipeChecker) exprTypeEx(e ast.Expr, allowSync bool) ast.Type {
 		case et.Kind == ast.TUInt && et.Width == 0:
 			return tt
 		case !tt.Equal(et):
-			c.errorf(n.ExprPos(), "ternary arms disagree: %s vs %s", tt, et)
+			c.errorf(n.ExprPos(), "E-TYPE", "ternary arms disagree: %s vs %s", tt, et)
 		}
 		return tt
 	case *ast.CallExpr:
@@ -70,17 +70,17 @@ func (pc *pipeChecker) exprTypeEx(e ast.Expr, allowSync bool) ast.Type {
 	case *ast.FieldAccess:
 		xt := pc.exprTypeEx(n.X, false)
 		if xt.Kind != ast.TRecord {
-			c.errorf(n.ExprPos(), "field access on non-record type %s", xt)
+			c.errorf(n.ExprPos(), "E-TYPE", "field access on non-record type %s", xt)
 			return ast.UIntType(1)
 		}
 		ft, ok := xt.FieldType(n.Field)
 		if !ok {
-			c.errorf(n.ExprPos(), "record has no field %q", n.Field)
+			c.errorf(n.ExprPos(), "E-UNDEF", "record has no field %q", n.Field)
 			return ast.UIntType(1)
 		}
 		return ft
 	}
-	c.errorf(e.ExprPos(), "internal expression %T is not allowed in source programs", e)
+	c.errorf(e.ExprPos(), "E-INTERNAL", "internal expression %T is not allowed in source programs", e)
 	return ast.UIntType(1)
 }
 
@@ -88,26 +88,30 @@ func (pc *pipeChecker) identType(n *ast.Ident) ast.Type {
 	c := pc.c
 	name := n.Name
 	if t, ok := pc.vars[name]; ok {
+		pc.locals.used[name] = true
 		if avail := pc.availStage[name]; avail > pc.stage {
-			c.errorf(n.ExprPos(), "%s is not available until %s (latched values are visible from the next stage)", name, fmtAvail(avail))
+			c.errorf(n.ExprPos(), "E-AVAIL", "%s is not available until %s (latched values are visible from the next stage)", name, fmtAvail(avail))
 		}
 		return t
 	}
 	if cv, ok := c.info.Consts[name]; ok {
+		c.usedConsts[name] = true
 		if cv.IsBool {
 			return ast.BoolType()
 		}
 		return ast.UIntType0(cv.Width)
 	}
 	if v := c.vols[name]; v != nil {
+		c.usedVols[name] = true
 		pc.checkVolRead(name, n.ExprPos())
 		return v.Elem
 	}
 	if c.mems[name] != nil {
-		c.errorf(n.ExprPos(), "memory %s must be read with an index", name)
+		c.usedMems[name] = true
+		c.errorf(n.ExprPos(), "E-TYPE", "memory %s must be read with an index", name)
 		return ast.UIntType(1)
 	}
-	c.errorf(n.ExprPos(), "undefined name %q", name)
+	c.errorf(n.ExprPos(), "E-UNDEF", "undefined name %q", name)
 	return ast.UIntType(1)
 }
 
@@ -116,14 +120,14 @@ func (pc *pipeChecker) identType(n *ast.Ident) ast.Type {
 // after the spec_barrier when the pipeline speculates).
 func (pc *pipeChecker) checkVolRead(name string, pos token.Pos) {
 	if !pc.mods[name] {
-		pc.c.errorf(pos, "volatile %s is not connected to pipe %s", name, pc.pipe.Name)
+		pc.c.errorf(pos, "E-CONNECT", "volatile %s is not connected to pipe %s", name, pc.pipe.Name)
 		return
 	}
 	if pc.region != regBody {
 		return // final blocks are always non-speculative and in-order
 	}
 	if pc.specUsed && (!pc.sawBarrier || pc.stage < pc.info.BarrierStage) {
-		pc.c.errorf(pos, "volatile %s read in a speculative region; place the read after spec_barrier (§3.6)", name)
+		pc.c.errorf(pos, "E-VOL-READ", "volatile %s read in a speculative region; place the read after spec_barrier (§3.6)", name)
 	}
 }
 
@@ -134,27 +138,27 @@ func (pc *pipeChecker) binaryType(n *ast.Binary) ast.Type {
 	switch n.Op {
 	case ast.OpLAnd, ast.OpLOr:
 		if !isBoolish(lt) || !isBoolish(rt) {
-			c.errorf(n.ExprPos(), "operands of %s must be bool, got %s and %s", n.Op, lt, rt)
+			c.errorf(n.ExprPos(), "E-TYPE", "operands of %s must be bool, got %s and %s", n.Op, lt, rt)
 		}
 		return ast.BoolType()
 	case ast.OpEq, ast.OpNe, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
 		if !comparable2(lt, rt) {
-			c.errorf(n.ExprPos(), "cannot compare %s with %s", lt, rt)
+			c.errorf(n.ExprPos(), "E-TYPE", "cannot compare %s with %s", lt, rt)
 		}
 		return ast.BoolType()
 	case ast.OpShl, ast.OpShr:
 		if lt.Kind != ast.TUInt || rt.Kind != ast.TUInt {
-			c.errorf(n.ExprPos(), "shift operands must be uint, got %s and %s", lt, rt)
+			c.errorf(n.ExprPos(), "E-TYPE", "shift operands must be uint, got %s and %s", lt, rt)
 			return ast.UIntType(1)
 		}
 		return lt
 	default: // arithmetic and bitwise
 		if lt.Kind != ast.TUInt || rt.Kind != ast.TUInt {
-			c.errorf(n.ExprPos(), "operands of %s must be uint, got %s and %s", n.Op, lt, rt)
+			c.errorf(n.ExprPos(), "E-TYPE", "operands of %s must be uint, got %s and %s", n.Op, lt, rt)
 			return ast.UIntType(1)
 		}
 		if lt.Width != 0 && rt.Width != 0 && lt.Width != rt.Width {
-			c.errorf(n.ExprPos(), "width mismatch in %s: uint<%d> vs uint<%d>", n.Op, lt.Width, rt.Width)
+			c.errorf(n.ExprPos(), "E-TYPE", "width mismatch in %s: uint<%d> vs uint<%d>", n.Op, lt.Width, rt.Width)
 		}
 		if lt.Width == 0 {
 			return rt
@@ -188,42 +192,42 @@ func (pc *pipeChecker) callType(n *ast.CallExpr) ast.Type {
 	// Builtins.
 	if n.Name == "cat" {
 		if len(n.Args) < 2 {
-			c.errorf(n.ExprPos(), "cat needs at least two operands")
+			c.errorf(n.ExprPos(), "E-CALL", "cat needs at least two operands")
 			return ast.UIntType(1)
 		}
 		width := 0
 		for _, a := range n.Args {
 			t := pc.exprTypeEx(a, false)
 			if t.Kind != ast.TUInt && t.Kind != ast.TBool {
-				c.errorf(n.ExprPos(), "cat operand has type %s; need sized uint or bool", t)
+				c.errorf(n.ExprPos(), "E-TYPE", "cat operand has type %s; need sized uint or bool", t)
 				return ast.UIntType(1)
 			}
 			if t.Kind == ast.TUInt && t.Width == 0 {
-				c.errorf(n.ExprPos(), "cat operands must have explicit widths (use sized literals)")
+				c.errorf(n.ExprPos(), "E-TYPE", "cat operands must have explicit widths (use sized literals)")
 				return ast.UIntType(1)
 			}
 			width += t.BitWidth()
 		}
 		if width > 64 {
-			c.errorf(n.ExprPos(), "cat result is %d bits; the maximum is 64", width)
+			c.errorf(n.ExprPos(), "E-TYPE", "cat result is %d bits; the maximum is 64", width)
 			width = 64
 		}
 		return ast.UIntType(width)
 	}
 	if arity, isBuiltin := builtinArity[n.Name]; isBuiltin {
 		if len(n.Args) != arity {
-			c.errorf(n.ExprPos(), "%s takes %d arguments, got %d", n.Name, arity, len(n.Args))
+			c.errorf(n.ExprPos(), "E-CALL", "%s takes %d arguments, got %d", n.Name, arity, len(n.Args))
 			return ast.UIntType(1)
 		}
 		switch n.Name {
 		case "ext", "sext":
 			t := pc.exprTypeEx(n.Args[0], false)
 			if t.Kind != ast.TUInt {
-				c.errorf(n.ExprPos(), "%s needs a uint operand, got %s", n.Name, t)
+				c.errorf(n.ExprPos(), "E-TYPE", "%s needs a uint operand, got %s", n.Name, t)
 			}
 			w, ok := c.constInt(n.Args[1])
 			if !ok || w < 1 || w > 64 {
-				c.errorf(n.ExprPos(), "%s width must be a constant between 1 and 64", n.Name)
+				c.errorf(n.ExprPos(), "E-CONST", "%s width must be a constant between 1 and 64", n.Name)
 				return ast.UIntType(1)
 			}
 			return ast.UIntType(int(w))
@@ -231,7 +235,7 @@ func (pc *pipeChecker) callType(n *ast.CallExpr) ast.Type {
 			lt := pc.exprTypeEx(n.Args[0], false)
 			rt := pc.exprTypeEx(n.Args[1], false)
 			if !comparable2(lt, rt) {
-				c.errorf(n.ExprPos(), "cannot compare %s with %s", lt, rt)
+				c.errorf(n.ExprPos(), "E-TYPE", "cannot compare %s with %s", lt, rt)
 			}
 			return ast.BoolType()
 		case "shra", "divs", "rems":
@@ -242,7 +246,7 @@ func (pc *pipeChecker) callType(n *ast.CallExpr) ast.Type {
 			lt := pc.exprTypeEx(n.Args[0], false)
 			rt := pc.exprTypeEx(n.Args[1], false)
 			if lt.Kind != ast.TUInt || rt.Kind != ast.TUInt {
-				c.errorf(n.ExprPos(), "mulfull needs uint operands")
+				c.errorf(n.ExprPos(), "E-TYPE", "mulfull needs uint operands")
 				return ast.UIntType(1)
 			}
 			w := lt.Width * 2
@@ -260,21 +264,23 @@ func (pc *pipeChecker) callType(n *ast.CallExpr) ast.Type {
 	var params []ast.Param
 	var result ast.Type
 	if ex := c.externs[n.Name]; ex != nil {
+		c.usedExterns[n.Name] = true
 		params, result = ex.Params, ex.Result
 	} else if fn := c.funcs[n.Name]; fn != nil {
+		c.usedFuncs[n.Name] = true
 		params, result = fn.Params, fn.Result
 	} else {
-		c.errorf(n.ExprPos(), "call to undefined function %q", n.Name)
+		c.errorf(n.ExprPos(), "E-UNDEF", "call to undefined function %q", n.Name)
 		return ast.UIntType(1)
 	}
 	if len(n.Args) != len(params) {
-		c.errorf(n.ExprPos(), "%s takes %d arguments, got %d", n.Name, len(params), len(n.Args))
+		c.errorf(n.ExprPos(), "E-CALL", "%s takes %d arguments, got %d", n.Name, len(params), len(n.Args))
 		return result
 	}
 	for i, a := range n.Args {
 		t := pc.exprTypeEx(a, false)
 		if !assignable(params[i].Type, t) {
-			c.errorf(n.ExprPos(), "%s argument %d has type %s, parameter is %s", n.Name, i, t, params[i].Type)
+			c.errorf(n.ExprPos(), "E-TYPE", "%s argument %d has type %s, parameter is %s", n.Name, i, t, params[i].Type)
 		}
 	}
 	return result
@@ -284,17 +290,18 @@ func (pc *pipeChecker) memReadType(n *ast.MemRead, allowSync bool) ast.Type {
 	c := pc.c
 	m := c.mems[n.Mem]
 	if m == nil {
-		c.errorf(n.ExprPos(), "unknown memory %q", n.Mem)
+		c.errorf(n.ExprPos(), "E-UNDEF", "unknown memory %q", n.Mem)
 		return ast.UIntType(1)
 	}
+	c.usedMems[n.Mem] = true
 	if !pc.mods[n.Mem] {
-		c.errorf(n.ExprPos(), "memory %s is not connected to pipe %s", n.Mem, pc.pipe.Name)
+		c.errorf(n.ExprPos(), "E-CONNECT", "memory %s is not connected to pipe %s", n.Mem, pc.pipe.Name)
 	}
 	if !m.CombRead && !allowSync {
-		c.errorf(n.ExprPos(), "memory %s is sync-read; its value must be latched with <- before use", n.Mem)
+		c.errorf(n.ExprPos(), "E-SYNC-READ", "memory %s is sync-read; its value must be latched with <- before use", n.Mem)
 	}
 	if !m.CombRead && pc.region == regExcept && pc.stage == ExceptBase+pc.info.ExceptStages-1 {
-		c.errorf(n.ExprPos(), "Rule 1b: the last except stage cannot issue asynchronous memory reads")
+		c.errorf(n.ExprPos(), "E-R1B", "Rule 1b: the last except stage cannot issue asynchronous memory reads")
 	}
 	pc.exprTypeEx(n.Index, false)
 
@@ -310,9 +317,9 @@ func (pc *pipeChecker) memReadType(n *ast.MemRead, allowSync bool) ast.Type {
 		}
 		switch {
 		case ls == nil || ls.released:
-			c.errorf(n.ExprPos(), "read of %s requires a lock reservation (reserve/acquire %s first)", key, key)
+			c.errorf(n.ExprPos(), "E-LOCK-NORESERVE", "read of %s requires a lock reservation (reserve/acquire %s first)", key, key)
 		case !ls.blocked && m.Lock != ast.LockBypass:
-			c.errorf(n.ExprPos(), "read of %s requires an owned lock (acquire/block %s first)", key, key)
+			c.errorf(n.ExprPos(), "E-LOCK-UNOWNED", "read of %s requires an owned lock (acquire/block %s first)", key, key)
 		}
 	}
 	return m.Elem
@@ -322,21 +329,21 @@ func (pc *pipeChecker) sliceType(n *ast.Slice) ast.Type {
 	c := pc.c
 	xt := pc.exprTypeEx(n.X, false)
 	if xt.Kind != ast.TUInt {
-		c.errorf(n.ExprPos(), "slicing needs a uint operand, got %s", xt)
+		c.errorf(n.ExprPos(), "E-TYPE", "slicing needs a uint operand, got %s", xt)
 		return ast.UIntType(1)
 	}
 	hi, okH := c.constInt(n.Hi)
 	lo, okL := c.constInt(n.Lo)
 	if !okH || !okL {
-		c.errorf(n.ExprPos(), "slice bounds must be compile-time constants")
+		c.errorf(n.ExprPos(), "E-CONST", "slice bounds must be compile-time constants")
 		return ast.UIntType(1)
 	}
 	if hi < lo {
-		c.errorf(n.ExprPos(), "inverted slice [%d:%d]", hi, lo)
+		c.errorf(n.ExprPos(), "E-TYPE", "inverted slice [%d:%d]", hi, lo)
 		return ast.UIntType(1)
 	}
 	if xt.Width != 0 && int(hi) >= xt.Width {
-		c.errorf(n.ExprPos(), "slice [%d:%d] exceeds uint<%d>", hi, lo, xt.Width)
+		c.errorf(n.ExprPos(), "E-TYPE", "slice [%d:%d] exceeds uint<%d>", hi, lo, xt.Width)
 		return ast.UIntType(1)
 	}
 	return ast.UIntType(int(hi-lo) + 1)
@@ -353,7 +360,9 @@ func (c *checker) checkFunc(f *ast.FuncDecl) {
 		mods:       map[string]bool{},
 		locks:      map[string]*lockState{},
 		info:       &PipeInfo{BarrierStage: -1, LockedMems: map[string]bool{}},
+		locals:     newLocalUsage("func " + f.Name),
 	}
+	c.pipeLocals = append(c.pipeLocals, pc.locals)
 	for _, p := range f.Params {
 		pc.defineVar(p.Name, p.Type, 0, f.Pos)
 	}
@@ -362,27 +371,27 @@ func (c *checker) checkFunc(f *ast.FuncDecl) {
 		switch n := s.(type) {
 		case *ast.Assign:
 			if n.Latched {
-				c.errorf(n.StmtPos(), "functions are combinational; use = not <-")
+				c.errorf(n.StmtPos(), "E-FUNC", "functions are combinational; use = not <-")
 				continue
 			}
 			t := pc.exprType(n.RHS)
-			pc.defineVar(n.Name, t, 0, n.StmtPos())
+			pc.defineLocal(n.Name, t, 0, false, n.StmtPos())
 		case *ast.If:
 			pc.stmt(n)
 		case *ast.Return:
 			sawReturn = true
 			if i != len(f.Body)-1 {
-				c.errorf(n.StmtPos(), "return must be the last statement of function %s", f.Name)
+				c.errorf(n.StmtPos(), "E-FUNC", "return must be the last statement of function %s", f.Name)
 			}
 			t := pc.exprType(n.Value)
 			if !assignable(f.Result, t) {
-				c.errorf(n.StmtPos(), "function %s returns %s, declared %s", f.Name, t, f.Result)
+				c.errorf(n.StmtPos(), "E-FUNC", "function %s returns %s, declared %s", f.Name, t, f.Result)
 			}
 		default:
-			c.errorf(s.StmtPos(), "statement %T is not allowed in a combinational function", s)
+			c.errorf(s.StmtPos(), "E-FUNC", "statement %T is not allowed in a combinational function", s)
 		}
 	}
 	if !sawReturn {
-		c.errorf(f.Pos, "function %s has no return", f.Name)
+		c.errorf(f.Pos, "E-FUNC", "function %s has no return", f.Name)
 	}
 }

@@ -1,0 +1,47 @@
+package check
+
+import (
+	"testing"
+
+	"xpdl/internal/pdl/parser"
+)
+
+// FuzzCheck drives the full analysis pipeline — parse, static checks,
+// and (when the program is error-free) every warning pass — over
+// arbitrary input. Anything the parser accepts, Analyze must survive
+// without panicking.
+func FuzzCheck(f *testing.F) {
+	f.Add(okXPDL)
+	f.Add(crossLockSrc)
+	f.Add(`pipe p(x: uint<8>)[] { y = z; }`)
+	f.Add(`
+memory m: uint<8>[4] with basic, comb_read;
+pipe p(x: uint<2>)[m] {
+    acquire(m[x], W);
+    m[x] <- 1;
+    release(m[x]);
+}
+func f(a: uint<8>) -> uint<8> { return a + 1; }
+`)
+	f.Add(`
+volatile v: uint<8>;
+pipe p(x: uint<8>)[v] {
+    s <- spec_call p(x + 1);
+    ---
+    spec_barrier();
+    verify(s);
+    if (x == 0) { throw(5'd1); }
+commit:
+    v <- x;
+except(c: uint<5>):
+    skip;
+}
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		Analyze(prog, Options{StageBudgetNS: 1, Cost: &CostModel{}})
+	})
+}

@@ -1,0 +1,215 @@
+package check
+
+// Static lock-order deadlock detection.
+//
+// Lock queues serialize reservations per memory entry, so two pipelines
+// that interleave reservations of the same two entries in opposite orders
+// can each end up blocked on a lock the other holds (the dynamic watchdog
+// in internal/sim detects exactly this at runtime). This pass finds the
+// hazard statically: it replays each pipeline's lock statements in textual
+// order, records a "holds A, then blocks on B" edge for every lock held
+// across a blocking operation, and reports every cycle in the resulting
+// lock-order graph as a W-LOCK-ORDER warning with the full witness chain.
+//
+// Lock targets are canonicalized into alias nodes: a compile-time-constant
+// index is its own node ("rf[#3]"), so constant-indexed entries of the
+// same memory can participate in a cycle, while dynamic indices and
+// whole-memory locks collapse conservatively to "rf[*]".
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xpdl/internal/diag"
+	"xpdl/internal/pdl/ast"
+	"xpdl/internal/pdl/token"
+)
+
+// lockEdge is one "holds from, then blocks on to" observation, with the
+// source positions that witness it. Each (from, to) pair keeps one
+// witness per pipeline.
+type lockEdge struct {
+	from, to string
+	pipe     string
+	heldKey  string
+	heldPos  token.Pos
+	acqKey   string
+	acqPos   token.Pos
+}
+
+// maxLockCycles bounds the number of reported cycles; beyond it the graph
+// is degenerate enough that more reports add noise, not information.
+const maxLockCycles = 8
+
+func (c *checker) lockOrderPass() {
+	edges := make(map[[2]string][]lockEdge)
+	var edgeOrder [][2]string
+
+	type held struct {
+		key  string
+		node string
+		pos  token.Pos
+	}
+	for _, p := range c.prog.Pipes {
+		var hs []held
+		inExcept := false
+		for _, ev := range c.lockSeq[p.Name] {
+			if ev.reg == regExcept && !inExcept {
+				// Rollback aborts body reservations before the except
+				// block runs, so its held-set starts empty.
+				hs, inExcept = nil, true
+			}
+			switch ev.op {
+			case ast.LockReserve:
+				hs = append(hs, held{ev.key, ev.node, ev.pos})
+			case ast.LockAcquire, ast.LockBlock:
+				for _, h := range hs {
+					if h.node == ev.node {
+						continue
+					}
+					k := [2]string{h.node, ev.node}
+					seen := false
+					for _, e := range edges[k] {
+						if e.pipe == p.Name {
+							seen = true
+							break
+						}
+					}
+					if seen {
+						continue
+					}
+					if len(edges[k]) == 0 {
+						edgeOrder = append(edgeOrder, k)
+					}
+					edges[k] = append(edges[k], lockEdge{
+						from: h.node, to: ev.node, pipe: p.Name,
+						heldKey: h.key, heldPos: h.pos,
+						acqKey: ev.key, acqPos: ev.pos,
+					})
+				}
+				if ev.op == ast.LockAcquire {
+					hs = append(hs, held{ev.key, ev.node, ev.pos})
+				}
+			case ast.LockRelease:
+				for i, h := range hs {
+					if h.key == ev.key {
+						hs = append(hs[:i], hs[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Cycles are searched over exact alias nodes. A cycle mixing a
+	// constant index with a dynamic index of the same memory lands on
+	// different nodes and is missed (false negative); the flip side is
+	// that disjoint constant entries never produce false positives.
+	adj := make(map[string][]string)
+	for _, k := range edgeOrder {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+
+	for _, cyc := range findCycles(adj, maxLockCycles) {
+		witness, pipes := pickWitnesses(cyc, edges)
+		// A cycle witnessed by a single in-order pipeline is benign:
+		// its instructions reserve every lock in program order, and
+		// reservation queues grant ownership in reservation order, so an
+		// older instruction never waits on a younger one. A deadlock
+		// needs two pipelines interleaving reservations in opposite
+		// orders (the scenario internal/sim's watchdog traps at runtime).
+		if pipes < 2 {
+			continue
+		}
+		var related []diag.Related
+		for _, e := range witness {
+			related = append(related,
+				diag.Related{Pos: e.heldPos, Message: fmt.Sprintf("pipe %s holds %s (reserved here) ...", e.pipe, e.heldKey)},
+				diag.Related{Pos: e.acqPos, Message: fmt.Sprintf("... while blocking on %s here", e.acqKey)},
+			)
+		}
+		c.diags.Add(diag.Diagnostic{
+			Pos: witness[0].acqPos, Severity: diag.Warning, Code: "W-LOCK-ORDER",
+			Message: fmt.Sprintf("potential deadlock: lock-order cycle %s across %d pipelines",
+				strings.Join(append(append([]string{}, cyc...), cyc[0]), " -> "), pipes),
+			Notes:   []string{"acquire locks in one global order (or release before re-acquiring) to break the cycle"},
+			Related: related,
+		})
+	}
+}
+
+// pickWitnesses chooses one witness edge per cycle step for display
+// (greedy: prefer a pipeline not yet shown) and counts the distinct
+// pipelines able to witness any edge of the cycle — two pipelines that
+// each witness every edge can still deadlock against each other, so the
+// danger test is the union, not the displayed assignment.
+func pickWitnesses(cyc []string, edges map[[2]string][]lockEdge) ([]lockEdge, int) {
+	chosen := make([]lockEdge, 0, len(cyc))
+	used := map[string]bool{}
+	union := map[string]bool{}
+	for i := range cyc {
+		cands := edges[[2]string{cyc[i], cyc[(i+1)%len(cyc)]}]
+		best := cands[0]
+		for _, e := range cands {
+			union[e.pipe] = true
+			if !used[best.pipe] {
+				continue
+			}
+			if !used[e.pipe] {
+				best = e
+			}
+		}
+		used[best.pipe] = true
+		chosen = append(chosen, best)
+	}
+	return chosen, len(union)
+}
+
+// findCycles enumerates up to max simple cycles of the graph, each
+// rotated so its lexicographically smallest node comes first and reported
+// once. Enumeration is deterministic: nodes and successors are visited in
+// sorted order.
+func findCycles(adj map[string][]string, max int) [][]string {
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var cycles [][]string
+	var path []string
+	onPath := map[string]bool{}
+
+	var dfs func(start, at string)
+	dfs = func(start, at string) {
+		if len(cycles) >= max {
+			return
+		}
+		path = append(path, at)
+		onPath[at] = true
+		for _, next := range adj[at] {
+			if next == start {
+				cycles = append(cycles, append([]string(nil), path...))
+				if len(cycles) >= max {
+					break
+				}
+				continue
+			}
+			// Restricting the walk to nodes after start reports each
+			// cycle exactly once, at its smallest node.
+			if next > start && !onPath[next] {
+				dfs(start, next)
+			}
+		}
+		onPath[at] = false
+		path = path[:len(path)-1]
+	}
+	for _, n := range nodes {
+		dfs(n, n)
+	}
+	return cycles
+}

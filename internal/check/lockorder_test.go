@@ -1,0 +1,182 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/diag"
+	"xpdl/internal/pdl/parser"
+)
+
+// analyzeWarn parses an error-free program and returns its warnings.
+func analyzeWarn(t *testing.T, src string) []diag.Diagnostic {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse failed:\n%v", err)
+	}
+	info, diags := Analyze(prog, Options{})
+	if info == nil {
+		t.Fatalf("check failed:\n%v", diag.ToError(diags))
+	}
+	return diags
+}
+
+func warnsWithCode(diags []diag.Diagnostic, code string) []diag.Diagnostic {
+	var out []diag.Diagnostic
+	for _, d := range diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// The dynamic cross-lock deadlock fixture from internal/sim's
+// watchdog_test.go: statically well-formed (every reservation is
+// released), but pipes a and b take m1/m2 in opposite orders. PR 2's
+// watchdog catches this at cycle ~200; the lock-order pass must catch it
+// at compile time.
+const crossLockSrc = `
+memory m1: uint<32>[4] with basic, comb_read;
+memory m2: uint<32>[4] with basic, comb_read;
+pipe a(i: uint<32>)[m1, m2] {
+    acquire(m1[2'd0], W);
+    ---
+    acquire(m2[2'd0], W);
+    m1[2'd0] <- i;
+    m2[2'd0] <- i + 1;
+    release(m1[2'd0]);
+    release(m2[2'd0]);
+}
+pipe b(i: uint<32>)[m1, m2] {
+    acquire(m2[2'd0], W);
+    ---
+    acquire(m1[2'd0], W);
+    m2[2'd0] <- i;
+    m1[2'd0] <- i + 1;
+    release(m2[2'd0]);
+    release(m1[2'd0]);
+}
+`
+
+func TestLockOrderFlagsCrossLockDeadlock(t *testing.T) {
+	warns := warnsWithCode(analyzeWarn(t, crossLockSrc), "W-LOCK-ORDER")
+	if len(warns) != 1 {
+		t.Fatalf("got %d W-LOCK-ORDER warnings, want 1", len(warns))
+	}
+	w := warns[0]
+	if !strings.Contains(w.Message, "m1[#0] -> m2[#0] -> m1[#0]") {
+		t.Errorf("message %q does not name the cycle", w.Message)
+	}
+	if !strings.Contains(w.Message, "across 2 pipelines") {
+		t.Errorf("message %q does not count the pipelines", w.Message)
+	}
+	// The witness chain must show, for each cycle edge, where the lock is
+	// held and where the blocking acquisition happens — both pipes.
+	if len(w.Related) != 4 {
+		t.Fatalf("witness chain has %d entries, want 4: %v", len(w.Related), w.Related)
+	}
+	chain := ""
+	for _, r := range w.Related {
+		if !r.Pos.IsValid() {
+			t.Errorf("witness %q has no source anchor", r.Message)
+		}
+		chain += r.Message + "\n"
+	}
+	for _, frag := range []string{"pipe a holds", "pipe b holds", "blocking on m1[2'd0]", "blocking on m2[2'd0]"} {
+		if !strings.Contains(chain, frag) {
+			t.Errorf("witness chain %q missing %q", chain, frag)
+		}
+	}
+}
+
+// A single in-order pipeline that takes two locks "out of order" with
+// itself cannot deadlock: reservations are made in program order and
+// granted in reservation order. The pass must stay quiet.
+func TestLockOrderIgnoresSinglePipeCycle(t *testing.T) {
+	src := `
+memory m1: uint<32>[4] with basic, comb_read;
+memory m2: uint<32>[4] with basic, comb_read;
+pipe a(i: uint<32>)[m1, m2] {
+    acquire(m1[2'd0], W);
+    ---
+    acquire(m2[2'd0], W);
+    m1[2'd0] <- i;
+    release(m1[2'd0]);
+    ---
+    acquire(m1[2'd1], W);
+    m2[2'd0] <- i;
+    m1[2'd1] <- i;
+    release(m2[2'd0]);
+    release(m1[2'd1]);
+}
+`
+	if warns := warnsWithCode(analyzeWarn(t, src), "W-LOCK-ORDER"); len(warns) != 0 {
+		t.Errorf("single-pipe program warned: %v", warns)
+	}
+}
+
+// Two pipes taking the same two locks in the SAME order cannot deadlock
+// (a consistent global order exists); the graph has no cycle.
+func TestLockOrderAcceptsConsistentOrder(t *testing.T) {
+	src := `
+memory m1: uint<32>[4] with basic, comb_read;
+memory m2: uint<32>[4] with basic, comb_read;
+pipe a(i: uint<32>)[m1, m2] {
+    acquire(m1[2'd0], W);
+    ---
+    acquire(m2[2'd0], W);
+    m1[2'd0] <- i;
+    m2[2'd0] <- i;
+    release(m1[2'd0]);
+    release(m2[2'd0]);
+}
+pipe b(i: uint<32>)[m1, m2] {
+    acquire(m1[2'd0], W);
+    ---
+    acquire(m2[2'd0], W);
+    m1[2'd0] <- i + 1;
+    m2[2'd0] <- i + 1;
+    release(m1[2'd0]);
+    release(m2[2'd0]);
+}
+`
+	if warns := warnsWithCode(analyzeWarn(t, src), "W-LOCK-ORDER"); len(warns) != 0 {
+		t.Errorf("consistent-order program warned: %v", warns)
+	}
+}
+
+// Locks reserved in the body do not survive into the except block
+// (rollback aborts them), so a body-hold plus an except-acquire must not
+// form an edge. Read locks are Rule-1a-legal in except blocks.
+func TestLockOrderExceptStartsEmptyHanded(t *testing.T) {
+	src := `
+memory m1: uint<32>[4] with basic, comb_read;
+memory m2: uint<32>[4] with basic, comb_read;
+pipe a(i: uint<32>)[m1, m2] {
+    acquire(m1[2'd0], W);
+    m1[2'd0] <- i;
+    if (i == 0) { throw(5'd1); }
+commit:
+    release(m1[2'd0]);
+except(c: uint<5>):
+    acquire(m2[2'd0], R);
+    y = m2[2'd0];
+    release(m2[2'd0]);
+    call a(y);
+}
+pipe b(i: uint<32>)[m1, m2] {
+    acquire(m2[2'd0], W);
+    ---
+    acquire(m1[2'd0], W);
+    m2[2'd0] <- i;
+    m1[2'd0] <- i;
+    release(m2[2'd0]);
+    release(m1[2'd0]);
+}
+`
+	if warns := warnsWithCode(analyzeWarn(t, src), "W-LOCK-ORDER"); len(warns) != 0 {
+		t.Errorf("except-block locks leaked into the held-set: %v", warns)
+	}
+}

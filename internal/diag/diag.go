@@ -1,0 +1,202 @@
+// Package diag defines the structured diagnostics XPDL's static analyses
+// emit: a Diagnostic carries a source span, a severity, a stable code
+// (E-… for errors, W-… for warnings; see DIAGNOSTICS.md for the full
+// table), a human message, optional free-form notes, and related
+// positions (e.g. the acquisition sites witnessing a lock-order cycle).
+//
+// The package also provides caret-style source-excerpt rendering
+// (render.go), machine-readable JSON output (json.go), and the
+// `xpdlvet:` source-comment directives that mark expected diagnostics in
+// test fixtures (directives.go).
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xpdl/internal/pdl/token"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+// Severities, in increasing order of gravity.
+const (
+	Note Severity = iota
+	Warning
+	Error
+)
+
+// String names the severity as rendered in output.
+func (s Severity) String() string {
+	switch s {
+	case Note:
+		return "note"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Related anchors an auxiliary position to a diagnostic: a witness step
+// in a deadlock chain, the first of two conflicting declarations, etc.
+type Related struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Diagnostic is one finding of a static analysis.
+type Diagnostic struct {
+	// Pos is where the finding anchors; every diagnostic must carry a
+	// real (non-zero) position. End, when set, extends the span on the
+	// same line for multi-column carets; zero means "one column".
+	Pos token.Pos
+	End token.Pos
+
+	Severity Severity
+	// Code is the stable machine-readable identifier (e.g. "E-R3",
+	// "W-LOCK-ORDER"). Codes never change meaning across releases.
+	Code    string
+	Message string
+
+	// Notes are free-form follow-up lines (fix hints, model details).
+	Notes []string
+	// Related lists auxiliary source positions with their own captions.
+	Related []Related
+}
+
+// String renders the one-line form: "line:col: severity[CODE]: message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s[%s]: %s", d.Pos, d.Severity, d.Code, d.Message)
+}
+
+// List accumulates diagnostics with a cap on stored errors. Beyond Max
+// errors further error diagnostics are counted but not stored; Flush
+// materializes the count as a final E-LIMIT diagnostic so truncation is
+// never silent. Warnings and notes are not capped.
+type List struct {
+	// Max bounds the number of stored error diagnostics; 0 means the
+	// DefaultMaxErrors cap.
+	Max     int
+	Diags   []Diagnostic
+	dropped int
+	lastPos token.Pos
+}
+
+// DefaultMaxErrors is the error cap applied when List.Max is zero.
+const DefaultMaxErrors = 50
+
+func (l *List) max() int {
+	if l.Max > 0 {
+		return l.Max
+	}
+	return DefaultMaxErrors
+}
+
+// Add appends a diagnostic, enforcing the error cap.
+func (l *List) Add(d Diagnostic) {
+	if d.Severity == Error {
+		if l.errorCount() >= l.max() {
+			l.dropped++
+			l.lastPos = d.Pos
+			return
+		}
+	}
+	l.Diags = append(l.Diags, d)
+}
+
+// Errorf adds an error diagnostic with a formatted message.
+func (l *List) Errorf(pos token.Pos, code, format string, args ...interface{}) {
+	l.Add(Diagnostic{Pos: pos, Severity: Error, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// Warnf adds a warning diagnostic with a formatted message.
+func (l *List) Warnf(pos token.Pos, code, format string, args ...interface{}) {
+	l.Add(Diagnostic{Pos: pos, Severity: Warning, Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+func (l *List) errorCount() int {
+	n := 0
+	for _, d := range l.Diags {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any error diagnostic was added (stored or
+// dropped by the cap).
+func (l *List) HasErrors() bool { return l.errorCount() > 0 || l.dropped > 0 }
+
+// Flush finalizes the list: if the error cap dropped diagnostics, a
+// closing E-LIMIT error records how many, anchored at the first dropped
+// position. It returns the stored diagnostics.
+func (l *List) Flush() []Diagnostic {
+	if l.dropped > 0 {
+		l.Diags = append(l.Diags, Diagnostic{
+			Pos:      l.lastPos,
+			Severity: Error,
+			Code:     "E-LIMIT",
+			Message:  fmt.Sprintf("too many errors: %d more diagnostic(s) suppressed", l.dropped),
+			Notes:    []string{"fix the errors above and re-run to see the rest"},
+		})
+		l.dropped = 0
+	}
+	return l.Diags
+}
+
+// Sort orders diagnostics by source position (line, then column), with
+// errors before warnings at the same position.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Severity > b.Severity
+	})
+}
+
+// Errors filters the error-severity diagnostics.
+func Errors(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Warnings filters the warning-severity diagnostics.
+func Warnings(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity == Warning {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ToError converts the error diagnostics to a single Go error whose
+// message is one "pos: severity[CODE]: message" line per error, or nil
+// when there are none. It preserves the historical checker error shape.
+func ToError(diags []Diagnostic) error {
+	errs := Errors(diags)
+	if len(errs) == 0 {
+		return nil
+	}
+	lines := make([]string, len(errs))
+	for i, d := range errs {
+		lines[i] = d.String()
+	}
+	return fmt.Errorf("%s", strings.Join(lines, "\n"))
+}

@@ -1,0 +1,166 @@
+package diag
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"xpdl/internal/pdl/token"
+)
+
+func pos(l, c int) token.Pos { return token.Pos{Line: l, Col: c} }
+
+func TestListCapEmitsLimitDiagnostic(t *testing.T) {
+	l := &List{Max: 3}
+	for i := 0; i < 10; i++ {
+		l.Errorf(pos(i+1, 1), "E-UNDEF", "error %d", i)
+	}
+	diags := l.Flush()
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 3 errors + E-LIMIT", len(diags))
+	}
+	last := diags[3]
+	if last.Code != "E-LIMIT" {
+		t.Errorf("final code = %s, want E-LIMIT", last.Code)
+	}
+	if !strings.Contains(last.Message, "7 more") {
+		t.Errorf("limit message %q does not count the 7 dropped", last.Message)
+	}
+	if !last.Pos.IsValid() {
+		t.Error("E-LIMIT has no position")
+	}
+}
+
+func TestWarningsNotCapped(t *testing.T) {
+	l := &List{Max: 2}
+	for i := 0; i < 5; i++ {
+		l.Warnf(pos(1, i+1), "W-DEAD-VAR", "w%d", i)
+	}
+	if n := len(l.Flush()); n != 5 {
+		t.Errorf("stored %d warnings, want 5 (warnings are uncapped)", n)
+	}
+	if l.HasErrors() {
+		t.Error("HasErrors true with only warnings")
+	}
+}
+
+func TestRenderCaretExcerpt(t *testing.T) {
+	src := "pipe p(x: uint<8>)[] {\n    y = zzz;\n}"
+	r := NewRenderer("t.xpdl", src)
+	d := Diagnostic{
+		Pos: pos(2, 9), End: pos(2, 11),
+		Severity: Error, Code: "E-UNDEF", Message: `undefined name "zzz"`,
+		Notes:   []string{"declare it or fix the spelling"},
+		Related: []Related{{Pos: pos(1, 1), Message: "in pipeline p"}},
+	}
+	out := r.Render(d)
+	for _, want := range []string{
+		`t.xpdl:2:9: error[E-UNDEF]: undefined name "zzz"`,
+		"    y = zzz;",
+		"        ^^^",
+		"note: declare it or fix the spelling",
+		"t.xpdl:1:1: in pipeline p",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTabAlignment(t *testing.T) {
+	src := "\tv = bad;"
+	r := NewRenderer("", src)
+	out := r.Render(Diagnostic{Pos: pos(1, 6), Severity: Error, Code: "E-UNDEF", Message: "x"})
+	// The pad before the caret must reuse the tab so the caret lines up
+	// under column 6 in any tab rendering.
+	if !strings.Contains(out, "    \t    ^") {
+		t.Errorf("caret line not tab-aligned:\n%q", out)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: pos(3, 7), End: pos(3, 9), Severity: Error, Code: "E-R3", Message: "m",
+			Notes: []string{"n1", "n2"}, Related: []Related{{Pos: pos(1, 2), Message: "r"}}},
+		{Pos: pos(9, 1), Severity: Warning, Code: "W-LOCK-ORDER", Message: "cycle"},
+	}
+	data, err := ToJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatalf("round-trip failed: %v", err)
+	}
+	if !reflect.DeepEqual(diags, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, diags)
+	}
+	if !strings.Contains(string(data), `"severity": "warning"`) {
+		t.Errorf("JSON severities must be strings:\n%s", data)
+	}
+}
+
+func TestToJSONEmpty(t *testing.T) {
+	data, err := ToJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "[]" {
+		t.Errorf("empty list = %q, want []", data)
+	}
+}
+
+func TestSortOrdersByPosition(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: pos(5, 1), Severity: Warning, Code: "B"},
+		{Pos: pos(2, 9), Severity: Error, Code: "A"},
+		{Pos: pos(2, 9), Severity: Warning, Code: "C"},
+	}
+	Sort(diags)
+	if diags[0].Code != "A" || diags[1].Code != "C" || diags[2].Code != "B" {
+		t.Errorf("sorted order = %s %s %s", diags[0].Code, diags[1].Code, diags[2].Code)
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `// a fixture
+// xpdlvet:expect E-UNDEF W-DEAD-VAR
+//xpdlvet:stage-budget 2.5
+pipe p(x: uint<8>)[] { y = x; }
+`
+	d := ParseDirectives(src)
+	if !d.Expect["E-UNDEF"] || !d.Expect["W-DEAD-VAR"] || len(d.Expect) != 2 {
+		t.Errorf("Expect = %v", d.Expect)
+	}
+	if d.StageBudgetNS != 2.5 {
+		t.Errorf("StageBudgetNS = %v", d.StageBudgetNS)
+	}
+}
+
+func TestDirectivesSplit(t *testing.T) {
+	dir := Directives{Expect: map[string]bool{"E-UNDEF": true, "W-NEVER": true}}
+	diags := []Diagnostic{
+		{Pos: pos(1, 1), Severity: Error, Code: "E-UNDEF"},
+		{Pos: pos(2, 1), Severity: Warning, Code: "W-DEAD-VAR"},
+	}
+	exp, unexp, unmet := dir.Split(diags)
+	if len(exp) != 1 || exp[0].Code != "E-UNDEF" {
+		t.Errorf("expected = %v", exp)
+	}
+	if len(unexp) != 1 || unexp[0].Code != "W-DEAD-VAR" {
+		t.Errorf("unexpected = %v", unexp)
+	}
+	if len(unmet) != 1 || unmet[0] != "W-NEVER" {
+		t.Errorf("unmet = %v", unmet)
+	}
+}
+
+func TestToError(t *testing.T) {
+	if err := ToError([]Diagnostic{{Pos: pos(1, 1), Severity: Warning, Code: "W-X", Message: "w"}}); err != nil {
+		t.Errorf("warnings-only ToError = %v, want nil", err)
+	}
+	err := ToError([]Diagnostic{{Pos: pos(4, 2), Severity: Error, Code: "E-R3", Message: "boom"}})
+	if err == nil || !strings.Contains(err.Error(), "4:2: error[E-R3]: boom") {
+		t.Errorf("ToError = %v", err)
+	}
+}

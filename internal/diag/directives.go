@@ -1,0 +1,75 @@
+package diag
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Directives are per-file analysis controls embedded in XPDL comments.
+// They let fixtures and known-deadlock examples pass `xpdlvet -Werror`
+// by declaring their diagnostics up front:
+//
+//	// xpdlvet:expect E-UNDEF W-LOCK-ORDER
+//	// xpdlvet:stage-budget 2.5
+//
+// A diagnostic whose code is expected is reported as expected (and does
+// not affect the exit status); an expected code that never fires is
+// surfaced by strict consumers (the fixture tests) as a mismatch.
+type Directives struct {
+	// Expect maps diagnostic codes the file declares it will trigger.
+	Expect map[string]bool
+	// StageBudgetNS overrides the stage-cost budget for this file;
+	// 0 means "no override".
+	StageBudgetNS float64
+}
+
+// ParseDirectives scans source comments for xpdlvet: directives.
+func ParseDirectives(src string) Directives {
+	d := Directives{Expect: make(map[string]bool)}
+	for _, line := range strings.Split(src, "\n") {
+		idx := strings.Index(line, "xpdlvet:")
+		if idx < 0 || !strings.Contains(line[:idx], "//") {
+			continue
+		}
+		rest := line[idx+len("xpdlvet:"):]
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "expect":
+			for _, code := range fields[1:] {
+				d.Expect[code] = true
+			}
+		case "stage-budget":
+			if len(fields) > 1 {
+				if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+					d.StageBudgetNS = v
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Split partitions diagnostics into expected (code listed in Expect)
+// and unexpected ones, and reports which expected codes never fired.
+func (dir Directives) Split(diags []Diagnostic) (expected, unexpected []Diagnostic, unmet []string) {
+	fired := make(map[string]bool)
+	for _, d := range diags {
+		if dir.Expect[d.Code] {
+			fired[d.Code] = true
+			expected = append(expected, d)
+		} else {
+			unexpected = append(unexpected, d)
+		}
+	}
+	for code := range dir.Expect {
+		if !fired[code] {
+			unmet = append(unmet, code)
+		}
+	}
+	sort.Strings(unmet)
+	return expected, unexpected, unmet
+}

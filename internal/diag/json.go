@@ -1,0 +1,104 @@
+package diag
+
+import (
+	"encoding/json"
+
+	"xpdl/internal/pdl/token"
+)
+
+// The JSON form is a stable machine interface: field names are
+// lowercase, severities are strings, and zero End/Notes/Related are
+// omitted. FromJSON inverts ToJSON exactly, so the output round-trips
+// through encoding/json.
+
+type jsonPos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+type jsonRelated struct {
+	Pos     jsonPos `json:"pos"`
+	Message string  `json:"message"`
+}
+
+type jsonDiagnostic struct {
+	Pos      jsonPos       `json:"pos"`
+	End      *jsonPos      `json:"end,omitempty"`
+	Severity string        `json:"severity"`
+	Code     string        `json:"code"`
+	Message  string        `json:"message"`
+	Notes    []string      `json:"notes,omitempty"`
+	Related  []jsonRelated `json:"related,omitempty"`
+}
+
+func toJSONPos(p token.Pos) jsonPos   { return jsonPos{Line: p.Line, Col: p.Col} }
+func fromJSONPos(p jsonPos) token.Pos { return token.Pos{Line: p.Line, Col: p.Col} }
+
+func toJSONDiag(d Diagnostic) jsonDiagnostic {
+	j := jsonDiagnostic{
+		Pos:      toJSONPos(d.Pos),
+		Severity: d.Severity.String(),
+		Code:     d.Code,
+		Message:  d.Message,
+		Notes:    d.Notes,
+	}
+	if d.End != (token.Pos{}) {
+		end := toJSONPos(d.End)
+		j.End = &end
+	}
+	for _, r := range d.Related {
+		j.Related = append(j.Related, jsonRelated{Pos: toJSONPos(r.Pos), Message: r.Message})
+	}
+	return j
+}
+
+func fromJSONDiag(j jsonDiagnostic) Diagnostic {
+	d := Diagnostic{
+		Pos:     fromJSONPos(j.Pos),
+		Code:    j.Code,
+		Message: j.Message,
+		Notes:   j.Notes,
+	}
+	switch j.Severity {
+	case "error":
+		d.Severity = Error
+	case "warning":
+		d.Severity = Warning
+	default:
+		d.Severity = Note
+	}
+	if j.End != nil {
+		d.End = fromJSONPos(*j.End)
+	}
+	for _, r := range j.Related {
+		d.Related = append(d.Related, Related{Pos: fromJSONPos(r.Pos), Message: r.Message})
+	}
+	return d
+}
+
+// ToJSON marshals diagnostics as an indented JSON array (ending in a
+// newline). An empty slice marshals as "[]".
+func ToJSON(diags []Diagnostic) ([]byte, error) {
+	arr := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		arr = append(arr, toJSONDiag(d))
+	}
+	b, err := json.MarshalIndent(arr, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FromJSON unmarshals the ToJSON form back into diagnostics.
+func FromJSON(data []byte) ([]Diagnostic, error) {
+	var arr []jsonDiagnostic
+	if err := json.Unmarshal(data, &arr); err != nil {
+		return nil, err
+	}
+	out := make([]Diagnostic, 0, len(arr))
+	for _, j := range arr {
+		out = append(out, fromJSONDiag(j))
+	}
+	return out, nil
+}

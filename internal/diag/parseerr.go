@@ -1,0 +1,42 @@
+package diag
+
+import (
+	"strconv"
+	"strings"
+
+	"xpdl/internal/pdl/token"
+)
+
+// FromParseError converts a parser error — newline-separated lines of the
+// form "line:col: message" — into E-PARSE diagnostics, so syntax errors
+// flow through the same rendering and JSON paths as semantic ones. Lines
+// that do not match the format become diagnostics at 1:1.
+func FromParseError(err error) []Diagnostic {
+	var out []Diagnostic
+	for _, line := range strings.Split(err.Error(), "\n") {
+		if line == "" {
+			continue
+		}
+		d := Diagnostic{Pos: token.Pos{Line: 1, Col: 1}, Severity: Error, Code: "E-PARSE", Message: line}
+		if i := strings.Index(line, ": "); i > 0 {
+			if p, ok := parsePos(line[:i]); ok {
+				d.Pos, d.Message = p, line[i+2:]
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func parsePos(s string) (token.Pos, bool) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return token.Pos{}, false
+	}
+	line, err1 := strconv.Atoi(s[:i])
+	col, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || line < 1 || col < 1 {
+		return token.Pos{}, false
+	}
+	return token.Pos{Line: line, Col: col}, true
+}

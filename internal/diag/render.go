@@ -1,0 +1,98 @@
+package diag
+
+import (
+	"fmt"
+	"strings"
+
+	"xpdl/internal/pdl/token"
+)
+
+// Renderer renders diagnostics against the source text they refer to.
+// File, when set, prefixes every position ("file:line:col: …").
+type Renderer struct {
+	File string
+	// lines is the split source, computed once.
+	lines []string
+}
+
+// NewRenderer builds a renderer over one source text.
+func NewRenderer(file, src string) *Renderer {
+	return &Renderer{File: file, lines: strings.Split(src, "\n")}
+}
+
+func (r *Renderer) pos(p token.Pos) string {
+	if r.File != "" {
+		return fmt.Sprintf("%s:%s", r.File, p)
+	}
+	return p.String()
+}
+
+// line returns the 1-based source line, or "" when out of range.
+func (r *Renderer) line(n int) (string, bool) {
+	if n < 1 || n > len(r.lines) {
+		return "", false
+	}
+	return r.lines[n-1], true
+}
+
+// excerpt renders the quoted source line with a caret marker under the
+// span [pos, end] (end zero or on another line → single-column caret).
+// Tabs in the excerpt are preserved in the caret line so the marker
+// stays aligned in any tab width.
+func (r *Renderer) excerpt(pos, end token.Pos, indent string) string {
+	src, ok := r.line(pos.Line)
+	if !ok || pos.Col < 1 {
+		return ""
+	}
+	width := 1
+	if end.Line == pos.Line && end.Col > pos.Col {
+		width = end.Col - pos.Col + 1
+	}
+	if pos.Col > len(src)+1 {
+		return ""
+	}
+	var pad strings.Builder
+	for _, ch := range src[:min(pos.Col-1, len(src))] {
+		if ch == '\t' {
+			pad.WriteByte('\t')
+		} else {
+			pad.WriteByte(' ')
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s\n", indent, src)
+	fmt.Fprintf(&b, "%s%s%s\n", indent, pad.String(), strings.Repeat("^", width))
+	return b.String()
+}
+
+// Render formats one diagnostic with its caret excerpt, notes, and
+// related positions (each with its own excerpt).
+func (r *Renderer) Render(d Diagnostic) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s[%s]: %s\n", r.pos(d.Pos), d.Severity, d.Code, d.Message)
+	b.WriteString(r.excerpt(d.Pos, d.End, "    "))
+	for _, n := range d.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	for _, rel := range d.Related {
+		fmt.Fprintf(&b, "  %s: %s\n", r.pos(rel.Pos), rel.Message)
+		b.WriteString(r.excerpt(rel.Pos, token.Pos{}, "      "))
+	}
+	return b.String()
+}
+
+// RenderAll formats a slice of diagnostics in order.
+func (r *Renderer) RenderAll(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(r.Render(d))
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

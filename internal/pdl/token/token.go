@@ -198,6 +198,19 @@ type Pos struct {
 // String formats the position as line:col.
 func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
+// IsValid reports whether the position points at real source text.
+// Diagnostics must only carry valid positions; the zero Pos marks
+// compiler-internal nodes that never reach users.
+func (p Pos) IsValid() bool { return p.Line > 0 && p.Col > 0 }
+
+// Before orders positions textually (line, then column).
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
 // Token is a lexeme: a kind, its source spelling, and where it begins.
 type Token struct {
 	Kind Kind

@@ -1,0 +1,137 @@
+package vet
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xpdl/internal/diag"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/diag")
+
+// diagDir holds one fixture per diagnostic code: <code>.xpdl (lowercased)
+// plus .txt (rendered) and .json goldens. Each fixture carries an
+// xpdlvet:expect directive naming every code it triggers, so the same
+// corpus also runs clean under `make vet-xpdl`.
+const diagDir = "../../testdata/diag"
+
+func fixtures(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(diagDir, "*.xpdl"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixtures under %s (err=%v)", diagDir, err)
+	}
+	return paths
+}
+
+// TestDiagGoldens locks down the rendered text and JSON for every
+// diagnostic code, byte for byte. Regenerate with `go test ./internal/vet
+// -run TestDiagGoldens -update` and review the diff like any other code
+// change.
+func TestDiagGoldens(t *testing.T) {
+	for _, path := range fixtures(t) {
+		base := filepath.Base(path)
+		t.Run(base, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := "testdata/diag/" + base
+			r := Analyze(name, string(src), Options{})
+
+			// The filename names the code under test; the fixture must
+			// actually trigger it, and must not trigger anything its
+			// expect directive does not declare.
+			wantCode := strings.ToUpper(strings.TrimSuffix(base, ".xpdl"))
+			found := false
+			for _, d := range r.Diags {
+				if d.Code == wantCode {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("fixture never produced its own code %s (got %v)", wantCode, codes(r.Diags))
+			}
+			if len(r.Unexpected) > 0 {
+				t.Errorf("undeclared diagnostics: %v", codes(r.Unexpected))
+			}
+			if len(r.Unmet) > 0 {
+				t.Errorf("stale xpdlvet:expect codes: %v", r.Unmet)
+			}
+
+			rendered := []byte(diag.NewRenderer(name, string(src)).RenderAll(r.Diags))
+			compareGolden(t, strings.TrimSuffix(path, ".xpdl")+".txt", rendered)
+
+			jsonData, err := diag.ToJSON(r.Diags)
+			if err != nil {
+				t.Fatalf("ToJSON: %v", err)
+			}
+			compareGolden(t, strings.TrimSuffix(path, ".xpdl")+".json", jsonData)
+
+			// JSON must round-trip through encoding/json unchanged.
+			back, err := diag.FromJSON(jsonData)
+			if err != nil {
+				t.Fatalf("FromJSON: %v", err)
+			}
+			again, err := diag.ToJSON(back)
+			if err != nil {
+				t.Fatalf("re-ToJSON: %v", err)
+			}
+			if !bytes.Equal(jsonData, again) {
+				t.Errorf("JSON does not round-trip:\n%s\nvs\n%s", jsonData, again)
+			}
+		})
+	}
+}
+
+// TestNoZeroPositions audits the whole fixture corpus (which exercises
+// every reachable diagnostic code): a diagnostic without a real source
+// anchor renders uselessly, so none may slip through.
+func TestNoZeroPositions(t *testing.T) {
+	for _, path := range fixtures(t) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Analyze(filepath.Base(path), string(src), Options{})
+		for _, d := range r.Diags {
+			if !d.Pos.IsValid() {
+				t.Errorf("%s: %s diagnostic %q has zero Pos", path, d.Code, d.Message)
+			}
+			for _, rel := range d.Related {
+				if !rel.Pos.IsValid() {
+					t.Errorf("%s: %s related note %q has zero Pos", path, d.Code, rel.Message)
+				}
+			}
+		}
+	}
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden (run with -update and review):\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func codes(diags []diag.Diagnostic) []string {
+	var cs []string
+	for _, d := range diags {
+		cs = append(cs, d.Code)
+	}
+	return cs
+}

@@ -1,0 +1,95 @@
+// Package vet runs the full diagnostic pipeline over one XPDL source:
+// directive scan, parse, static checks, and the whole-program warning
+// analyses, honoring in-file `// xpdlvet:` directives. It is the engine
+// behind cmd/xpdlvet and the diagnostics mode of cmd/xpdlc.
+package vet
+
+import (
+	"xpdl/internal/check"
+	"xpdl/internal/diag"
+	"xpdl/internal/pdl/ast"
+	"xpdl/internal/pdl/parser"
+	"xpdl/internal/synth"
+)
+
+// DefaultStageBudgetNS is the stage-cost budget when neither the caller
+// nor the file sets one: the ASIC45 model's clock period at the paper's
+// baseline frequency (169.49 MHz ~= 5.9 ns), with headroom for the
+// estimator's conservatism.
+const DefaultStageBudgetNS = 8.0
+
+// Options configures an analysis run.
+type Options struct {
+	// StageBudgetNS is the stage-cost budget; 0 means
+	// DefaultStageBudgetNS. A `// xpdlvet:stage-budget N` directive in
+	// the file overrides either.
+	StageBudgetNS float64
+	// Cost is the delay model; nil uses the ASIC45-derived default.
+	Cost *check.CostModel
+	// NoWarnings disables the warning passes (errors only).
+	NoWarnings bool
+}
+
+// Result is everything one source produced.
+type Result struct {
+	Name string
+	Src  string
+	// Prog and Info are non-nil only when the source is error-free.
+	Prog *ast.Program
+	Info *check.Info
+
+	Directives diag.Directives
+	// Diags is every diagnostic, sorted; Expected/Unexpected partition it
+	// by the file's xpdlvet:expect directives, and Unmet lists expected
+	// codes that never fired.
+	Diags      []diag.Diagnostic
+	Expected   []diag.Diagnostic
+	Unexpected []diag.Diagnostic
+	Unmet      []string
+}
+
+// Analyze runs the pipeline over one named source.
+func Analyze(name, src string, opts Options) *Result {
+	r := &Result{Name: name, Src: src, Directives: diag.ParseDirectives(src)}
+
+	prog, err := parser.Parse(src)
+	if err != nil {
+		r.Diags = diag.FromParseError(err)
+	} else {
+		budget := opts.StageBudgetNS
+		if budget == 0 {
+			budget = DefaultStageBudgetNS
+		}
+		if d := r.Directives.StageBudgetNS; d != 0 {
+			budget = d
+		}
+		cost := opts.Cost
+		if cost == nil {
+			cost = synth.LintCostModel(synth.ASIC45())
+		}
+		info, diags := check.Analyze(prog, check.Options{
+			StageBudgetNS: budget,
+			Cost:          cost,
+			NoWarnings:    opts.NoWarnings,
+		})
+		r.Diags = diags
+		if info != nil {
+			r.Prog, r.Info = prog, info
+		}
+	}
+	r.Expected, r.Unexpected, r.Unmet = r.Directives.Split(r.Diags)
+	return r
+}
+
+// Counts reports the number of unexpected errors and warnings (unmet
+// expectations count as warnings: the annotation is stale).
+func (r *Result) Counts() (errs, warns int) {
+	for _, d := range r.Unexpected {
+		if d.Severity == diag.Error {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	return errs, warns + len(r.Unmet)
+}
