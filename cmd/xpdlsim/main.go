@@ -5,7 +5,7 @@
 // Usage:
 //
 //	xpdlsim [-design all] [-cycles N] [-trace] [-pipetrace] [-no-golden]
-//	        [-interp] [-chaos] [-seed N] [-watchdog N]
+//	        [-interp] [-chaos] [-seed N] [-watchdog N] [-cosim]
 //	        [-cpuprofile f] [-memprofile f] prog.s
 //
 // -chaos enables deterministic timing-fault injection (spurious stage
@@ -13,9 +13,17 @@
 // the run must still match the golden model, demonstrating that timing
 // perturbation cannot leak into architectural state.
 //
+// -cosim executes the design's emitted Verilog in lockstep with the
+// pipeline simulator: the simulator's schedule is replayed into the
+// RTL's strobe inputs and all architectural state (stage registers,
+// register file, memory, CSRs, entry queue, retirement ports) is
+// compared at every clock edge, then the final state is diffed against
+// the golden model. Composes with -interp and -chaos.
+//
 // Exit codes: 0 success, 1 generic failure (including golden-model
 // mismatch), 2 usage, 3 cycle budget exhausted, 4 deadlock caught by
-// the hang watchdog, 5 simulator internal error.
+// the hang watchdog, 5 simulator internal error, 6 RTL cosimulation
+// divergence.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"runtime/pprof"
 
 	"xpdl/internal/asm"
+	"xpdl/internal/cosim"
 	"xpdl/internal/designs"
 	"xpdl/internal/fault"
 	"xpdl/internal/golden"
@@ -35,11 +44,12 @@ import (
 )
 
 const (
-	exitGeneric  = 1
-	exitUsage    = 2
-	exitBudget   = 3
-	exitDeadlock = 4
-	exitInternal = 5
+	exitGeneric    = 1
+	exitUsage      = 2
+	exitBudget     = 3
+	exitDeadlock   = 4
+	exitInternal   = 5
+	exitDivergence = 6
 )
 
 func main() {
@@ -52,6 +62,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "inject deterministic timing faults (stalls, extern jitter, entry backpressure)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed for -chaos")
 	watchdog := flag.Int("watchdog", 0, "hang-watchdog patience in idle cycles (0 = default 200, negative = disabled)")
+	cosimFlag := flag.Bool("cosim", false, "execute the emitted Verilog in lockstep with the simulator and diff every cycle")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to `file`")
 	flag.Parse()
@@ -90,6 +101,32 @@ func main() {
 	}
 	if !found {
 		fatal(fmt.Errorf("unknown design %q", *design))
+	}
+
+	if *cosimFlag {
+		opts := cosim.Options{
+			Variant:    variant,
+			Program:    prog,
+			MaxCycles:  *cycles,
+			Interp:     *interp,
+			SkipGolden: *noGolden,
+		}
+		if *chaos {
+			opts.ChaosSeed = *seed
+			fmt.Printf("chaos: timing-fault injection enabled (seed %#x)\n", *seed)
+		}
+		res, err := cosim.Run(opts)
+		if err != nil {
+			var div *cosim.DivergenceError
+			if errors.As(err, &div) {
+				fmt.Fprintln(os.Stderr, "xpdlsim:", err)
+				os.Exit(exitDivergence)
+			}
+			fatal(err)
+		}
+		fmt.Printf("design %s: RTL cosimulation identical for %d cycles (%d instructions retired)\n",
+			variant, res.Cycles, res.Retired)
+		return
 	}
 
 	cfg := sim.Config{Interp: *interp, WatchdogCycles: *watchdog}

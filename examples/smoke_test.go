@@ -1,0 +1,65 @@
+// Package examples holds runnable demonstration programs. The test in
+// this file compiles and executes every example as a subprocess, so a
+// refactor that breaks an example's build — or changes simulator
+// behavior out from under its narrative — fails `go test ./...` instead
+// of waiting for a reader to notice.
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Each example must exit 0 and print its load-bearing conclusion: the
+// line a reader is told to look for in the example's doc comment.
+var wantOutput = map[string]string{
+	"exploration": "exception support is free in CPI",
+	"interrupts":  "every interrupt was precise",
+	"quickstart":  "retired exceptionally",
+	"syscalls":    "mret",
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples rebuild the module; skipped with -short")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		want, ok := wantOutput[name]
+		if !ok {
+			t.Errorf("example %s has no expected-output entry; add one to wantOutput", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+name)
+			cmd.Dir = ".." // module root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Errorf("output of %s lost its conclusion %q:\n%s", name, want, out)
+			}
+		})
+	}
+	// The inverse check: every expectation still has an example.
+	for name := range wantOutput {
+		if _, err := os.Stat(filepath.Join(".", name)); err != nil {
+			t.Errorf("wantOutput lists %s but examples/%s does not exist", name, name)
+		}
+	}
+}

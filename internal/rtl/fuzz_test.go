@@ -1,0 +1,327 @@
+package rtl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xpdl/internal/rtl"
+	"xpdl/internal/val"
+)
+
+// FuzzRTLExpr is a differential fuzzer for the RTL expression engine:
+// from the fuzz input it grows a random expression tree over three
+// input signals and emits it twice — once as Verilog text that goes
+// through the full lexer → parser → elaborator → evaluator path, and
+// once as a direct computation on val.Value mirroring the language
+// rules (width adaptation of unsized literals, $signed operand
+// selection, self-determined shifts, 1-bit logical results). Any
+// disagreement is a bug in one of the two implementations; since
+// internal/val is the same kernel the pipeline simulator computes
+// with, agreement here is what entitles the cosim harness to blame
+// *scheduling* rather than *arithmetic* when a run diverges.
+//
+// The generated text exercises every operator the emitter can produce:
+// all binary/unary ops, ternaries, concats, replications, part- and
+// bit-selects, $signed, and sized/unsized literals.
+func FuzzRTLExpr(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, uint64(5), uint64(7), byte(9))
+	f.Add([]byte{11, 0, 1, 12, 3, 2, 0xff}, uint64(0xffffffff), uint64(1), byte(0))
+	f.Add([]byte{6, 5, 0, 1, 2, 13, 4, 9, 8}, uint64(0x80000000), uint64(3), byte(0x80))
+	f.Add([]byte{7, 9, 10, 14, 3, 0, 0, 8, 1, 2, 2}, uint64(42), uint64(0), byte(255))
+	f.Fuzz(func(t *testing.T, data []byte, av, bv uint64, cv byte) {
+		g := &exprGen{data: data}
+		root := g.gen(0)
+
+		src := fmt.Sprintf(`module t(
+    input wire [31:0] a,
+    input wire [31:0] b,
+    input wire [7:0] c,
+    output wire [31:0] y
+);
+    assign y = %s;
+endmodule
+`, root.text)
+
+		file, err := rtl.Parse(src)
+		if err != nil {
+			t.Fatalf("generated Verilog does not parse: %v\n%s", err, src)
+		}
+		m, err := rtl.Elaborate(file.Module("t"), nil)
+		if err != nil {
+			t.Fatalf("generated Verilog does not elaborate: %v\n%s", err, src)
+		}
+		g.av, g.bv, g.cv = val.New(av, 32), val.New(bv, 32), val.New(uint64(cv), 8)
+		if err := m.Poke("a", g.av); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Poke("b", g.bv); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Poke("c", g.cv); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Settle(); err != nil {
+			t.Fatalf("settle: %v\n%s", err, src)
+		}
+		got, err := m.Peek("y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.ref(root).ZeroExt(32)
+		if got.Uint() != want.Uint() {
+			t.Fatalf("rtl evaluated %s to %#x, val reference says %#x (a=%#x b=%#x c=%#x)",
+				root.text, got.Uint(), want.Uint(), av, bv, cv)
+		}
+	})
+}
+
+// node is one generated subexpression: its Verilog text plus the
+// metadata the reference evaluation needs (the evaluator's isUnsized /
+// isSignedOperand predicates, recomputed structurally at generation
+// time, and a thunk that evaluates the subtree over val.Value).
+type node struct {
+	text    string
+	unsized bool // mirrors the evaluator's isUnsized
+	signed  bool // node is a direct $signed(...) wrapper
+	w       int  // static upper bound on the result width
+	eval    func(g *exprGen) val.Value
+}
+
+type exprGen struct {
+	data       []byte
+	pos        int
+	av, bv, cv val.Value
+}
+
+func (g *exprGen) next() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *exprGen) ref(n node) val.Value { return n.eval(g) }
+
+const maxDepth = 7
+
+var binOps = []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", ">>>",
+	"&&", "||", "==", "!=", "<", "<=", ">", ">="}
+
+func (g *exprGen) gen(depth int) node {
+	b := g.next()
+	if depth >= maxDepth || g.pos >= len(g.data) {
+		b = b % 5 // leaves only
+	}
+	switch b % 16 {
+	case 0:
+		return node{text: "a", w: 32, eval: func(g *exprGen) val.Value { return g.av }}
+	case 1:
+		return node{text: "b", w: 32, eval: func(g *exprGen) val.Value { return g.bv }}
+	case 2:
+		return node{text: "c", w: 8, eval: func(g *exprGen) val.Value { return g.cv }}
+	case 3: // sized literal
+		w := []int{1, 4, 8, 16, 32, 64}[g.next()%6]
+		v := val.New(uint64(g.next())|uint64(g.next())<<8, w)
+		return node{
+			text: fmt.Sprintf("%d'h%x", w, v.Uint()),
+			w:    w,
+			eval: func(*exprGen) val.Value { return v },
+		}
+	case 4: // unsized decimal literal: width 64 until a binary op adapts it
+		v := val.New(uint64(g.next())|uint64(g.next())<<8, 64)
+		return node{
+			text:    fmt.Sprintf("%d", v.Uint()),
+			unsized: true,
+			w:       64,
+			eval:    func(*exprGen) val.Value { return v },
+		}
+	case 5: // unary
+		op := []string{"!", "~", "-"}[g.next()%3]
+		x := g.gen(depth + 1)
+		uw := x.w
+		if op == "!" {
+			uw = 1
+		}
+		return node{
+			text:    "(" + op + x.text + ")",
+			unsized: x.unsized,
+			w:       uw,
+			eval: func(g *exprGen) val.Value {
+				xv := x.eval(g)
+				switch op {
+				case "!":
+					return val.Bool(!xv.IsTrue())
+				case "~":
+					return xv.Not()
+				default:
+					return xv.Neg()
+				}
+			},
+		}
+	case 6: // ternary
+		c, th, el := g.gen(depth+1), g.gen(depth+1), g.gen(depth+1)
+		return node{
+			text: "(" + c.text + " ? " + th.text + " : " + el.text + ")",
+			w:    max(th.w, el.w),
+			eval: func(g *exprGen) val.Value {
+				if c.eval(g).IsTrue() {
+					return th.eval(g)
+				}
+				return el.eval(g)
+			},
+		}
+	case 7: // concat {hi, lo}; fall back to the first part past 64 bits
+		hi, lo := g.gen(depth+1), g.gen(depth+1)
+		if hi.w+lo.w > val.MaxWidth {
+			return hi
+		}
+		return node{
+			text: "{" + hi.text + ", " + lo.text + "}",
+			w:    hi.w + lo.w,
+			eval: func(g *exprGen) val.Value { return val.Cat(hi.eval(g), lo.eval(g)) },
+		}
+	case 8: // replication {n{x}}
+		n := 1 + int(g.next()%3)
+		x := g.gen(depth + 1)
+		if n*x.w > val.MaxWidth {
+			return x
+		}
+		return node{
+			text: fmt.Sprintf("{%d{%s}}", n, x.text),
+			w:    n * x.w,
+			eval: func(g *exprGen) val.Value {
+				parts := make([]val.Value, n)
+				for i := range parts {
+					parts[i] = x.eval(g)
+				}
+				return val.Cat(parts...)
+			},
+		}
+	case 9: // part-select on a signal
+		lo := int(g.next() % 32)
+		hi := lo + int(g.next())%(32-lo)
+		return node{
+			text: fmt.Sprintf("a[%d:%d]", hi, lo),
+			w:    hi - lo + 1,
+			eval: func(g *exprGen) val.Value { return g.av.Slice(hi, lo) },
+		}
+	case 10: // bit-select on a signal, including out-of-range indices
+		idx := int(g.next() % 40)
+		return node{
+			text: fmt.Sprintf("b[%d]", idx),
+			w:    1,
+			eval: func(g *exprGen) val.Value { return val.New(g.bv.Bit(idx%64), 1) },
+		}
+	default: // binary, optionally with a $signed-wrapped operand
+		op := binOps[int(g.next())%len(binOps)]
+		l, r := g.gen(depth+1), g.gen(depth+1)
+		switch g.next() % 4 {
+		case 1:
+			l = signedWrap(l)
+		case 2:
+			r = signedWrap(r)
+		}
+		shift := op == "<<" || op == ">>" || op == ">>>"
+		signed := l.signed || r.signed
+		// Result-width bound: comparisons and logical ops yield 1 bit;
+		// shifts are self-determined by the left side; everything else
+		// takes the left width, which adaptation can raise to the right.
+		bw := max(l.w, r.w)
+		switch op {
+		case "&&", "||", "==", "!=", "<", "<=", ">", ">=":
+			bw = 1
+		case "<<", ">>", ">>>":
+			bw = l.w
+		}
+		return node{
+			text:    "(" + l.text + " " + op + " " + r.text + ")",
+			unsized: l.unsized && r.unsized,
+			w:       bw,
+			eval: func(g *exprGen) val.Value {
+				lv, rv := l.eval(g), r.eval(g)
+				if lv.Width() != rv.Width() && !shift {
+					switch {
+					case l.unsized:
+						lv = val.New(lv.Uint(), rv.Width())
+					case r.unsized:
+						rv = val.New(rv.Uint(), lv.Width())
+					}
+				}
+				return applyBin(op, lv, rv, signed)
+			},
+		}
+	}
+}
+
+func signedWrap(x node) node {
+	return node{
+		text:   "$signed(" + x.text + ")",
+		signed: true,
+		w:      x.w,
+		eval:   x.eval,
+	}
+}
+
+// applyBin mirrors the evaluator's operator dispatch over val.Value.
+func applyBin(op string, lv, rv val.Value, signed bool) val.Value {
+	switch op {
+	case "+":
+		return lv.Add(rv)
+	case "-":
+		return lv.Sub(rv)
+	case "*":
+		return lv.Mul(rv)
+	case "/":
+		if signed {
+			return lv.DivS(rv)
+		}
+		return lv.DivU(rv)
+	case "%":
+		if signed {
+			return lv.RemS(rv)
+		}
+		return lv.RemU(rv)
+	case "&":
+		return lv.And(rv)
+	case "|":
+		return lv.Or(rv)
+	case "^":
+		return lv.Xor(rv)
+	case "<<":
+		return lv.Shl(rv)
+	case ">>":
+		return lv.ShrU(rv)
+	case ">>>":
+		return lv.ShrS(rv)
+	case "&&":
+		return val.Bool(lv.IsTrue() && rv.IsTrue())
+	case "||":
+		return val.Bool(lv.IsTrue() || rv.IsTrue())
+	case "==":
+		return lv.EqV(rv)
+	case "!=":
+		return lv.NeV(rv)
+	case "<":
+		if signed {
+			return lv.LtS(rv)
+		}
+		return lv.LtU(rv)
+	case "<=":
+		if signed {
+			return lv.LeS(rv)
+		}
+		return lv.LeU(rv)
+	case ">":
+		if signed {
+			return lv.GtS(rv)
+		}
+		return lv.GtU(rv)
+	default: // ">="
+		if signed {
+			return lv.GeS(rv)
+		}
+		return lv.GeU(rv)
+	}
+}

@@ -1,0 +1,820 @@
+package rtl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNum   // literal; lexer resolves based literals to (value, width)
+	tPunct // single/multi-char punctuation
+)
+
+type token struct {
+	kind    tokKind
+	text    string // ident name or punctuation
+	val     uint64
+	width   int // 0 for unsized
+	line    int
+	unsized bool
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("rtl: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token, skipping whitespace and comments.
+func (lx *lexer) next() (token, error) {
+	src := lx.src
+	for lx.pos < len(src) {
+		c := src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(src) && src[lx.pos+1] == '/':
+			for lx.pos < len(src) && src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(src) && src[lx.pos+1] == '*':
+			end := strings.Index(src[lx.pos+2:], "*/")
+			if end < 0 {
+				return token{}, lx.errf("unterminated block comment")
+			}
+			lx.line += strings.Count(src[lx.pos:lx.pos+2+end+2], "\n")
+			lx.pos += 2 + end + 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: lx.line}, nil
+
+scan:
+	c := src[lx.pos]
+	start := lx.pos
+	if isIdentStart(c) {
+		for lx.pos < len(src) && isIdentPart(src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tIdent, text: src[start:lx.pos], line: lx.line}, nil
+	}
+	if isDigit(c) {
+		for lx.pos < len(src) && isDigit(src[lx.pos]) {
+			lx.pos++
+		}
+		digits := src[start:lx.pos]
+		// Based literal: <width>'<base><digits>.
+		if lx.pos < len(src) && src[lx.pos] == '\'' {
+			width, err := strconv.Atoi(digits)
+			if err != nil || width <= 0 || width > 64 {
+				return token{}, lx.errf("bad literal width %q", digits)
+			}
+			lx.pos++
+			if lx.pos >= len(src) {
+				return token{}, lx.errf("truncated based literal")
+			}
+			base := src[lx.pos]
+			lx.pos++
+			vstart := lx.pos
+			for lx.pos < len(src) && (isIdentPart(src[lx.pos])) {
+				lx.pos++
+			}
+			body := strings.ReplaceAll(src[vstart:lx.pos], "_", "")
+			var radix int
+			switch base {
+			case 'd', 'D':
+				radix = 10
+			case 'h', 'H':
+				radix = 16
+			case 'b', 'B':
+				radix = 2
+			case 'o', 'O':
+				radix = 8
+			default:
+				return token{}, lx.errf("bad literal base %q", string(base))
+			}
+			v, err := strconv.ParseUint(body, radix, 64)
+			if err != nil {
+				return token{}, lx.errf("bad literal %q: %v", src[start:lx.pos], err)
+			}
+			return token{kind: tNum, val: v, width: width, line: lx.line}, nil
+		}
+		v, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			return token{}, lx.errf("bad number %q: %v", digits, err)
+		}
+		return token{kind: tNum, val: v, width: 64, unsized: true, line: lx.line}, nil
+	}
+	// Punctuation, longest match first.
+	for _, p := range []string{">>>", "<<<", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>"} {
+		if strings.HasPrefix(src[lx.pos:], p) {
+			lx.pos += len(p)
+			return token{kind: tPunct, text: p, line: lx.line}, nil
+		}
+	}
+	lx.pos++
+	return token{kind: tPunct, text: string(c), line: lx.line}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+type parser struct {
+	lx   lexer
+	tok  token
+	peek *token
+}
+
+// Parse parses a Verilog source file in the emitter's subset.
+func Parse(src string) (*File, error) {
+	p := &parser{lx: lexer{src: src, line: 1}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.kind != tEOF {
+		if !p.isIdent("module") {
+			return nil, p.errf("expected 'module', got %q", p.tok.text)
+		}
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		f.Modules = append(f.Modules, m)
+	}
+	if len(f.Modules) == 0 {
+		return nil, fmt.Errorf("rtl: no modules in source")
+	}
+	return f, nil
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok, p.peek = *p.peek, nil
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("rtl: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) isIdent(name string) bool {
+	return p.tok.kind == tIdent && p.tok.text == name
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.tok.kind == tPunct && p.tok.text == s
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf("expected %q, got %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf("expected identifier, got %q", p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isIdent(kw) {
+		return p.errf("expected %q, got %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+// parseRange parses an optional "[hi:lo]" packed range, returning the
+// width (hi-lo+1) or 1 when absent.
+func (p *parser) parseRange() (int, error) {
+	if !p.isPunct("[") {
+		return 1, nil
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if p.tok.kind != tNum {
+		return 0, p.errf("expected constant range bound")
+	}
+	hi := int(p.tok.val)
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return 0, err
+	}
+	if p.tok.kind != tNum {
+		return 0, p.errf("expected constant range bound")
+	}
+	lo := int(p.tok.val)
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return 0, err
+	}
+	if lo != 0 || hi < 0 {
+		return 0, p.errf("unsupported range [%d:%d]", hi, lo)
+	}
+	return hi - lo + 1, nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if err := p.advance(); err != nil { // consume 'module'
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name}
+	if p.isPunct("(") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for !p.isPunct(")") {
+			var dir PortDir
+			switch {
+			case p.isIdent("input"):
+				dir = Input
+			case p.isIdent("output"):
+				dir = Output
+			default:
+				return nil, p.errf("expected port direction, got %q", p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isIdent("wire") || p.isIdent("reg") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			w, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			pname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			m.Ports = append(m.Ports, Port{Name: pname, Dir: dir, Width: w})
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.advance(); err != nil { // ')'
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+
+	for !p.isIdent("endmodule") {
+		switch {
+		case p.isIdent("reg"), p.isIdent("wire"):
+			isReg := p.tok.text == "reg"
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			w, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			dname, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			depth := 0
+			if p.isPunct("[") { // unpacked array: [0:depth-1]
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if p.tok.kind != tNum || p.tok.val != 0 {
+					return nil, p.errf("array range must start at 0")
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				if p.tok.kind != tNum {
+					return nil, p.errf("expected constant array bound")
+				}
+				depth = int(p.tok.val) + 1
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+			}
+			m.Decls = append(m.Decls, Decl{Name: dname, Width: w, Depth: depth, IsReg: isReg})
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		case p.isIdent("assign"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			lhs, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			m.Assigns = append(m.Assigns, ContAssign{LHS: lhs, RHS: rhs})
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		case p.isIdent("always"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("@"); err != nil {
+				return nil, err
+			}
+			seq := false
+			if p.isPunct("*") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				if p.isPunct("*") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				} else {
+					if err := p.expectKeyword("posedge"); err != nil {
+						return nil, err
+					}
+					if _, err := p.expectIdent(); err != nil { // clock name
+						return nil, err
+					}
+					seq = true
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			stmts, err := p.parseStmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+			b := &Block{Stmts: stmts}
+			if seq {
+				m.Seqs = append(m.Seqs, b)
+			} else {
+				m.Combs = append(m.Combs, b)
+			}
+		default:
+			return nil, p.errf("unexpected %q in module body", p.tok.text)
+		}
+	}
+	return m, p.advance() // consume 'endmodule'
+}
+
+// parseStmtOrBlock parses either a begin/end block or a single statement.
+func (p *parser) parseStmtOrBlock() ([]Stmt, error) {
+	if p.isIdent("begin") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Optional block label "begin : name".
+		if p.isPunct(":") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expectIdent(); err != nil {
+				return nil, err
+			}
+		}
+		var stmts []Stmt
+		for !p.isIdent("end") {
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				stmts = append(stmts, s)
+			}
+		}
+		return stmts, p.advance() // consume 'end'
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.isPunct(";"):
+		return nil, p.advance()
+	case p.isIdent("if"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmtOrBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.isIdent("else") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			els, err = p.parseStmtOrBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case p.isPunct("{"):
+		// Concat lvalue: {a, b, c} = extern(...);
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var targets []LValue
+		for {
+			lv, err := p.parseLValue()
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, lv)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		nb, err := p.parseAssignOp()
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Targets: targets, RHS: rhs, NonBlocking: nb}, nil
+	case p.tok.kind == tIdent:
+		lv, err := p.parseLValue()
+		if err != nil {
+			return nil, err
+		}
+		nb, err := p.parseAssignOp()
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Targets: []LValue{lv}, RHS: rhs, NonBlocking: nb}, nil
+	}
+	return nil, p.errf("unexpected %q at statement start", p.tok.text)
+}
+
+func (p *parser) parseLValue() (LValue, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return LValue{}, err
+	}
+	lv := LValue{Name: name}
+	if p.isPunct("[") {
+		if err := p.advance(); err != nil {
+			return LValue{}, err
+		}
+		idx, err := p.parseExpr()
+		if err != nil {
+			return LValue{}, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return LValue{}, err
+		}
+		lv.Index = idx
+	}
+	return lv, nil
+}
+
+// parseAssignOp consumes "=" or "<=", reporting whether the assignment is
+// nonblocking. Inside statements "<=" always means nonblocking assignment
+// (the emitter parenthesizes comparisons).
+func (p *parser) parseAssignOp() (bool, error) {
+	switch {
+	case p.isPunct("="):
+		return false, p.advance()
+	case p.isPunct("<="):
+		return true, p.advance()
+	}
+	return false, p.errf("expected assignment operator, got %q", p.tok.text)
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+// Binary precedence, loosest first: || && | ^ & ==/!= relational shift
+// additive multiplicative.
+var precTable = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, ">>>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.isPunct("?") {
+		return cond, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	then, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &Ternary{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind != tPunct {
+			return left, nil
+		}
+		prec, ok := precTable[p.tok.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tPunct {
+		switch p.tok.text {
+		case "!", "~", "-":
+			op := p.tok.text[0]
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: op, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.tok.kind == tNum:
+		n := &Num{Val: p.tok.val, Width: p.tok.width, Unsized: p.tok.unsized}
+		return n, p.advance()
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	case p.isPunct("{"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Replication {n{x}} or concatenation {a, b, ...}.
+		if p.tok.kind == tNum {
+			save := p.tok
+			pk, err := p.peekTok()
+			if err != nil {
+				return nil, err
+			}
+			if pk.kind == tPunct && pk.text == "{" {
+				if err := p.advance(); err != nil { // count
+					return nil, err
+				}
+				if err := p.advance(); err != nil { // inner '{'
+					return nil, err
+				}
+				x, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("}"); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("}"); err != nil {
+					return nil, err
+				}
+				return &Repl{N: int(save.val), X: x}, nil
+			}
+		}
+		var parts []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return &Concat{Parts: parts}, nil
+	case p.tok.kind == tIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if name == "$signed" {
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Signed{X: x}, p.expectPunct(")")
+		}
+		if p.isPunct("(") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			for !p.isPunct(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.isPunct(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return &CallExpr{Name: name, Args: args}, p.advance()
+		}
+		if p.isPunct("[") {
+			// name[expr] or name[hi:lo]; disambiguate by scanning for ':'
+			// after a constant first bound.
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			first, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.isPunct(":") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				hiN, ok := first.(*Num)
+				if !ok {
+					return nil, p.errf("part select bounds must be constant")
+				}
+				if p.tok.kind != tNum {
+					return nil, p.errf("part select bounds must be constant")
+				}
+				lo := int(p.tok.val)
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("]"); err != nil {
+					return nil, err
+				}
+				return &PartSel{Name: name, Hi: int(hiN.Val), Lo: lo}, nil
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &Index{Name: name, I: first}, nil
+		}
+		return &Ref{Name: name}, nil
+	}
+	return nil, p.errf("unexpected %q in expression", p.tok.text)
+}

@@ -46,7 +46,7 @@ func mixExtern() ExternFunc {
 		}
 		v := Record(map[string]val.Value{
 			"lo": val.New(k*2654435761, 32),
-			"hi": val.New(k ^ 0x9e3779b9, 32),
+			"hi": val.New(k^0x9e3779b9, 32),
 		})
 		cache[k] = v
 		return v

@@ -231,7 +231,13 @@ func (m *Machine) fire(node *stageNode) bool {
 		if node.cur == in {
 			node.cur = nil
 		}
+		if obs := m.cfg.Observer; obs != nil {
+			obs.InstKilled(node.pipe.name, node.pos, -1)
+		}
 		return true
+	}
+	if obs := m.cfg.Observer; obs != nil {
+		obs.StageFired(node.pipe.name, node.pos)
 	}
 
 	dest := node.next

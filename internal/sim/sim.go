@@ -166,6 +166,10 @@ type Config struct {
 	// returns a *DeadlockError. 0 selects the default (200); a negative
 	// value disables the watchdog.
 	WatchdogCycles int
+	// Observer receives schedule events as the machine executes; nil (the
+	// default) disables all notifications. The cosimulation harness uses
+	// it to replay the simulator's schedule into the emitted RTL.
+	Observer Observer
 }
 
 // defaultWatchdog is the hang watchdog's default patience. It must
@@ -345,6 +349,7 @@ type stageNode struct {
 	pipe  *pipeState
 	kind  stageKind
 	index int // index within its chain
+	pos   int // index in pipeState.nodes (processing order); Observer coordinate
 	gid   int // machine-global stage id (FaultInjector coordinate)
 	stmts []ast.Stmt
 	code  []cStmt    // compiled plan for stmts (nil under cfg.Interp)
@@ -607,6 +612,9 @@ func (m *Machine) buildPipe(orig *ast.PipeDecl, tr *core.Result) (*pipeState, er
 	for i := len(ps.body) - 1; i >= 0; i-- {
 		ps.nodes = append(ps.nodes, ps.body[i])
 	}
+	for i, n := range ps.nodes {
+		n.pos = i
+	}
 
 	m.buildSlots(ps)
 	return ps, nil
@@ -860,6 +868,9 @@ func (m *Machine) pullEntry(ps *pipeState, node *stageNode) {
 	node.cur = ps.entryQ[0]
 	copy(ps.entryQ, ps.entryQ[1:])
 	ps.entryQ = ps.entryQ[:len(ps.entryQ)-1]
+	if obs := m.cfg.Observer; obs != nil {
+		obs.EntryPulled(ps.name)
+	}
 }
 
 // Run advances up to maxCycles cycles, stopping early when no work
@@ -942,6 +953,28 @@ func (m *Machine) collectDescendants(iid uint64) []*inst {
 
 // removeInst erases one instruction from stages, entry queues and locks.
 func (m *Machine) removeInst(in *inst) {
+	if obs := m.cfg.Observer; obs != nil {
+		pos, qpos := -1, -1
+		for _, n := range in.pipe.nodes {
+			if n.cur == in {
+				pos = n.pos
+				break
+			}
+		}
+		if pos < 0 {
+			for i, q := range in.pipe.entryQ {
+				if q == in {
+					qpos = i
+					break
+				}
+			}
+		}
+		// An instruction in neither place (already vacated by a died
+		// firing, or waiting on a sub-pipeline) has no schedule footprint.
+		if pos >= 0 || qpos >= 0 {
+			obs.InstKilled(in.pipe.name, pos, qpos)
+		}
+	}
 	for _, l := range m.mems {
 		l.Squash(in.iid)
 	}

@@ -1,0 +1,227 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"xpdl/internal/check"
+	"xpdl/internal/core"
+	"xpdl/internal/pdl/ast"
+)
+
+// RTLPlan describes the signal-level layout of one emitted pipeline
+// module. It is the contract between the Verilog emitter and the
+// cosimulation harness: the harness uses it to translate simulator
+// schedule events into module inputs and to locate the registers that
+// mirror simulator state. A pipeline whose features fall outside the
+// synthesizable subset gets no plan (Verilog emits a black-box summary
+// for it instead).
+type RTLPlan struct {
+	Pipe       string
+	Module     string
+	Translated bool
+	// Nodes lists the stage nodes in the simulator's processing order:
+	// except chain last-to-first, then commit chain last-to-first, then
+	// body last-to-first. The position in this slice is the bit index in
+	// the fire/kill input vectors.
+	Nodes []PlanNode
+	// Slots is the per-node architectural register file: every checker
+	// variable (records expanded field-by-field) plus the canonical
+	// except arguments. The same layout repeats at every node.
+	Slots  []PlanSlot
+	Params []PlanParam
+	// NumEArgs counts trailing Slots entries that are except-argument
+	// slots (earg0..): they mirror inst.eargs, not checker variables.
+	NumEArgs int
+	Vols     []PlanVol
+	// Mems lists the locked memories (staged-write model); plain
+	// memories appear in PlainMems and are read-only arrays.
+	Mems      []PlanMem
+	PlainMems []PlanMem
+	EntryCap  int
+}
+
+// PlanNode is one pipeline stage node.
+type PlanNode struct {
+	Kind   byte // 'b' body, 'c' commit chain, 'x' except chain
+	Index  int  // body: 0-based stage; chains: 1-based chain position
+	Prefix string
+	// Pos is the node's processing-order position == fire/kill bit.
+	Pos int
+	// Fork marks the last body node of a translated pipeline.
+	Fork bool
+	// Retires marks nodes whose firing can retire the instruction.
+	Retires bool
+}
+
+// PlanSlot is one scalar architectural slot.
+type PlanSlot struct {
+	Name     string // signal suffix: "wen", "d__op", "earg0"
+	Var      string // checker variable ("" for earg slots)
+	Field    string // record field ("" for scalars)
+	Width    int
+	IsHandle bool // spec handles carry 48-bit runtime tokens in the
+	// simulator but 4-bit declared width in RTL; excluded from compare
+	IsEArg bool
+}
+
+// PlanParam is one pipeline parameter.
+type PlanParam struct {
+	Name  string
+	Width int
+}
+
+// PlanVol is one volatile device register.
+type PlanVol struct {
+	Name  string
+	Width int
+}
+
+// PlanMem is one memory.
+type PlanMem struct {
+	Name  string
+	Depth int
+	Width int
+}
+
+// NodeByPrefix finds a node by its signal prefix.
+func (p *RTLPlan) NodeByPrefix(pfx string) *PlanNode {
+	for i := range p.Nodes {
+		if p.Nodes[i].Prefix == pfx {
+			return &p.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// planPipe computes the layout for one pipeline, mirroring exactly how
+// internal/sim builds its stage nodes from the translation result.
+func planPipe(info *check.Info, tr *core.Result) (*RTLPlan, error) {
+	pd := tr.Pipe
+	pi := info.Pipes[pd.Name]
+	if pi == nil {
+		return nil, fmt.Errorf("no checker info for pipe %s", pd.Name)
+	}
+	p := &RTLPlan{
+		Pipe:       pd.Name,
+		Module:     "pipe_" + pd.Name,
+		Translated: tr.Translated,
+		EntryCap:   8,
+	}
+
+	body := ast.SplitStages(pd.Body)
+	nCommit, nExc := 0, 0
+	if tr.Translated {
+		fork := findFork(body[len(body)-1])
+		if fork == nil {
+			return nil, fmt.Errorf("pipe %s: translated but no fork found", pd.Name)
+		}
+		nCommit = len(ast.SplitStages(fork.Commit))
+		nExc = len(ast.SplitStages(fork.Except))
+	}
+	// Processing order: except chain reversed, commit chain reversed,
+	// body reversed. Chain stage 0 is merged into the fork node.
+	for i := nExc - 1; i >= 1; i-- {
+		p.Nodes = append(p.Nodes, PlanNode{Kind: 'x', Index: i, Prefix: fmt.Sprintf("x%d", i)})
+	}
+	for i := nCommit - 1; i >= 1; i-- {
+		p.Nodes = append(p.Nodes, PlanNode{Kind: 'c', Index: i, Prefix: fmt.Sprintf("c%d", i)})
+	}
+	for i := len(body) - 1; i >= 0; i-- {
+		p.Nodes = append(p.Nodes, PlanNode{Kind: 'b', Index: i, Prefix: fmt.Sprintf("b%d", i)})
+	}
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		n.Pos = i
+		switch n.Kind {
+		case 'b':
+			if n.Index == len(body)-1 {
+				n.Fork = tr.Translated
+				// An untranslated last body stage retires; a fork node
+				// retires on the commit arm when there is no commit
+				// chain beyond stage 0.
+				n.Retires = !tr.Translated || nCommit <= 1
+			}
+		case 'c':
+			n.Retires = n.Index == nCommit-1
+		case 'x':
+			n.Retires = n.Index == nExc-1
+		}
+	}
+
+	// Slots: sorted checker variables (the simulator's slot order),
+	// records expanded in declaration order, then the except args.
+	names := make([]string, 0, len(pi.Vars))
+	for name := range pi.Vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := pi.Vars[name]
+		if t.Kind == ast.TRecord {
+			for _, f := range t.Fields {
+				w := f.Type.BitWidth()
+				if w <= 0 || w > 64 {
+					return nil, fmt.Errorf("pipe %s: field %s.%s width %d", pd.Name, name, f.Name, w)
+				}
+				p.Slots = append(p.Slots, PlanSlot{
+					Name: name + "__" + f.Name, Var: name, Field: f.Name, Width: w,
+				})
+			}
+			continue
+		}
+		w := t.BitWidth()
+		if w <= 0 || w > 64 {
+			return nil, fmt.Errorf("pipe %s: var %s width %d", pd.Name, name, w)
+		}
+		p.Slots = append(p.Slots, PlanSlot{
+			Name: name, Var: name, Width: w, IsHandle: t.Kind == ast.THandle,
+		})
+	}
+	for i, ea := range tr.EArgs {
+		w := ea.Type.BitWidth()
+		if w <= 0 || w > 64 {
+			return nil, fmt.Errorf("pipe %s: earg%d width %d", pd.Name, i, w)
+		}
+		p.Slots = append(p.Slots, PlanSlot{
+			Name: fmt.Sprintf("earg%d", i), Width: w, IsEArg: true,
+		})
+		p.NumEArgs++
+	}
+
+	for _, prm := range pd.Params {
+		w := prm.Type.BitWidth()
+		if w <= 0 || w > 64 {
+			return nil, fmt.Errorf("pipe %s: param %s width %d", pd.Name, prm.Name, w)
+		}
+		p.Params = append(p.Params, PlanParam{Name: prm.Name, Width: w})
+	}
+	for _, vd := range info.Prog.Vols {
+		p.Vols = append(p.Vols, PlanVol{Name: vd.Name, Width: vd.Elem.Width})
+	}
+	for _, md := range info.Prog.Mems {
+		pm := PlanMem{Name: md.Name, Depth: md.Depth, Width: md.Elem.Width}
+		if md.Lock == ast.LockNone {
+			p.PlainMems = append(p.PlainMems, pm)
+		} else {
+			p.Mems = append(p.Mems, pm)
+		}
+	}
+	return p, nil
+}
+
+// findFork locates the translator's LefBranch in the last body stage: it
+// is the final statement inside the stage's gef guard.
+func findFork(stage []ast.Stmt) *ast.LefBranch {
+	for _, s := range stage {
+		switch n := s.(type) {
+		case *ast.LefBranch:
+			return n
+		case *ast.GefGuard:
+			if fb := findFork(n.Body); fb != nil {
+				return fb
+			}
+		}
+	}
+	return nil
+}

@@ -157,16 +157,15 @@ func TestVerilogEmission(t *testing.T) {
 	v := Verilog(p.Design.Info, p.Design.Translations)
 	for _, frag := range []string{
 		"module pipe_cpu",
-		"reg gef;",
-		"s0_lef",
-		"gef <= 1'b1;",
-		"pipeclear = 1'b1;",
-		"specclear = 1'b1;",
-		"_abort = 1'b1;",
-		"module mem_rf",
-		"module vol_mstatus",
-		"module ext_decode",
+		"reg gef_q;",          // global exception flag register
+		"gef_q <= gef_cur;",   // committed at posedge
+		"x1_swc_rf_v = 1'b0;", // abort drops the staged rf write
+		"reg [31:0] rf_arr [0:31];",
+		"assign mstatus_eff = mstatus_dev_we ? mstatus_dev_din : mstatus_q;",
+		"} = decode(", // record extern binds field slots
+		"retire_exc",
 		"always @(posedge clk)",
+		"always @*",
 	} {
 		if !strings.Contains(v, frag) {
 			t.Errorf("verilog missing %q", frag)

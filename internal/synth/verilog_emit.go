@@ -1,0 +1,422 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"xpdl/internal/pdl/ast"
+)
+
+// emitMachine writes the single combinational "machine" block: every
+// node's firing logic in the simulator's processing order, with blocking
+// assigns so each node observes the effects (volatile writes, gef
+// updates, staged-write changes) of earlier-processed nodes in the same
+// cycle — exactly the simulator's sequential effect application.
+func (g *rtlgen) emitMachine() {
+	g.ind = "    "
+	g.mf("always @* begin")
+	g.ind = "        "
+	if g.tr.Translated {
+		g.mf("gef_cur = gef_q;")
+	}
+	for _, v := range g.plan.Vols {
+		g.mf("%s_cur = %s_eff;", v.Name, v.Name)
+	}
+	for i := range g.plan.Nodes {
+		n := &g.plan.Nodes[i]
+		if n.Kind == 'b' && n.Index == 0 {
+			g.emitHeadChain()
+		}
+		g.emitNode(n)
+	}
+	g.ind = "    "
+	g.mf("end")
+}
+
+// emitHeadChain computes the same-cycle entry-queue head: the first
+// surviving stored entry (kills are a mask over the cycle-start image),
+// else the first push of this cycle in schedule order. This is what a
+// pulled-and-immediately-fired instruction reads at the first body node.
+func (g *rtlgen) emitHeadChain() {
+	g.declReg("qh_f", 1)
+	for _, p := range g.plan.Params {
+		g.declReg("qh_"+p.Name, p.Width)
+	}
+	g.mf("")
+	g.mf("// entry-queue head (post-kill, post-push view of this cycle)")
+	g.mf("qh_f = 1'b0;")
+	for _, p := range g.plan.Params {
+		g.mf("qh_%s = %s;", p.Name, zeroLit(p.Width))
+	}
+	for i := 0; i < g.plan.EntryCap; i++ {
+		g.mf("if (!qh_f && (q_len > 4'd%d) && !q_kill[%d]) begin", i, i)
+		for _, p := range g.plan.Params {
+			g.mf("    qh_%s = qv_%s[%d];", p.Name, p.Name, i)
+		}
+		g.mf("    qh_f = 1'b1;")
+		g.mf("end")
+	}
+	g.mf("if (!qh_f && start_valid) begin")
+	for _, p := range g.plan.Params {
+		g.mf("    qh_%s = start_%s;", p.Name, p.Name)
+	}
+	g.mf("    qh_f = 1'b1;")
+	g.mf("end")
+	for i := range g.plan.Nodes {
+		if !g.scans[i].push {
+			continue
+		}
+		pfx := g.plan.Nodes[i].Prefix
+		g.mf("if (!qh_f && %s_pu_v) begin", pfx)
+		for _, p := range g.plan.Params {
+			g.mf("    qh_%s = %s_pu_%s;", p.Name, pfx, p.Name)
+		}
+		g.mf("    qh_f = 1'b1;")
+		g.mf("end")
+	}
+}
+
+func (g *rtlgen) emitNode(n *PlanNode) {
+	sc := &g.scans[n.Pos]
+	g.cur, g.curScan = n, sc
+	p := n.Prefix
+	isEntry := n.Kind == 'b' && n.Index == 0
+
+	g.mf("")
+	g.mf("// ---- node %s (fire/kill bit %d)", p, n.Pos)
+
+	// Per-node scratch defaults. The entry node's local view loads the
+	// queue head on entry_pop: the simulator pops mid-cycle and the
+	// pulled instruction can fire the same cycle with zeroed slots
+	// except its parameters.
+	for _, s := range g.plan.Slots {
+		g.declReg(p+"_r_"+s.Name, s.Width)
+		g.declReg(p+"_l_"+s.Name, s.Width)
+		if isEntry {
+			init := zeroLit(s.Width)
+			if s.Var != "" && s.Field == "" && g.paramSet[s.Var] {
+				init = "qh_" + s.Var
+			}
+			g.mf("%s_l_%s = entry_pop ? %s : %s_r_%s;", p, s.Name, init, p, s.Name)
+		} else {
+			g.mf("%s_l_%s = %s_r_%s;", p, s.Name, p, s.Name)
+		}
+		if sc.latched[s.Name] {
+			g.declReg(p+"_pv_"+s.Name, s.Width)
+			g.declReg(p+"_ps_"+s.Name, 1)
+			g.mf("%s_ps_%s = 1'b0;", p, s.Name)
+		}
+	}
+	g.declReg(p+"_valid", 1)
+	if g.tr.Translated {
+		g.declReg(p+"_lef", 1)
+		g.declReg(p+"_lefc", 1)
+		if isEntry {
+			g.mf("%s_lefc = entry_pop ? 1'b0 : %s_lef;", p, p)
+		} else {
+			g.mf("%s_lefc = %s_lef;", p, p)
+		}
+	}
+	for _, m := range g.written {
+		md := g.memOf[m]
+		g.declReg(fmt.Sprintf("%s_sw_%s_v", p, m), 1)
+		g.declReg(fmt.Sprintf("%s_sw_%s_a", p, m), 32)
+		g.declReg(fmt.Sprintf("%s_sw_%s_d", p, m), md.Elem.Width)
+		g.declReg(fmt.Sprintf("%s_swc_%s_v", p, m), 1)
+		g.declReg(fmt.Sprintf("%s_swc_%s_a", p, m), 32)
+		g.declReg(fmt.Sprintf("%s_swc_%s_d", p, m), md.Elem.Width)
+		// A killed instruction's staged write vanishes mid-cycle in the
+		// simulator; mask it out so younger readers never forward it.
+		if isEntry {
+			g.mf("%s_swc_%s_v = (entry_pop || kill[%d]) ? 1'b0 : %s_sw_%s_v;", p, m, n.Pos, p, m)
+		} else {
+			g.mf("%s_swc_%s_v = kill[%d] ? 1'b0 : %s_sw_%s_v;", p, m, n.Pos, p, m)
+		}
+		g.mf("%s_swc_%s_a = %s_sw_%s_a;", p, m, p, m)
+		g.mf("%s_swc_%s_d = %s_sw_%s_d;", p, m, p, m)
+		if sc.rels[m] {
+			g.declReg(fmt.Sprintf("%s_rel_%s", p, m), 1)
+			g.mf("%s_rel_%s = 1'b0;", p, m)
+		}
+	}
+	volNames := sortedKeys(sc.vols)
+	for _, v := range volNames {
+		g.declReg(fmt.Sprintf("%s_vw_%s", p, v), 1)
+		g.declReg(fmt.Sprintf("%s_vwv_%s", p, v), g.volW[v])
+		g.mf("%s_vw_%s = 1'b0;", p, v)
+	}
+	if sc.gef {
+		g.declReg(p+"_gw", 1)
+		g.declReg(p+"_gwv", 1)
+		g.mf("%s_gw = 1'b0;", p)
+	}
+	if sc.push {
+		g.declReg(p+"_pu_v", 1)
+		g.mf("%s_pu_v = 1'b0;", p)
+		for _, prm := range g.plan.Params {
+			g.declReg(fmt.Sprintf("%s_pu_%s", p, prm.Name), prm.Width)
+		}
+	}
+
+	// The fired body: only runs when the scheduler strobes this node.
+	inner := g.captureMachine(func() {
+		old := g.ind
+		g.ind += "    "
+		g.emitStmts(g.nodeStmts[n.Pos])
+		g.ind = old
+	})
+	if strings.TrimSpace(inner) != "" {
+		g.mf("if (fire[%d]) begin", n.Pos)
+		g.machine.WriteString(inner)
+		g.mf("end")
+	}
+
+	// Apply this firing's buffered machine effects, program-order last:
+	// later-processed nodes observe them through the _cur chains.
+	for _, v := range volNames {
+		g.mf("if (%s_vw_%s) begin %s_cur = %s_vwv_%s; end", p, v, v, p, v)
+	}
+	if sc.gef {
+		g.mf("if (%s_gw) begin gef_cur = %s_gwv; end", p, p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (g *rtlgen) emitStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		g.emitStmt(s)
+	}
+}
+
+func (g *rtlgen) emitStmt(s ast.Stmt) {
+	p := g.cur.Prefix
+	switch n := s.(type) {
+	case *ast.GefGuard:
+		// A set flag stalls the stage entirely; the scheduler encodes
+		// that in the fire strobes, so the guard is transparent here.
+		g.emitStmts(n.Body)
+	case *ast.LefBranch:
+		g.emitFork(n)
+	case *ast.Skip, *ast.SpecCheck, *ast.SpecBarrier, *ast.PipeClear, *ast.SpecClear:
+		// Schedule-only: stalls, squashes and speculation-table updates
+		// arrive as fire/kill/q_kill strobes.
+	case *ast.Verify, *ast.Invalidate:
+		// Speculation verdicts act on the schedule (kill strobes).
+	case *ast.Assign:
+		g.emitAssign(n)
+	case *ast.VolWrite:
+		g.emitVolWrite(n.Vol, n.RHS)
+	case *ast.MemWrite:
+		if _, isVol := g.volW[n.Mem]; isVol || n.Index == nil {
+			g.emitVolWrite(n.Mem, n.RHS)
+			return
+		}
+		md := g.memOf[n.Mem]
+		idx := g.expr(n.Index)
+		rhs := g.resizeExpr(n.RHS, md.Elem.Width)
+		g.mf("%s_swc_%s_a = ((%s) %% %d);", p, n.Mem, idx, md.Depth)
+		g.mf("%s_swc_%s_d = %s;", p, n.Mem, rhs)
+		g.mf("%s_swc_%s_v = 1'b1;", p, n.Mem)
+	case *ast.If:
+		g.emitIf(n)
+	case *ast.Lock:
+		if n.Op == ast.LockRelease {
+			g.mf("%s_rel_%s = 1'b1; // release commits the staged write at posedge", p, n.Mem)
+		}
+		// acquire/reserve/block are pure schedule (stall arbitration).
+	case *ast.Abort:
+		if g.isWritten(n.Mem) {
+			g.mf("%s_swc_%s_v = 1'b0; // abort: drop staged write", p, n.Mem)
+		}
+	case *ast.SetLEF:
+		g.mf("%s_lefc = 1'b1;", p)
+	case *ast.SetGEF:
+		v := "1'b0"
+		if n.Value {
+			v = "1'b1"
+		}
+		g.mf("%s_gwv = %s;", p, v)
+		g.mf("%s_gw = 1'b1;", p)
+	case *ast.SetEArg:
+		w := g.slotW[fmt.Sprintf("earg%d", n.Index)]
+		g.mf("%s_l_earg%d = %s;", p, n.Index, g.resizeExpr(n.Value, w))
+	case *ast.Call:
+		g.emitPush(n.Args)
+	case *ast.SpecCall:
+		// The runtime speculation handle is a scheduler token; the
+		// handle slot is architecturally opaque (excluded from compare).
+		if w, ok := g.slotW[n.Handle]; ok {
+			g.mf("%s_l_%s = %s; // speculation handle (opaque)", p, n.Handle, zeroLit(w))
+		}
+		g.emitPush(n.Args)
+	default:
+		g.failf("unsupported statement %T", s)
+	}
+}
+
+// emitFork is the translator's final-block fork, structurally the last
+// statement of the last body stage: stage 0 of the except chain on the
+// lef arm, stage 0 of the commit chain otherwise.
+func (g *rtlgen) emitFork(n *ast.LefBranch) {
+	p := g.cur.Prefix
+	excStage := ast.SplitStages(n.Except)[0]
+	commitStage := ast.SplitStages(n.Commit)[0]
+	thenBody := g.captureMachine(func() {
+		old := g.ind
+		g.ind += "    "
+		g.emitStmts(excStage)
+		g.ind = old
+	})
+	elseBody := g.captureMachine(func() {
+		old := g.ind
+		g.ind += "    "
+		g.emitStmts(commitStage)
+		g.ind = old
+	})
+	g.emitIfBodies(fmt.Sprintf("%s_lefc", p), thenBody, elseBody)
+}
+
+func (g *rtlgen) emitIf(n *ast.If) {
+	cond := g.expr(n.Cond)
+	thenBody := g.captureMachine(func() {
+		old := g.ind
+		g.ind += "    "
+		g.emitStmts(n.Then)
+		g.ind = old
+	})
+	elseBody := g.captureMachine(func() {
+		old := g.ind
+		g.ind += "    "
+		g.emitStmts(n.Else)
+		g.ind = old
+	})
+	g.emitIfBodies(cond, thenBody, elseBody)
+}
+
+func (g *rtlgen) emitIfBodies(cond, thenBody, elseBody string) {
+	hasThen := strings.TrimSpace(thenBody) != ""
+	hasElse := strings.TrimSpace(elseBody) != ""
+	switch {
+	case hasThen && hasElse:
+		g.mf("if (%s) begin", cond)
+		g.machine.WriteString(thenBody)
+		g.mf("end else begin")
+		g.machine.WriteString(elseBody)
+		g.mf("end")
+	case hasThen:
+		g.mf("if (%s) begin", cond)
+		g.machine.WriteString(thenBody)
+		g.mf("end")
+	case hasElse:
+		g.mf("if (!(%s)) begin", cond)
+		g.machine.WriteString(elseBody)
+		g.mf("end")
+	}
+}
+
+func (g *rtlgen) emitVolWrite(vol string, rhs ast.Expr) {
+	p := g.cur.Prefix
+	g.mf("%s_vwv_%s = %s;", p, vol, g.resizeExpr(rhs, g.volW[vol]))
+	g.mf("%s_vw_%s = 1'b1;", p, vol)
+}
+
+func (g *rtlgen) emitAssign(n *ast.Assign) {
+	p := g.cur.Prefix
+	if _, isVol := g.volW[n.Name]; isVol {
+		g.emitVolWrite(n.Name, n.RHS)
+		return
+	}
+	t, ok := g.pi.Vars[n.Name]
+	if !ok {
+		g.failf("assign to unknown variable %s", n.Name)
+	}
+	if t.Kind == ast.TRecord {
+		g.emitRecordAssign(n, t)
+		return
+	}
+	rhs := g.expr(n.RHS)
+	if n.Latched {
+		g.mf("%s_pv_%s = %s;", p, n.Name, rhs)
+		g.mf("%s_ps_%s = 1'b1;", p, n.Name)
+	} else {
+		g.mf("%s_l_%s = %s;", p, n.Name, rhs)
+	}
+}
+
+// emitRecordAssign binds a record-returning extern call to the variable's
+// per-field slots with a concat lvalue, in field declaration order (the
+// rtl.Func result order the cosim adapter guarantees).
+func (g *rtlgen) emitRecordAssign(n *ast.Assign, t ast.Type) {
+	p := g.cur.Prefix
+	call, ok := n.RHS.(*ast.CallExpr)
+	if !ok || g.externOf(call.Name) == nil {
+		g.failf("record assign to %s from non-extern expression", n.Name)
+	}
+	args := make([]string, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = g.expr(a)
+	}
+	pre := "_l_"
+	if n.Latched {
+		pre = "_pv_"
+	}
+	targets := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		targets[i] = p + pre + n.Name + "__" + f.Name
+	}
+	g.mf("{%s} = %s(%s);", strings.Join(targets, ", "), call.Name, strings.Join(args, ", "))
+	if n.Latched {
+		for _, f := range t.Fields {
+			g.mf("%s_ps_%s__%s = 1'b1;", p, n.Name, f.Name)
+		}
+	}
+}
+
+func (g *rtlgen) emitPush(args []ast.Expr) {
+	p := g.cur.Prefix
+	if len(args) != len(g.plan.Params) {
+		g.failf("spawn arity %d != %d params", len(args), len(g.plan.Params))
+	}
+	for i, a := range args {
+		prm := g.plan.Params[i]
+		g.mf("%s_pu_%s = %s;", p, prm.Name, g.resizeExpr(a, prm.Width))
+	}
+	g.mf("%s_pu_v = 1'b1;", p)
+}
+
+func (g *rtlgen) isWritten(mem string) bool {
+	for _, m := range g.written {
+		if m == mem {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *rtlgen) externOf(name string) *ast.ExternDecl {
+	for _, e := range g.info.Prog.Externs {
+		if e.Name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// emitSeq writes the clocked half of the module: pipeline movement,
+// staged-write release commits, volatile/gef commits, and entry-queue
+// compaction. All architectural registers advance here; the machine
+// block only computes this cycle's view.
+func (g *rtlgen) emitSeq() {
+	g.ind = "    "
+	g.sf("always @(posedge clk) begin")
+	g.ind = "        "
+	g.sf("if (rst) begin")
+	g.ind = "            "
+	if g.tr.Translated {
+		g.sf("gef_q <= 1'b0;")
+	}
+	for _, v := range g.plan.Vols {
+		g.sf("%s_q <= %s;", v.Name, zeroLit(v.Width))
+	}
+	for i := range g.plan.Nodes {
+		p := g.plan.Nodes[i].Prefix
+		g.sf("%s_valid <= 1'b0;", p)
+		if g.tr.Translated {
+			g.sf("%s_lef <= 1'b0;", p)
+		}
+		for _, m := range g.written {
+			g.sf("%s_sw_%s_v <= 1'b0;", p, m)
+		}
+	}
+	g.ind = "        "
+	g.sf("end else begin")
+	g.ind = "            "
+	if g.tr.Translated {
+		g.sf("gef_q <= gef_cur;")
+	}
+	for _, v := range g.plan.Vols {
+		g.sf("%s_q <= %s_cur;", v.Name, v.Name)
+	}
+	// Release commits, oldest node first: plan order starts at the most
+	// downstream node, so a younger same-address release (emitted later,
+	// nonblocking last-wins) overrides an older one, matching the
+	// simulator's processing-order effect application.
+	for i := range g.plan.Nodes {
+		p := g.plan.Nodes[i].Prefix
+		for _, m := range g.written {
+			if !g.scans[i].rels[m] {
+				continue
+			}
+			g.sf("if (%s_rel_%s && %s_swc_%s_v) begin", p, m, p, m)
+			g.sf("    %s_arr[%s_swc_%s_a] <= %s_swc_%s_d;", m, p, m, p, m)
+			g.sf("end")
+		}
+	}
+	for i := range g.plan.Nodes {
+		g.emitMove(&g.plan.Nodes[i])
+	}
+	g.ind = "        "
+	g.sf("end")
+	g.ind = "    "
+	g.sf("end")
+	g.emitQueueSeq()
+}
+
+// emitMove writes the register transfer into one destination node.
+// Move-in (the predecessor fired) wins over vacating (this node fired
+// or was killed); a killed-and-refilled node in one cycle is exactly
+// the squash-plus-advance case. Vacating also drops the staged-write
+// valid so stale writes can never forward after a kill or retire.
+func (g *rtlgen) emitMove(d *PlanNode) {
+	g.sf("// movement into %s", d.Prefix)
+	if d.Kind == 'b' && d.Index == 0 {
+		// Entry node: loaded from the queue head when the scheduler pops;
+		// the pulled instruction may fire the same cycle, leaving the
+		// node empty again.
+		g.sf("if (entry_pop) begin")
+		g.sf("    %s_valid <= !fire[%d];", d.Prefix, d.Pos)
+		if g.tr.Translated {
+			g.sf("    %s_lef <= 1'b0;", d.Prefix)
+		}
+		for _, s := range g.plan.Slots {
+			init := zeroLit(s.Width)
+			if s.Var != "" && s.Field == "" && g.paramSet[s.Var] {
+				init = "qh_" + s.Var
+			}
+			g.sf("    %s_r_%s <= %s;", d.Prefix, s.Name, init)
+		}
+		for _, m := range g.written {
+			g.sf("    %s_sw_%s_v <= 1'b0;", d.Prefix, m)
+		}
+		g.emitVacate(d)
+		return
+	}
+	var pred *PlanNode
+	var cond string
+	switch d.Kind {
+	case 'b':
+		pred = g.nodeAt('b', d.Index-1)
+		cond = fmt.Sprintf("fire[%d]", pred.Pos)
+	case 'c':
+		if d.Index == 1 {
+			pred = g.forkNode()
+			cond = fmt.Sprintf("(fire[%d] && !%s_lefc)", pred.Pos, pred.Prefix)
+		} else {
+			pred = g.nodeAt('c', d.Index-1)
+			cond = fmt.Sprintf("fire[%d]", pred.Pos)
+		}
+	case 'x':
+		if d.Index == 1 {
+			pred = g.forkNode()
+			cond = fmt.Sprintf("(fire[%d] && %s_lefc)", pred.Pos, pred.Prefix)
+		} else {
+			pred = g.nodeAt('x', d.Index-1)
+			cond = fmt.Sprintf("fire[%d]", pred.Pos)
+		}
+	}
+	if pred == nil {
+		g.failf("node %s has no predecessor", d.Prefix)
+	}
+	sq := &g.scans[pred.Pos]
+	q := pred.Prefix
+	g.sf("if (%s) begin", cond)
+	g.sf("    %s_valid <= 1'b1;", d.Prefix)
+	if g.tr.Translated {
+		g.sf("    %s_lef <= %s_lefc;", d.Prefix, q)
+	}
+	for _, s := range g.plan.Slots {
+		src := fmt.Sprintf("%s_l_%s", q, s.Name)
+		if sq.latched[s.Name] {
+			src = fmt.Sprintf("(%s_ps_%s ? %s_pv_%s : %s)", q, s.Name, q, s.Name, src)
+		}
+		g.sf("    %s_r_%s <= %s;", d.Prefix, s.Name, src)
+	}
+	for _, m := range g.written {
+		v := fmt.Sprintf("%s_swc_%s_v", q, m)
+		if sq.rels[m] {
+			v = fmt.Sprintf("(%s_rel_%s ? 1'b0 : %s)", q, m, v)
+		}
+		g.sf("    %s_sw_%s_v <= %s;", d.Prefix, m, v)
+		g.sf("    %s_sw_%s_a <= %s_swc_%s_a;", d.Prefix, m, q, m)
+		g.sf("    %s_sw_%s_d <= %s_swc_%s_d;", d.Prefix, m, q, m)
+	}
+	g.emitVacate(d)
+}
+
+func (g *rtlgen) emitVacate(d *PlanNode) {
+	g.sf("end else if (fire[%d] || kill[%d]) begin", d.Pos, d.Pos)
+	g.sf("    %s_valid <= 1'b0;", d.Prefix)
+	for _, m := range g.written {
+		g.sf("    %s_sw_%s_v <= 1'b0;", d.Prefix, m)
+	}
+	g.sf("end")
+}
+
+// emitQueueSeq compacts the entry queue: drop killed cycle-start
+// entries, append this cycle's pushes (external start first, then push
+// sites oldest-first), then pop the head if the scheduler pulled.
+func (g *rtlgen) emitQueueSeq() {
+	cap := g.plan.EntryCap
+	g.ind = "    "
+	g.sf("always @(posedge clk) begin")
+	g.ind = "        "
+	g.sf("if (rst) begin")
+	g.sf("    q_len <= 4'd0;")
+	g.sf("end else begin")
+	g.ind = "            "
+	g.sf("qn = 4'd0;")
+	for i := 0; i < cap; i++ {
+		g.sf("if ((q_len > 4'd%d) && !q_kill[%d]) begin", i, i)
+		for _, p := range g.plan.Params {
+			g.sf("    qt_%s[qn] = qv_%s[%d];", p.Name, p.Name, i)
+		}
+		g.sf("    qn = qn + 4'd1;")
+		g.sf("end")
+	}
+	g.sf("if (start_valid) begin")
+	for _, p := range g.plan.Params {
+		g.sf("    qt_%s[qn] = start_%s;", p.Name, p.Name)
+	}
+	g.sf("    qn = qn + 4'd1;")
+	g.sf("end")
+	for i := range g.plan.Nodes {
+		if !g.scans[i].push {
+			continue
+		}
+		pfx := g.plan.Nodes[i].Prefix
+		g.sf("if (%s_pu_v) begin", pfx)
+		for _, p := range g.plan.Params {
+			g.sf("    qt_%s[qn] = %s_pu_%s;", p.Name, pfx, p.Name)
+		}
+		g.sf("    qn = qn + 4'd1;")
+		g.sf("end")
+	}
+	g.sf("if (entry_pop && (qn != 4'd0)) begin")
+	for i := 0; i < cap-1; i++ {
+		for _, p := range g.plan.Params {
+			g.sf("    qt_%s[%d] = qt_%s[%d];", p.Name, i, p.Name, i+1)
+		}
+	}
+	g.sf("    qn = qn - 4'd1;")
+	g.sf("end")
+	g.sf("q_len <= qn;")
+	for i := 0; i < cap; i++ {
+		for _, p := range g.plan.Params {
+			g.sf("qv_%s[%d] <= qt_%s[%d];", p.Name, i, p.Name, i)
+		}
+	}
+	g.ind = "        "
+	g.sf("end")
+	g.ind = "    "
+	g.sf("end")
+}
+
+func (g *rtlgen) nodeAt(kind byte, index int) *PlanNode {
+	for i := range g.plan.Nodes {
+		if g.plan.Nodes[i].Kind == kind && g.plan.Nodes[i].Index == index {
+			return &g.plan.Nodes[i]
+		}
+	}
+	return nil
+}
+
+func (g *rtlgen) forkNode() *PlanNode {
+	for i := range g.plan.Nodes {
+		if g.plan.Nodes[i].Fork {
+			return &g.plan.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Module assembly
+
+func (g *rtlgen) assemble() string {
+	var b strings.Builder
+	plan := g.plan
+	n := len(plan.Nodes)
+	ports := []string{
+		"input wire clk", "input wire rst",
+		fmt.Sprintf("input wire [%d:0] fire", n-1),
+		fmt.Sprintf("input wire [%d:0] kill", n-1),
+		fmt.Sprintf("input wire [%d:0] q_kill", plan.EntryCap-1),
+		"input wire entry_pop",
+		"input wire start_valid",
+	}
+	for _, p := range plan.Params {
+		ports = append(ports, portDecl("input", "start_"+p.Name, p.Width))
+	}
+	for _, v := range plan.Vols {
+		ports = append(ports,
+			portDecl("input", v.Name+"_dev_we", 1),
+			portDecl("input", v.Name+"_dev_din", v.Width))
+	}
+	ports = append(ports,
+		portDecl("output", "retire_v", 1),
+		portDecl("output", "retire_exc", 1))
+	for _, p := range plan.Params {
+		ports = append(ports, portDecl("output", "retire_"+p.Name, p.Width))
+	}
+	for i := 0; i < plan.NumEArgs; i++ {
+		name := fmt.Sprintf("earg%d", i)
+		ports = append(ports, portDecl("output", "retire_"+name, g.slotW[name]))
+	}
+
+	fmt.Fprintf(&b, "module %s(\n", plan.Module)
+	for i, p := range ports {
+		sep := ","
+		if i == len(ports)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "    %s%s\n", p, sep)
+	}
+	b.WriteString(");\n\n")
+
+	if plan.Translated {
+		b.WriteString("    reg gef_q;\n    reg gef_cur;\n")
+	}
+	for _, v := range plan.Vols {
+		fmt.Fprintf(&b, "    %s\n", sigDecl("reg", v.Name+"_q", v.Width))
+		fmt.Fprintf(&b, "    %s\n", sigDecl("reg", v.Name+"_cur", v.Width))
+		fmt.Fprintf(&b, "    %s\n", sigDecl("wire", v.Name+"_eff", v.Width))
+	}
+	for _, m := range plan.Mems {
+		fmt.Fprintf(&b, "    %s\n", arrDecl(m.Name+"_arr", m.Width, m.Depth))
+	}
+	for _, m := range plan.PlainMems {
+		fmt.Fprintf(&b, "    %s\n", arrDecl(m.Name+"_arr", m.Width, m.Depth))
+	}
+	b.WriteString("    reg [3:0] q_len;\n")
+	b.WriteString("    reg [3:0] qn;\n")
+	for _, p := range plan.Params {
+		fmt.Fprintf(&b, "    %s\n", arrDecl("qv_"+p.Name, p.Width, plan.EntryCap))
+		fmt.Fprintf(&b, "    %s\n", arrDecl("qt_"+p.Name, p.Width, plan.EntryCap))
+	}
+	for _, d := range g.decls {
+		fmt.Fprintf(&b, "    %s\n", d)
+	}
+	b.WriteString("\n")
+	for _, v := range plan.Vols {
+		fmt.Fprintf(&b, "    assign %s_eff = %s_dev_we ? %s_dev_din : %s_q;\n",
+			v.Name, v.Name, v.Name, v.Name)
+	}
+	g.emitRetire(&b)
+	b.WriteString("\n")
+	b.WriteString(g.machine.String())
+	b.WriteString("\n")
+	b.WriteString(g.seq.String())
+	b.WriteString("endmodule\n\n")
+	return b.String()
+}
+
+type retireArm struct {
+	cond   string
+	prefix string
+	exc    bool
+}
+
+// emitRetire drives the retirement observation ports: an instruction
+// retires when the last chain node (or the fork's terminal arm, or an
+// untranslated last stage) fires. Older arms take mux priority.
+func (g *rtlgen) emitRetire(b *strings.Builder) {
+	var arms []retireArm
+	hasX := g.nodeAt('x', 1) != nil
+	for i := range g.plan.Nodes {
+		nd := &g.plan.Nodes[i]
+		if !nd.Retires && !(nd.Fork && !hasX && g.tr.Translated) {
+			continue
+		}
+		switch {
+		case nd.Kind == 'x':
+			arms = append(arms, retireArm{fmt.Sprintf("fire[%d]", nd.Pos), nd.Prefix, true})
+		case nd.Kind == 'c':
+			arms = append(arms, retireArm{fmt.Sprintf("fire[%d]", nd.Pos), nd.Prefix, false})
+		case !g.tr.Translated:
+			arms = append(arms, retireArm{fmt.Sprintf("fire[%d]", nd.Pos), nd.Prefix, false})
+		default:
+			if nd.Retires {
+				arms = append(arms, retireArm{
+					fmt.Sprintf("(fire[%d] && !%s_lefc)", nd.Pos, nd.Prefix), nd.Prefix, false})
+			}
+			if !hasX {
+				arms = append(arms, retireArm{
+					fmt.Sprintf("(fire[%d] && %s_lefc)", nd.Pos, nd.Prefix), nd.Prefix, true})
+			}
+		}
+	}
+	var all, exc []string
+	for _, a := range arms {
+		all = append(all, a.cond)
+		if a.exc {
+			exc = append(exc, a.cond)
+		}
+	}
+	if len(all) == 0 {
+		all = []string{"1'b0"}
+	}
+	fmt.Fprintf(b, "    assign retire_v = %s;\n", join(all, " || "))
+	if len(exc) == 0 {
+		exc = []string{"1'b0"}
+	}
+	fmt.Fprintf(b, "    assign retire_exc = %s;\n", join(exc, " || "))
+	slot := func(name string, w int) {
+		out := zeroLit(w)
+		for i := len(arms) - 1; i >= 0; i-- {
+			out = fmt.Sprintf("(%s ? %s_l_%s : %s)", arms[i].cond, arms[i].prefix, name, out)
+		}
+		fmt.Fprintf(b, "    assign retire_%s = %s;\n", name, out)
+	}
+	for _, p := range g.plan.Params {
+		slot(p.Name, p.Width)
+	}
+	for i := 0; i < g.plan.NumEArgs; i++ {
+		name := fmt.Sprintf("earg%d", i)
+		slot(name, g.slotW[name])
+	}
+}
+
+func portDecl(dir, name string, w int) string {
+	if w > 1 {
+		return fmt.Sprintf("%s wire [%d:0] %s", dir, w-1, name)
+	}
+	return fmt.Sprintf("%s wire %s", dir, name)
+}
+
+func sigDecl(kind, name string, w int) string {
+	if w > 1 {
+		return fmt.Sprintf("%s [%d:0] %s;", kind, w-1, name)
+	}
+	return fmt.Sprintf("%s %s;", kind, name)
+}
+
+func arrDecl(name string, w, depth int) string {
+	if w > 1 {
+		return fmt.Sprintf("reg [%d:0] %s [0:%d];", w-1, name, depth-1)
+	}
+	return fmt.Sprintf("reg %s [0:%d];", name, depth-1)
+}
