@@ -1,5 +1,5 @@
 # Tier-1: everything must build and every test must pass.
-.PHONY: all test vet vet-xpdl bench chaos cover fuzz-smoke clean
+.PHONY: all test vet vet-xpdl bench chaos cover fuzz-smoke race soak clean
 
 all: vet vet-xpdl test
 
@@ -42,6 +42,32 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/pdl/parser/
 	go test -run='^$$' -fuzz=FuzzCheck -fuzztime=10s ./internal/check/
 	go test -run='^$$' -fuzz=FuzzRTLExpr -fuzztime=10s ./internal/rtl/
+
+# race runs the checkpoint/resume-bearing packages under the race
+# detector with caching disabled — the focused counterpart of CI's
+# tree-wide `go test -race ./...`.
+race:
+	go test -race -count=1 ./internal/sim/ ./internal/cosim/ ./internal/snap/
+
+# soak proves the kill/resume story on the real binary: a chaos run is
+# cut short by -timeout (exit 7, resumable snapshot written), resumed
+# from that snapshot, and must reach the same checksum and pass the
+# same golden cross-check as the uninterrupted run.
+SOAK_DIR := $(or $(TMPDIR),/tmp)/xpdlsim-soak
+soak:
+	rm -rf $(SOAK_DIR) && mkdir -p $(SOAK_DIR)
+	go build -o $(SOAK_DIR)/xpdlsim ./cmd/xpdlsim
+	printf '        li   t0, 0\n        li   t1, 0\n        li   t2, 20000\nloop:   add  t1, t1, t0\n        addi t0, t0, 1\n        bne  t0, t2, loop\n        sw   t1, 0(zero)\n        ebreak\n' > $(SOAK_DIR)/soak.s
+	$(SOAK_DIR)/xpdlsim -design all -chaos -seed 7 $(SOAK_DIR)/soak.s | tee $(SOAK_DIR)/straight.out
+	$(SOAK_DIR)/xpdlsim -design all -chaos -seed 7 -timeout 10ms \
+	  -checkpoint $(SOAK_DIR)/soak.snap $(SOAK_DIR)/soak.s; \
+	  status=$$?; test $$status -eq 7 || \
+	  { echo "soak: expected exit 7 from the timed-out run, got $$status"; exit 1; }
+	test -f $(SOAK_DIR)/soak.snap
+	$(SOAK_DIR)/xpdlsim -design all -chaos -seed 7 -resume $(SOAK_DIR)/soak.snap $(SOAK_DIR)/soak.s | tee $(SOAK_DIR)/resumed.out
+	grep -qxF "$$(grep '^dmem\[0\]' $(SOAK_DIR)/straight.out)" $(SOAK_DIR)/resumed.out
+	grep -q 'golden model cross-check: architectural state identical' $(SOAK_DIR)/resumed.out
+	@echo "soak: killed run resumed to an identical result"
 
 # bench vets the tree, runs the whole benchmark suite once as a smoke
 # check (one iteration per benchmark, with allocation stats), then takes

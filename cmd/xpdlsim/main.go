@@ -6,6 +6,7 @@
 //
 //	xpdlsim [-design all] [-cycles N] [-trace] [-pipetrace] [-no-golden]
 //	        [-interp] [-chaos] [-seed N] [-watchdog N] [-cosim]
+//	        [-checkpoint f] [-checkpoint-every N] [-resume f] [-timeout d]
 //	        [-cpuprofile f] [-memprofile f] prog.s
 //
 // -chaos enables deterministic timing-fault injection (spurious stage
@@ -20,17 +21,30 @@
 // compared at every clock edge, then the final state is diffed against
 // the golden model. Composes with -interp and -chaos.
 //
+// -checkpoint names a snapshot file; with -checkpoint-every N the run
+// writes it (atomically, via rename) every N cycles, and a run stopped
+// by -timeout or Ctrl-C writes its final state there too. -resume
+// restores such a snapshot and continues the run instead of booting
+// from reset; the resuming invocation must repeat the original
+// -design/-chaos/-seed/-cosim flags (the snapshot refuses to load into
+// a different machine). All four compose with -chaos, -cosim and
+// -interp.
+//
 // Exit codes: 0 success, 1 generic failure (including golden-model
 // mismatch), 2 usage, 3 cycle budget exhausted, 4 deadlock caught by
 // the hang watchdog, 5 simulator internal error, 6 RTL cosimulation
-// divergence.
+// divergence, 7 run canceled by -timeout or Ctrl-C (a resumable
+// snapshot was written when -checkpoint is set).
 package main
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -50,6 +64,7 @@ const (
 	exitDeadlock   = 4
 	exitInternal   = 5
 	exitDivergence = 6
+	exitCanceled   = 7
 )
 
 func main() {
@@ -63,12 +78,36 @@ func main() {
 	seed := flag.Uint64("seed", 1, "fault-injection seed for -chaos")
 	watchdog := flag.Int("watchdog", 0, "hang-watchdog patience in idle cycles (0 = default 200, negative = disabled)")
 	cosimFlag := flag.Bool("cosim", false, "execute the emitted Verilog in lockstep with the simulator and diff every cycle")
+	checkpoint := flag.String("checkpoint", "", "snapshot `file` written every -checkpoint-every cycles and on cancellation")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "write -checkpoint every N cycles (0 = only on cancellation)")
+	resume := flag.String("resume", "", "restore a snapshot `file` and continue instead of booting from reset")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (exit code 7)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to `file`")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(exitUsage)
+	}
+	if *checkpointEvery > 0 && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "xpdlsim: -checkpoint-every requires -checkpoint")
+		os.Exit(exitUsage)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var resumeData []byte
+	if *resume != "" {
+		var err error
+		if resumeData, err = os.ReadFile(*resume); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -110,10 +149,19 @@ func main() {
 			MaxCycles:  *cycles,
 			Interp:     *interp,
 			SkipGolden: *noGolden,
+			Ctx:        ctx,
+			Resume:     resumeData,
+		}
+		if *checkpointEvery > 0 {
+			opts.CheckpointEvery = *checkpointEvery
+			opts.Checkpoint = func(b []byte) error { return writeSnapshot(*checkpoint, b) }
 		}
 		if *chaos {
 			opts.ChaosSeed = *seed
 			fmt.Printf("chaos: timing-fault injection enabled (seed %#x)\n", *seed)
+		}
+		if resumeData != nil {
+			fmt.Printf("resuming cosimulation from %s\n", *resume)
 		}
 		res, err := cosim.Run(opts)
 		if err != nil {
@@ -121,6 +169,10 @@ func main() {
 			if errors.As(err, &div) {
 				fmt.Fprintln(os.Stderr, "xpdlsim:", err)
 				os.Exit(exitDivergence)
+			}
+			var ce *cosim.CanceledError
+			if errors.As(err, &ce) {
+				canceled(*checkpoint, ce.Snapshot, err)
 			}
 			fatal(err)
 		}
@@ -143,7 +195,12 @@ func main() {
 	if err := p.Load(prog); err != nil {
 		fatal(err)
 	}
-	if err := p.Boot(); err != nil {
+	if resumeData != nil {
+		if err := p.M.Restore(bytes.NewReader(resumeData)); err != nil {
+			fatal(fmt.Errorf("resume %s: %w", *resume, err))
+		}
+		fmt.Printf("resumed from %s at cycle %d\n", *resume, p.M.Cycle())
+	} else if err := p.Boot(); err != nil {
 		fatal(err)
 	}
 	if *pipetrace {
@@ -152,8 +209,12 @@ func main() {
 	if *chaos {
 		fmt.Printf("chaos: timing-fault injection enabled (seed %#x)\n", *seed)
 	}
-	n, err := p.Run(*cycles)
+	n, err := runSim(ctx, p, *cycles, *checkpoint, *checkpointEvery)
 	if err != nil {
+		var ce *sim.CanceledError
+		if errors.As(err, &ce) {
+			canceled(*checkpoint, ce.Snapshot, err)
+		}
 		fatal(err)
 	}
 	if *memprofile != "" {
@@ -207,6 +268,55 @@ func main() {
 			fatal(fmt.Errorf("%d architectural mismatches against the golden model", mismatches))
 		}
 	}
+}
+
+// runSim advances the machine under ctx. With checkpointing enabled it
+// runs in -checkpoint-every sized chunks, persisting a snapshot at each
+// chunk boundary, so a later kill loses at most one interval of work.
+func runSim(ctx context.Context, p *designs.Processor, cycles int, path string, every int) (int, error) {
+	if every <= 0 {
+		return p.RunCtx(ctx, cycles)
+	}
+	total := 0
+	for {
+		n, err := p.RunCtx(ctx, min(every, cycles-total))
+		total += n
+		var cb *sim.CycleBudgetError
+		if err == nil || !errors.As(err, &cb) || total >= cycles {
+			return total, err
+		}
+		b, err := p.M.SaveBytes()
+		if err != nil {
+			return total, err
+		}
+		if err := writeSnapshot(path, b); err != nil {
+			return total, err
+		}
+	}
+}
+
+// writeSnapshot persists a snapshot atomically (write-then-rename), so
+// a kill mid-write can never leave a torn checkpoint file behind.
+func writeSnapshot(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// canceled reports a run stopped by -timeout or Ctrl-C, persists its
+// final snapshot when -checkpoint names a file, and exits 7.
+func canceled(path string, snapshot []byte, err error) {
+	fmt.Fprintln(os.Stderr, "xpdlsim:", err)
+	if path != "" && snapshot != nil {
+		if werr := writeSnapshot(path, snapshot); werr != nil {
+			fmt.Fprintln(os.Stderr, "xpdlsim: write checkpoint:", werr)
+			os.Exit(exitGeneric)
+		}
+		fmt.Fprintf(os.Stderr, "xpdlsim: resumable snapshot written to %s\n", path)
+	}
+	os.Exit(exitCanceled)
 }
 
 // fatal reports err and exits with a code identifying the failure

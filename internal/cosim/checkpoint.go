@@ -1,0 +1,139 @@
+// Cosimulation checkpointing, cancellation and crash containment.
+//
+// A cosim checkpoint is a single snap container holding both machines
+// and the harness cursor: the simulator's full snapshot (nested as a
+// blob — it is its own checksummed stream), every RTL signal and
+// memory, and the replay cursor (cycle count, retirement-trace
+// position, the entry-queue mirror). Both machines are saved at the
+// same post-clock-edge boundary the per-cycle state diff just proved
+// equal, so a restored run continues the lockstep comparison with no
+// warm-up and no tolerance window.
+package cosim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"xpdl/internal/rtl"
+	"xpdl/internal/snap"
+)
+
+// CanceledError reports a cosimulation stopped by context cancellation
+// at a cycle boundary. Snapshot (when non-nil) is a combined
+// checkpoint restorable via Options.Resume under the same Options.
+type CanceledError struct {
+	Cycle    int
+	Snapshot []byte
+	Cause    error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("cosim: run canceled at cycle %d: %v", e.Cycle, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// InternalError reports a panic recovered inside the cosimulation
+// loop — the RTL evaluator (via *rtl.PanicError) or the harness's own
+// compare path — converted to a typed error so a cosim run can never
+// kill the process. Snapshot is a best-effort repro checkpoint.
+type InternalError struct {
+	Cycle    int
+	Panic    any
+	Stack    []byte
+	Snapshot []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("cosim: internal error at cycle %d: %v", e.Cycle, e.Panic)
+}
+
+// checkpoint serializes both machines and the harness cursor. Valid
+// only at a cycle boundary (between h.cycle calls).
+func (h *harness) checkpoint(cycles int) ([]byte, error) {
+	var buf bytes.Buffer
+	w := snap.NewWriter(&buf)
+	mb, err := h.p.M.SaveBytes()
+	if err != nil {
+		return nil, err
+	}
+	w.Bytes(mb)
+	h.model.SaveState(w)
+	w.Int(cycles)
+	w.Int(h.prevRetired)
+	w.Int(len(h.mirror))
+	for _, v := range h.mirror {
+		w.Int(v + 1) // the boot marker -1 encodes as 0
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreCheckpoint loads a combined checkpoint into the freshly built
+// harness and returns the cycle count to continue from. The harness
+// must have been built with the same Options the checkpoint was taken
+// under (same variant, program, seed and executor).
+func (h *harness) restoreCheckpoint(data []byte) (int, error) {
+	r, err := snap.Open(bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	mb := r.Bytes()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if err := h.p.M.Restore(bytes.NewReader(mb)); err != nil {
+		return 0, fmt.Errorf("cosim: restore simulator: %w", err)
+	}
+	if err := h.model.RestoreState(r); err != nil {
+		return 0, fmt.Errorf("cosim: restore rtl model: %w", err)
+	}
+	cycles := r.Int()
+	prev := r.Int()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	h.mirror = h.mirror[:0]
+	for i := 0; i < n; i++ {
+		h.mirror = append(h.mirror, r.Int()-1)
+	}
+	if err := r.Finish(); err != nil {
+		return 0, err
+	}
+	if cycles < 1 {
+		return 0, fmt.Errorf("cosim: checkpoint cycle count %d out of range", cycles)
+	}
+	if prev > len(h.p.M.Retired()) {
+		return 0, fmt.Errorf("cosim: checkpoint retirement cursor %d beyond trace (%d)", prev, len(h.p.M.Retired()))
+	}
+	h.prevRetired = prev
+	return cycles, nil
+}
+
+// cycleContained runs one lockstep cycle with panic containment: any
+// panic that escapes the harness's own compare path — the simulator
+// and the RTL evaluator already contain theirs — becomes a typed
+// *InternalError, as does a contained *rtl.PanicError, both bundling a
+// best-effort repro checkpoint.
+func (h *harness) cycleContained(boot bool, cycles int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ie := &InternalError{Cycle: cycles, Panic: r, Stack: debug.Stack()}
+			ie.Snapshot, _ = h.checkpoint(cycles)
+			err = ie
+		}
+	}()
+	err = h.cycle(boot)
+	var pe *rtl.PanicError
+	if errors.As(err, &pe) {
+		ie := &InternalError{Cycle: cycles, Panic: pe.Panic, Stack: pe.Stack}
+		ie.Snapshot, _ = h.checkpoint(cycles)
+		return ie
+	}
+	return err
+}

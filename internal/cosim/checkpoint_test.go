@@ -1,0 +1,141 @@
+// Cosim resume equivalence: a lockstep run checkpointed mid-flight and
+// resumed under identical Options must complete with the same cycle
+// count and retirement total as the straight-through run — and, because
+// the harness diffs every cycle and re-runs the final OIAT diff, any
+// restored-state skew in either machine would surface as a divergence.
+package cosim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"xpdl/internal/designs"
+)
+
+// checkpointedRun runs opts straight through while capturing the last
+// checkpoint taken at the given interval, returning both.
+func checkpointedRun(t *testing.T, opts Options, every int) (*Result, []byte) {
+	t.Helper()
+	var last []byte
+	opts.CheckpointEvery = every
+	opts.Checkpoint = func(b []byte) error {
+		last = append(last[:0], b...)
+		return nil
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("%s: checkpointed run: %v", opts.Variant, err)
+	}
+	if last == nil {
+		t.Fatalf("%s: run finished in fewer than %d cycles; no checkpoint taken", opts.Variant, every)
+	}
+	return res, last
+}
+
+func resumeCase(t *testing.T, opts Options) {
+	t.Helper()
+	ref := run(t, opts)
+	if ref.Cycles < 8 {
+		t.Fatalf("run too short to checkpoint (%d cycles)", ref.Cycles)
+	}
+	chk, snap := checkpointedRun(t, opts, ref.Cycles/2)
+	if chk.Cycles != ref.Cycles || chk.Retired != ref.Retired {
+		t.Fatalf("checkpointing perturbed the run: %+v vs %+v", chk, ref)
+	}
+	opts.Resume = snap
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("%s: resumed run: %v", opts.Variant, err)
+	}
+	if res.Cycles != ref.Cycles || res.Retired != ref.Retired {
+		t.Fatalf("resumed run diverged: %+v, straight run %+v", res, ref)
+	}
+}
+
+func TestCosimResumeEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"fatal/loop", Options{Variant: designs.Fatal, Program: nil}},
+		{"all/loop", Options{Variant: designs.All, Program: nil}},
+		{"all/loop-interp", Options{Variant: designs.All, Interp: true}},
+		{"all/chaos", Options{Variant: designs.All, ChaosSeed: 0xC051}},
+		{"all/storm", Options{Variant: designs.All, ChaosSeed: 0xC052, Storm: true}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			c.opts.Program = mustAsm(t, progLoop)
+			resumeCase(t, c.opts)
+		})
+	}
+}
+
+// TestCosimCancelLeavesResumableCheckpoint proves the cancellation
+// contract end to end: a canceled cosim returns a *CanceledError whose
+// snapshot resumes to the same result as the uninterrupted run. The
+// cancel fires from the checkpoint callback, so the stopping cycle is
+// deterministic.
+func TestCosimCancelLeavesResumableCheckpoint(t *testing.T) {
+	opts := Options{Variant: designs.All, Program: mustAsm(t, progLoop), ChaosSeed: 0xC053}
+	ref := run(t, opts)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	canceled := opts
+	canceled.Ctx = ctx
+	canceled.CheckpointEvery = ref.Cycles / 2
+	canceled.Checkpoint = func([]byte) error { cancel(); return nil }
+	_, err := Run(canceled)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("canceled cosim: got %v, want *CanceledError", err)
+	}
+	if ce.Snapshot == nil {
+		t.Fatal("CanceledError carries no checkpoint")
+	}
+	if ce.Cycle != ref.Cycles/2 {
+		t.Fatalf("canceled at cycle %d, want %d", ce.Cycle, ref.Cycles/2)
+	}
+
+	opts.Resume = ce.Snapshot
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatalf("resume canceled cosim: %v", err)
+	}
+	if res.Cycles != ref.Cycles || res.Retired != ref.Retired {
+		t.Fatalf("resumed run diverged: %+v, straight run %+v", res, ref)
+	}
+}
+
+// TestCosimCheckpointDeterministic pins byte-determinism of the
+// combined container: two identical runs checkpointing at the same
+// cycle produce identical bytes.
+func TestCosimCheckpointDeterministic(t *testing.T) {
+	opts := Options{Variant: designs.All, Program: mustAsm(t, progLoop), ChaosSeed: 0xC054}
+	ref := run(t, opts)
+	_, a := checkpointedRun(t, opts, ref.Cycles/2)
+	_, b := checkpointedRun(t, opts, ref.Cycles/2)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("checkpoint bytes differ across identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestCosimResumeRejectsWrongVariant: a checkpoint carries the sim's
+// structural fingerprint, so resuming under a different variant fails
+// loudly instead of silently diverging.
+func TestCosimResumeRejectsWrongVariant(t *testing.T) {
+	opts := Options{Variant: designs.All, Program: mustAsm(t, progLoop)}
+	ref := run(t, opts)
+	_, snap := checkpointedRun(t, opts, ref.Cycles/2)
+	bad := opts
+	bad.Variant = designs.Fatal
+	bad.Resume = snap
+	if _, err := Run(bad); err == nil {
+		t.Fatal("cross-variant cosim resume accepted")
+	}
+}

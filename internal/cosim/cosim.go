@@ -18,6 +18,7 @@
 package cosim
 
 import (
+	"context"
 	"fmt"
 
 	"xpdl/internal/asm"
@@ -68,6 +69,16 @@ type Options struct {
 	// SkipGolden suppresses the final OIAT diff (set automatically for
 	// storm runs, whose interrupt timing the golden model cannot replay).
 	SkipGolden bool
+	// Ctx, when non-nil, cancels the run at the next cycle boundary; Run
+	// then returns a *CanceledError carrying a resumable checkpoint.
+	Ctx context.Context
+	// CheckpointEvery, when positive, calls Checkpoint with a combined
+	// checkpoint every N cycles.
+	CheckpointEvery int
+	Checkpoint      func([]byte) error
+	// Resume, when non-nil, restores a combined checkpoint taken under
+	// identical Options instead of booting from reset.
+	Resume []byte
 }
 
 // Result summarises a successful run.
@@ -289,10 +300,6 @@ func Run(opts Options) (*Result, error) {
 	}
 	h.numEArg = plan.NumEArgs
 
-	if err := h.resetAndLoad(); err != nil {
-		return nil, err
-	}
-
 	// Interrupt sources run as a simulator device at cycle start; the
 	// hook also captures the merged mip value for the RTL's device port.
 	if opts.Storm || opts.InterruptAt > 0 {
@@ -315,24 +322,53 @@ func Run(opts Options) (*Result, error) {
 		})
 	}
 
-	if err := p.Boot(); err != nil {
-		return nil, err
-	}
-	// The boot instruction is already in the simulator's entry queue; on
-	// the RTL it arrives through the start_valid strobe during the first
-	// cycle, so it has no cycle-start queue index yet.
-	h.mirror = []int{-1}
-
 	cycles := 0
+	if opts.Resume != nil {
+		if cycles, err = h.restoreCheckpoint(opts.Resume); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := h.resetAndLoad(); err != nil {
+			return nil, err
+		}
+		if err := p.Boot(); err != nil {
+			return nil, err
+		}
+		// The boot instruction is already in the simulator's entry queue;
+		// on the RTL it arrives through the start_valid strobe during the
+		// first cycle, so it has no cycle-start queue index yet.
+		h.mirror = []int{-1}
+	}
+
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
 	for p.M.InFlight() > 0 {
 		if cycles >= opts.MaxCycles {
 			return nil, fmt.Errorf("cosim: cycle budget %d exhausted with %d in flight",
 				opts.MaxCycles, p.M.InFlight())
 		}
-		if err := h.cycle(cycles == 0); err != nil {
+		select {
+		case <-done:
+			ce := &CanceledError{Cycle: cycles, Cause: opts.Ctx.Err()}
+			ce.Snapshot, _ = h.checkpoint(cycles)
+			return nil, ce
+		default:
+		}
+		if err := h.cycleContained(cycles == 0, cycles); err != nil {
 			return nil, err
 		}
 		cycles++
+		if opts.CheckpointEvery > 0 && opts.Checkpoint != nil && cycles%opts.CheckpointEvery == 0 {
+			b, err := h.checkpoint(cycles)
+			if err != nil {
+				return nil, fmt.Errorf("cosim: checkpoint at cycle %d: %w", cycles, err)
+			}
+			if err := opts.Checkpoint(b); err != nil {
+				return nil, fmt.Errorf("cosim: checkpoint at cycle %d: %w", cycles, err)
+			}
+		}
 	}
 
 	if err := h.finalDiff(); err != nil {

@@ -1,6 +1,7 @@
 package designs
 
 import (
+	"context"
 	"fmt"
 
 	"xpdl"
@@ -63,6 +64,12 @@ func (p *Processor) Boot() error { return p.M.Start("cpu", val.New(0, 32)) }
 // Run advances up to maxCycles; it stops when the pipeline drains (the
 // workload executed ebreak and the last instruction retired).
 func (p *Processor) Run(maxCycles int) (int, error) { return p.M.Run(maxCycles) }
+
+// RunCtx is Run with cancellation at cycle granularity; see
+// sim.Machine.RunCtx.
+func (p *Processor) RunCtx(ctx context.Context, maxCycles int) (int, error) {
+	return p.M.RunCtx(ctx, maxCycles)
+}
 
 // Reg reads architectural register x[i].
 func (p *Processor) Reg(i uint32) uint32 {

@@ -27,6 +27,7 @@ package locks
 import (
 	"fmt"
 
+	"xpdl/internal/snap"
 	"xpdl/internal/val"
 )
 
@@ -86,6 +87,14 @@ type Lock interface {
 	// Resvs snapshots up to max live reservations in queue (age) order,
 	// for hang diagnostics. It allocates and must stay off the hot path.
 	Resvs(max int) []ResvInfo
+
+	// SaveState serializes the lock's durable state (committed words,
+	// live reservations, staged writes) in deterministic order, and
+	// RestoreState replaces it from a saved image of an identically
+	// shaped lock, resetting transaction-transient state. Both must be
+	// called outside a transaction (see internal/locks/snapshot.go).
+	SaveState(w *snap.Writer)
+	RestoreState(r *snap.Reader) error
 }
 
 // ResvInfo is one live reservation in a lock's diagnostic snapshot.

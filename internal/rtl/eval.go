@@ -309,7 +309,13 @@ func (m *Model) ArrayDepth(name string) int {
 // always @* blocks, in source order) until no signal changes. A model
 // that fails to converge within the iteration ceiling has a true
 // combinational loop, which is an elaboration-level bug in the emitter.
-func (m *Model) Settle() error {
+// A panic inside evaluation is contained as a *PanicError.
+func (m *Model) Settle() (err error) {
+	defer m.containPanic("settle", &err)
+	return m.settle()
+}
+
+func (m *Model) settle() error {
 	for iter := 0; iter < m.maxIter; iter++ {
 		// The fixpoint test compares end-of-pass signal state against
 		// start-of-pass state: mid-pass rewrites (scratch defaults later
@@ -354,8 +360,14 @@ func (m *Model) Settle() error {
 // Clock runs the posedge blocks in source order. Blocking assigns take
 // effect immediately (the queue-compaction scratch regs rely on this);
 // nonblocking assigns are staged and committed atomically at the end,
-// so every nonblocking RHS sees pre-edge state.
-func (m *Model) Clock() error {
+// so every nonblocking RHS sees pre-edge state. A panic inside
+// evaluation is contained as a *PanicError.
+func (m *Model) Clock() (err error) {
+	defer m.containPanic("clock", &err)
+	return m.clock()
+}
+
+func (m *Model) clock() error {
 	m.nb = m.nb[:0]
 	for _, b := range m.mod.Seqs {
 		if _, err := m.execStmts(b.Stmts, true); err != nil {

@@ -1,0 +1,181 @@
+package rtl_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"xpdl/internal/rtl"
+	"xpdl/internal/snap"
+	"xpdl/internal/val"
+)
+
+const snapMod = `module t(
+    input wire clk,
+    input wire [31:0] d,
+    output reg [31:0] q
+);
+    reg [7:0] mem [0:3];
+    wire [31:0] dn;
+    assign dn = d + 32'd1;
+    always @(posedge clk) begin
+        q <= dn;
+        mem[0] <= dn[7:0];
+    end
+endmodule
+`
+
+func elabSnapMod(t *testing.T) *rtl.Model {
+	t.Helper()
+	f, err := rtl.Parse(snapMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rtl.Elaborate(f.Module("t"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func stepSnapMod(t *testing.T, m *rtl.Model, d uint64) {
+	t.Helper()
+	if err := m.Poke("d", val.New(d, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Clock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelStateRoundTrip: saved signal and memory state restores
+// bit-exactly into an identically elaborated model, and the restored
+// model evolves identically afterwards.
+func TestModelStateRoundTrip(t *testing.T) {
+	m := elabSnapMod(t)
+	stepSnapMod(t, m, 0xABCD)
+
+	var buf bytes.Buffer
+	w := snap.NewWriter(&buf)
+	m.SaveState(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := elabSnapMod(t)
+	r, err := snap.Open(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.RestoreState(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*rtl.Model{m, m2} {
+		q, err := m.Peek("q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Uint() != 0xABCE {
+			t.Fatalf("q = %#x, want 0xabce", q.Uint())
+		}
+		mv, err := m.PeekArray("mem", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mv.Uint() != 0xCE {
+			t.Fatalf("mem[0] = %#x, want 0xce", mv.Uint())
+		}
+	}
+	// Same next-state from the restored image.
+	stepSnapMod(t, m, 7)
+	stepSnapMod(t, m2, 7)
+	q1, _ := m.Peek("q")
+	q2, _ := m2.Peek("q")
+	if q1.Uint() != q2.Uint() {
+		t.Fatalf("restored model diverged: %#x vs %#x", q2.Uint(), q1.Uint())
+	}
+}
+
+// TestRestoreStateRejectsWrongShape: a state image from a different
+// module must be refused, not silently mapped.
+func TestRestoreStateRejectsWrongShape(t *testing.T) {
+	m := elabSnapMod(t)
+	var buf bytes.Buffer
+	w := snap.NewWriter(&buf)
+	m.SaveState(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const otherMod = `module o(
+    input wire clk,
+    input wire [31:0] d,
+    output reg [31:0] q
+);
+endmodule
+`
+	f, err := rtl.Parse(otherMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := rtl.Elaborate(f.Module("o"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := snap.Open(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreState(r); err == nil || !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("wrong-shape restore: got %v, want shape mismatch", err)
+	}
+}
+
+// TestEvalPanicContained: a panic inside an extern function during
+// Settle surfaces as a typed *PanicError instead of unwinding out of
+// the evaluator.
+func TestEvalPanicContained(t *testing.T) {
+	const src = `module t(
+    input wire [31:0] a,
+    output wire [31:0] y
+);
+    assign y = f(a);
+endmodule
+`
+	f, err := rtl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := map[string]*rtl.Func{
+		"f": {
+			Params:  []int{32},
+			Results: []int{32},
+			Fn:      func([]val.Value) []val.Value { panic("seeded evaluator fault") },
+		},
+	}
+	m, err := rtl.Elaborate(f.Module("t"), funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Poke("a", val.New(1, 32)); err != nil {
+		t.Fatal(err)
+	}
+	err = m.Settle()
+	var pe *rtl.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("settle over panicking extern: got %v, want *PanicError", err)
+	}
+	if pe.Op != "settle" || pe.Module != "t" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError fields incomplete: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "seeded evaluator fault") {
+		t.Fatalf("PanicError message lost the panic value: %v", pe)
+	}
+}

@@ -201,6 +201,11 @@ type InternalError struct {
 	IID   uint64 // instruction being fired (0 when outside a firing)
 	Panic any
 	Stack []byte
+	// Snapshot is a best-effort repro snapshot (see Machine.Save) taken
+	// after rolling back the interrupted firing's lock transactions; nil
+	// when even that failed. Restoring it reproduces the cycle whose
+	// firing panicked.
+	Snapshot []byte
 }
 
 func (e *InternalError) Error() string {
@@ -210,3 +215,21 @@ func (e *InternalError) Error() string {
 	}
 	return fmt.Sprintf("sim: internal error at cycle %d%s: %v", e.Cycle, where, e.Panic)
 }
+
+// CanceledError reports a RunCtx stopped by context cancellation or
+// deadline expiry at a cycle boundary. Snapshot (when non-nil) is a
+// full machine snapshot taken at that boundary; restoring it resumes
+// the run with zero lost work. Cause is the context's error and is
+// exposed via Unwrap, so errors.Is(err, context.Canceled) and
+// context.DeadlineExceeded both work.
+type CanceledError struct {
+	Cycle    int
+	Snapshot []byte
+	Cause    error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled at cycle %d: %v", e.Cycle, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }

@@ -27,6 +27,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -816,6 +817,10 @@ func (m *Machine) Step() (err error) {
 				ie.Stage = m.fr.node.label()
 				ie.IID = m.fr.in.iid
 			}
+			// Capture the repro snapshot before poisoning the machine:
+			// it rolls back the interrupted lock transactions, restoring
+			// the cycle-boundary state the panic fired from.
+			ie.Snapshot = m.reproSnapshot()
 			m.failed = ie
 			err = ie
 		}
@@ -881,6 +886,38 @@ func (m *Machine) Run(maxCycles int) (int, error) {
 	for m.cycle-start < maxCycles {
 		if len(m.alive) == 0 {
 			return m.cycle - start, nil
+		}
+		if err := m.Step(); err != nil {
+			return m.cycle - start, err
+		}
+	}
+	if len(m.alive) > 0 {
+		return maxCycles, &CycleBudgetError{
+			Budget: maxCycles, Cycle: m.cycle,
+			InFlight: len(m.alive), Diag: m.diagnose(),
+		}
+	}
+	return m.cycle - start, nil
+}
+
+// RunCtx is Run with cancellation: the context is checked at every
+// cycle boundary, and cancellation or deadline expiry returns a
+// *CanceledError carrying a snapshot of the machine at that boundary,
+// so an interrupted run is always resumable (Machine.Restore). The
+// machine itself is left healthy — stepping can continue in-process.
+func (m *Machine) RunCtx(ctx context.Context, maxCycles int) (int, error) {
+	start := m.cycle
+	done := ctx.Done()
+	for m.cycle-start < maxCycles {
+		if len(m.alive) == 0 {
+			return m.cycle - start, nil
+		}
+		select {
+		case <-done:
+			ce := &CanceledError{Cycle: m.cycle, Cause: ctx.Err()}
+			ce.Snapshot, _ = m.SaveBytes()
+			return m.cycle - start, ce
+		default:
 		}
 		if err := m.Step(); err != nil {
 			return m.cycle - start, err

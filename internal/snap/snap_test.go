@@ -1,0 +1,153 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"xpdl/internal/val"
+)
+
+// writeSample encodes one of every primitive and returns the stream.
+func writeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(0)
+	w.U64(1<<63 + 12345)
+	w.Int(42)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("entry-queue")
+	w.Bytes([]byte{0xde, 0xad})
+	w.Val(val.New(0xbeef, 32))
+	w.Val(val.Value{}) // zero value round-trips as width 0
+	w.Val(val.New(1, 1))
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// readSample decodes the sample stream. check asserts the decoded
+// values — valid only for uncorrupted input; the corruption tests
+// decode garbage on purpose and care only about the returned error.
+func readSample(t *testing.T, data []byte, check bool) error {
+	t.Helper()
+	r, err := Open(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	u0 := r.U64()
+	u1 := r.U64()
+	i := r.Int()
+	b0, b1 := r.Bool(), r.Bool()
+	s := r.String()
+	bs := r.Bytes()
+	v0 := r.Val()
+	v1 := r.Val()
+	v2 := r.Val()
+	if check {
+		if u0 != 0 || u1 != 1<<63+12345 || i != 42 {
+			t.Errorf("ints mangled: %d %d %d", u0, u1, i)
+		}
+		if !b0 || b1 {
+			t.Errorf("bool pair mangled")
+		}
+		if s != "entry-queue" || !bytes.Equal(bs, []byte{0xde, 0xad}) {
+			t.Errorf("strings mangled: %q %x", s, bs)
+		}
+		if v0.Uint() != 0xbeef || v0.Width() != 32 {
+			t.Errorf("Val = %v", v0)
+		}
+		if v1 != (val.Value{}) {
+			t.Errorf("zero Val = %v", v1)
+		}
+		if v2.Uint() != 1 || v2.Width() != 1 {
+			t.Errorf("1-bit Val = %v", v2)
+		}
+	}
+	return r.Finish()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := writeSample(t)
+	if err := readSample(t, data, true); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+}
+
+// TestDeterministic pins the one-representation property the golden
+// snapshot fixtures rely on.
+func TestDeterministic(t *testing.T) {
+	a, b := writeSample(t), writeSample(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two encodings differ:\n%x\n%x", a, b)
+	}
+}
+
+func TestTruncationRejected(t *testing.T) {
+	data := writeSample(t)
+	// Every proper prefix must fail — either a primitive runs dry or the
+	// checksum trailer is short.
+	for cut := 0; cut < len(data); cut++ {
+		err := readSample(t, data[:cut], false)
+		if err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(data))
+		}
+		var ce *CorruptError
+		var ve *VersionError
+		if !errors.As(err, &ce) && !errors.As(err, &ve) {
+			t.Fatalf("truncation at %d: got %T (%v), want CorruptError", cut, err, err)
+		}
+	}
+}
+
+func TestBitFlipRejected(t *testing.T) {
+	orig := writeSample(t)
+	// Flip one bit in every byte position; all must be rejected. (A flip
+	// inside the version varint surfaces as a VersionError instead —
+	// equally a rejection.)
+	for pos := 0; pos < len(orig); pos++ {
+		data := append([]byte(nil), orig...)
+		data[pos] ^= 0x40
+		if err := readSample(t, data, false); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", pos)
+		}
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	data := writeSample(t)
+	// The version varint sits right after the 4-byte magic; Version is 1,
+	// so it is a single byte. Bump it.
+	bumped := append([]byte(nil), data...)
+	bumped[4] = byte(Version + 1)
+	_, err := Open(bytes.NewReader(bumped))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("bumped version: got %T (%v), want *VersionError", err, err)
+	}
+	if ve.Got != Version+1 || ve.Want != Version {
+		t.Fatalf("version error fields: %+v", ve)
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	data := append(writeSample(t), 0x00)
+	err := readSample(t, data, false)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("trailing garbage: got %T (%v), want *CorruptError", err, err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	data := writeSample(t)
+	data[0] = 'Y'
+	_, err := Open(bytes.NewReader(data))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("bad magic: got %T (%v), want *CorruptError", err, err)
+	}
+}
