@@ -1,5 +1,5 @@
 # Tier-1: everything must build and every test must pass.
-.PHONY: all test vet vet-xpdl bench chaos cover fuzz-smoke race soak clean
+.PHONY: all test vet vet-xpdl bench bench-smoke chaos cover fuzz-smoke race soak clean
 
 all: vet vet-xpdl test
 
@@ -43,11 +43,14 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzCheck -fuzztime=10s ./internal/check/
 	go test -run='^$$' -fuzz=FuzzRTLExpr -fuzztime=10s ./internal/rtl/
 
-# race runs the checkpoint/resume-bearing packages under the race
-# detector with caching disabled — the focused counterpart of CI's
-# tree-wide `go test -race ./...`.
+# race runs the concurrency-bearing packages under the race detector
+# with caching disabled — checkpoint/resume plus the lockstep batch
+# driver (worker pool + work stealing) and the per-lane fault
+# derivation — the focused counterpart of CI's tree-wide
+# `go test -race ./...`.
 race:
-	go test -race -count=1 ./internal/sim/ ./internal/cosim/ ./internal/snap/
+	go test -race -count=1 ./internal/sim/ ./internal/cosim/ ./internal/snap/ \
+		./internal/vm/ ./internal/fault/
 
 # soak proves the kill/resume story on the real binary: a chaos run is
 # cut short by -timeout (exit 7, resumable snapshot written), resumed
@@ -71,13 +74,22 @@ soak:
 
 # bench vets the tree, runs the whole benchmark suite once as a smoke
 # check (one iteration per benchmark, with allocation stats), then takes
-# a real measurement of the executor-throughput benchmark, and records
-# the machine-readable results. BENCH_pr1.json is the committed snapshot
-# of the compile-once executor PR; rerun `make bench` to refresh it.
+# a real measurement of the executor-throughput and lockstep-batch
+# benchmarks, and records the machine-readable results (stamped with the
+# run time and git revision by benchjson). BENCH_pr6.json is the
+# committed snapshot of the bytecode-VM PR; rerun `make bench` to
+# refresh it. BENCH_pr1.json is the frozen pre-VM baseline.
 bench: vet
 	{ go test -run='^$$' -bench=. -benchtime=1x -benchmem ./... && \
-	  go test -run='^$$' -bench=SimThroughput -benchtime=500ms -benchmem ./internal/sim/ ; } \
-	| go run ./cmd/benchjson > BENCH_pr1.json
+	  go test -run='^$$' -bench='SimThroughput|SimBatch' -benchtime=500ms -benchmem ./internal/sim/ ; } \
+	| go run ./cmd/benchjson > BENCH_pr6.json
+
+# bench-smoke is the cheap CI-shaped pass: every benchmark exactly once
+# through the same benchjson pipeline, discarding the JSON — it proves
+# the whole suite and the converter still run, in seconds.
+bench-smoke:
+	go test -run='^$$' -bench=. -benchtime=1x -benchmem ./... \
+	| go run ./cmd/benchjson > /dev/null
 
 clean:
-	rm -f BENCH_pr1.json cover.out
+	rm -f BENCH_pr6.json cover.out

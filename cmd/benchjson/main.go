@@ -1,12 +1,16 @@
 // Command benchjson converts `go test -bench` text output on stdin into
-// a JSON array on stdout, one object per benchmark result line:
+// a JSON document on stdout:
 //
 //	go test -run='^$' -bench=. -benchmem ./... | benchjson > BENCH.json
 //
-// Each object carries the benchmark name, iteration count, and a map of
-// every reported metric (ns/op, B/op, allocs/op, and custom metrics such
-// as cycles/s or CPI-base). Context lines (goos, pkg, cpu, PASS/ok) are
-// skipped; the most recent pkg line is attached to each result.
+// The document is an envelope stamping when and against which revision
+// the measurement ran — {"run": <RFC3339 UTC>, "git": <short rev>,
+// "go": <toolchain>, "results": [...]} — with one result object per
+// benchmark line. Each result carries the benchmark name, iteration
+// count, and a map of every reported metric (ns/op, B/op, allocs/op,
+// and custom metrics such as cycles/s or CPI-base). Context lines
+// (goos, pkg, cpu, PASS/ok) are skipped; the most recent pkg line is
+// attached to each result. The git stamp is empty outside a checkout.
 package main
 
 import (
@@ -14,8 +18,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 type result struct {
@@ -23,6 +30,27 @@ type result struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type envelope struct {
+	Run     string   `json:"run"`
+	Git     string   `json:"git,omitempty"`
+	Go      string   `json:"go"`
+	Results []result `json:"results"`
+}
+
+// gitRev reports the short revision of the working tree, or "" when
+// git is unavailable (the stamp is best-effort, never a failure).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	rev := strings.TrimSpace(string(out))
+	if dirty, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(dirty) > 0 {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 func main() {
@@ -65,7 +93,13 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	env := envelope{
+		Run:     time.Now().UTC().Format(time.RFC3339),
+		Git:     gitRev(),
+		Go:      runtime.Version(),
+		Results: out,
+	}
+	if err := enc.Encode(env); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -3,15 +3,23 @@
 //
 // Usage:
 //
-//	xpdlbench [-fig12] [-fig13] [-cpi] [-fmax] [-compile] [-taxonomy] [-rounds N]
+//	xpdlbench [-fig12] [-fig13] [-cpi] [-fmax] [-compile] [-taxonomy]
+//	          [-batch] [-rounds N] [-exec engine]
+//
+// -batch runs the workload sweep as one lockstep batch (every kernel a
+// lane of the same design) and reports aggregate machine-cycles/s for
+// the sequential closure baseline versus the shared-image bytecode VM.
+// -exec selects the executor for the CPI matrix (interp|closure|vm).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"xpdl/internal/bench"
+	"xpdl/internal/sim"
 	"xpdl/internal/workloads"
 )
 
@@ -22,14 +30,19 @@ func main() {
 	fmax := flag.Bool("fmax", false, "maximum frequency model")
 	compile := flag.Bool("compile", false, "compilation time")
 	taxonomy := flag.Bool("taxonomy", false, "Table 1 category demonstrations")
+	batch := flag.Bool("batch", false, "lockstep batch throughput (closure sequential vs vm batch)")
 	rounds := flag.Int("rounds", 5, "averaging rounds for compile-time measurement")
+	execFlag := flag.String("exec", "", "executor for the CPI matrix: "+strings.Join(sim.Engines(), "|"))
 	flag.Parse()
 
-	all := !*fig12 && !*fig13 && !*cpi && !*fmax && !*compile && !*taxonomy
+	all := !*fig12 && !*fig13 && !*cpi && !*fmax && !*compile && !*taxonomy && !*batch
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "xpdlbench:", err)
 		os.Exit(1)
+	}
+	if _, err := sim.ParseEngine(*execFlag); err != nil {
+		fail(err)
 	}
 
 	if all || *fig12 {
@@ -43,11 +56,18 @@ func main() {
 		fmt.Println(bench.Fig13String(bench.Fig13()))
 	}
 	if all || *cpi {
-		cells, err := bench.CPITable(workloads.All())
+		cells, err := bench.CPITableEngine(workloads.All(), *execFlag)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(bench.CPIString(cells))
+	}
+	if all || *batch {
+		row, err := bench.BatchThroughput(workloads.All())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.BatchString(row))
 	}
 	if all || *fmax {
 		rows, err := bench.FMax()

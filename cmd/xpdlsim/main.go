@@ -5,9 +5,14 @@
 // Usage:
 //
 //	xpdlsim [-design all] [-cycles N] [-trace] [-pipetrace] [-no-golden]
-//	        [-interp] [-chaos] [-seed N] [-watchdog N] [-cosim]
+//	        [-exec engine] [-interp] [-chaos] [-seed N] [-watchdog N] [-cosim]
 //	        [-checkpoint f] [-checkpoint-every N] [-resume f] [-timeout d]
 //	        [-cpuprofile f] [-memprofile f] prog.s
+//
+// -exec selects the stage executor: closure (the compile-once default),
+// interp (the AST-interpreter oracle), or vm (the bytecode VM with
+// quiescent-cycle fast-forward). -interp remains as the legacy alias
+// for -exec=interp. The cosimulation harness drives closure or interp.
 //
 // -chaos enables deterministic timing-fault injection (spurious stage
 // stalls, extern latency jitter, entry backpressure) seeded by -seed;
@@ -47,6 +52,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"xpdl/internal/asm"
 	"xpdl/internal/cosim"
@@ -73,7 +79,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print the retirement trace")
 	pipetrace := flag.Bool("pipetrace", false, "stream per-cycle stage occupancy (textual waveform)")
 	noGolden := flag.Bool("no-golden", false, "skip the golden-model cross-check")
-	interp := flag.Bool("interp", false, "use the AST-interpreter executor instead of the compiled one")
+	execFlag := flag.String("exec", "", "stage executor: "+strings.Join(sim.Engines(), "|")+" (default closure)")
+	interp := flag.Bool("interp", false, "use the AST-interpreter executor (alias for -exec=interp)")
 	chaos := flag.Bool("chaos", false, "inject deterministic timing faults (stalls, extern jitter, entry backpressure)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed for -chaos")
 	watchdog := flag.Int("watchdog", 0, "hang-watchdog patience in idle cycles (0 = default 200, negative = disabled)")
@@ -92,6 +99,14 @@ func main() {
 	if *checkpointEvery > 0 && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "xpdlsim: -checkpoint-every requires -checkpoint")
 		os.Exit(exitUsage)
+	}
+	engine, err := sim.ParseEngine(*execFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpdlsim:", err)
+		os.Exit(exitUsage)
+	}
+	if *execFlag == "" && *interp {
+		engine = "interp"
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -143,11 +158,15 @@ func main() {
 	}
 
 	if *cosimFlag {
+		if engine == "vm" {
+			fmt.Fprintln(os.Stderr, "xpdlsim: -cosim drives the closure or interp executor (use -exec=closure or -exec=interp)")
+			os.Exit(exitUsage)
+		}
 		opts := cosim.Options{
 			Variant:    variant,
 			Program:    prog,
 			MaxCycles:  *cycles,
-			Interp:     *interp,
+			Interp:     engine == "interp",
 			SkipGolden: *noGolden,
 			Ctx:        ctx,
 			Resume:     resumeData,
@@ -181,7 +200,7 @@ func main() {
 		return
 	}
 
-	cfg := sim.Config{Interp: *interp, WatchdogCycles: *watchdog}
+	cfg := sim.Config{Engine: engine, WatchdogCycles: *watchdog}
 	if *chaos {
 		// Timing faults only: interrupt storms write mip directly, which
 		// the golden model cannot mirror, so the CLI leaves them to the

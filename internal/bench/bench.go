@@ -17,6 +17,7 @@ import (
 	"xpdl/internal/designs"
 	"xpdl/internal/ir"
 	"xpdl/internal/pdl/parser"
+	"xpdl/internal/sim"
 	"xpdl/internal/synth"
 	"xpdl/internal/workloads"
 )
@@ -92,8 +93,16 @@ type CPICell struct {
 }
 
 // CPITable runs every workload on every variant (§4.2: processors that
-// implement exceptions must not have worse CPI when none occur).
+// implement exceptions must not have worse CPI when none occur), on the
+// default (closure) executor.
 func CPITable(kernels []workloads.Workload) ([]CPICell, error) {
+	return CPITableEngine(kernels, "")
+}
+
+// CPITableEngine is CPITable on a selectable executor ("" = default);
+// CPI is executor-independent by construction, so this mainly times the
+// engines against each other on the full evaluation matrix.
+func CPITableEngine(kernels []workloads.Workload, engine string) ([]CPICell, error) {
 	var cells []CPICell
 	for _, w := range kernels {
 		prog, err := w.Assemble()
@@ -101,7 +110,7 @@ func CPITable(kernels []workloads.Workload) ([]CPICell, error) {
 			return nil, err
 		}
 		for _, v := range designs.Variants() {
-			p, err := designs.Build(v)
+			p, err := designs.BuildCfg(v, sim.Config{Engine: engine})
 			if err != nil {
 				return nil, err
 			}

@@ -276,53 +276,73 @@ func storevalExtern(args []val.Value) sim.V {
 	return sim.Scalar(val.New(uint64(r), 32))
 }
 
-func memfaultExtern(args []val.Value) sim.V {
-	isload := args[0].IsTrue()
-	isstore := args[1].IsTrue()
-	size := uint32(1) << args[2].Uint()
-	addr := uint32(args[3].Uint())
-	fault := false
-	var cause uint32
-	if isload || isstore {
-		switch {
-		case addr%size != 0:
-			fault = true
-			if isload {
-				cause = riscv.CauseMisalignedLoad
-			} else {
-				cause = riscv.CauseMisalignedStore
-			}
-		case uint64(addr)+uint64(size) > DMemBytes:
-			fault = true
-			if isload {
-				cause = riscv.CauseLoadFault
-			} else {
-				cause = riscv.CauseStoreFault
-			}
-		}
+// memfault and intcause results are drawn from tiny finite sets, so the
+// records are built once and shared across calls and machines, like the
+// decode cache: records are immutable values, and these run on the
+// hottest per-cycle path (every memory stage asks memfault, every
+// commit stage asks intcause).
+var (
+	memfaultNone    = memfaultRecord(false, 0)
+	memfaultResults = map[uint32]sim.V{
+		riscv.CauseMisalignedLoad:  memfaultRecord(true, riscv.CauseMisalignedLoad),
+		riscv.CauseMisalignedStore: memfaultRecord(true, riscv.CauseMisalignedStore),
+		riscv.CauseLoadFault:       memfaultRecord(true, riscv.CauseLoadFault),
+		riscv.CauseStoreFault:      memfaultRecord(true, riscv.CauseStoreFault),
 	}
+	intcauseNone    = intcauseRecord(false, 0)
+	intcauseResults = map[uint32]sim.V{
+		riscv.CauseMachineExternal: intcauseRecord(true, riscv.CauseMachineExternal),
+		riscv.CauseMachineSoftware: intcauseRecord(true, riscv.CauseMachineSoftware),
+		riscv.CauseMachineTimer:    intcauseRecord(true, riscv.CauseMachineTimer),
+	}
+)
+
+func memfaultRecord(fault bool, cause uint32) sim.V {
 	return sim.Record(map[string]val.Value{
 		"fault": val.Bool(fault),
 		"cause": val.New(uint64(cause), 32),
 	})
 }
 
-func intcauseExtern(args []val.Value) sim.V {
-	active := uint32(args[0].Uint()) & uint32(args[1].Uint())
-	var cause uint32
-	valid := true
-	switch {
-	case active&riscv.MIPMEIP != 0:
-		cause = riscv.CauseMachineExternal
-	case active&riscv.MIPMSIP != 0:
-		cause = riscv.CauseMachineSoftware
-	case active&riscv.MIPMTIP != 0:
-		cause = riscv.CauseMachineTimer
-	default:
-		valid = false
-	}
+func intcauseRecord(valid bool, cause uint32) sim.V {
 	return sim.Record(map[string]val.Value{
 		"cause": val.New(uint64(cause), 32),
 		"valid": val.Bool(valid),
 	})
+}
+
+func memfaultExtern(args []val.Value) sim.V {
+	isload := args[0].IsTrue()
+	isstore := args[1].IsTrue()
+	size := uint32(1) << args[2].Uint()
+	addr := uint32(args[3].Uint())
+	if isload || isstore {
+		switch {
+		case addr%size != 0:
+			if isload {
+				return memfaultResults[riscv.CauseMisalignedLoad]
+			}
+			return memfaultResults[riscv.CauseMisalignedStore]
+		case uint64(addr)+uint64(size) > DMemBytes:
+			if isload {
+				return memfaultResults[riscv.CauseLoadFault]
+			}
+			return memfaultResults[riscv.CauseStoreFault]
+		}
+	}
+	return memfaultNone
+}
+
+func intcauseExtern(args []val.Value) sim.V {
+	active := uint32(args[0].Uint()) & uint32(args[1].Uint())
+	switch {
+	case active&riscv.MIPMEIP != 0:
+		return intcauseResults[riscv.CauseMachineExternal]
+	case active&riscv.MIPMSIP != 0:
+		return intcauseResults[riscv.CauseMachineSoftware]
+	case active&riscv.MIPMTIP != 0:
+		return intcauseResults[riscv.CauseMachineTimer]
+	default:
+		return intcauseNone
+	}
 }

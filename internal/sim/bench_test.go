@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"xpdl/internal/val"
+	"xpdl/internal/vm"
 )
 
 // throughputSrc is a self-sustaining three-stage pipeline that keeps an
@@ -53,9 +55,12 @@ func mixExtern() ExternFunc {
 	}
 }
 
-func runThroughput(b *testing.B, interp bool) {
+// buildThroughput constructs one warmed steady-state machine on the
+// saturated kernel.
+func buildThroughput(b *testing.B, engine string) *Machine {
+	b.Helper()
 	m := build(b, throughputSrc, Config{
-		Interp:   interp,
+		Engine:   engine,
 		MaxTrace: 1,
 		Externs:  map[string]ExternFunc{"mix": mixExtern()},
 	})
@@ -72,6 +77,11 @@ func runThroughput(b *testing.B, interp bool) {
 			b.Fatal(err)
 		}
 	}
+	return m
+}
+
+func runHot(b *testing.B, engine string) {
+	m := buildThroughput(b, engine)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -86,11 +96,113 @@ func runThroughput(b *testing.B, interp bool) {
 	}
 }
 
-// BenchmarkSimThroughput reports steady-state cycles/sec for the two
-// executors on the same design; the compiled/interp ratio is the
-// compile-once speedup. Run with -benchmem: the compiled executor's
-// cycle loop must stay at ~0 allocs/op.
+// pacedPeriod is the device period of the headline benchmark: one
+// instruction injected every 256 cycles, the bursty shape of a
+// device- or timer-paced design (§3.6) where most cycles are quiet.
+const pacedPeriod = 256
+
+// batchPeriod paces the batch lanes sparser — the duty cycle of a
+// 1 kHz timer interrupt on a ~MHz machine.
+const batchPeriod = 1024
+
+// buildPaced constructs a machine whose wake-predicting device starts
+// one instruction every period cycles, forever. Between bursts the
+// machine is fully drained, so the vm engine may fast-forward while
+// the closure and interp engines tick every cycle.
+func buildPaced(b *testing.B, engine string, period int) *Machine {
+	b.Helper()
+	m := build(b, pacedSrc, Config{Engine: engine, MaxTrace: 1})
+	started := 0
+	m.OnCycleWake(func(m *Machine) {
+		if m.Cycle()%period == 0 {
+			if err := m.Start("p", val.New(uint64(started&0xffff), 32)); err != nil {
+				b.Errorf("device start %d: %v", started, err)
+			}
+			started++
+		}
+	}, func(cycle int) int {
+		if r := cycle % period; r != 0 {
+			return cycle + period - r
+		}
+		return cycle
+	})
+	return m
+}
+
+func runPaced(b *testing.B, engine string) {
+	m := buildPaced(b, engine, pacedPeriod)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := m.Advance(b.N); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+	if b.N > pacedPeriod && m.Firings() == 0 {
+		b.Fatal("pipeline made no progress")
+	}
+}
+
+// BenchmarkSimThroughput reports cycles/sec for the three executors.
+//
+// The headline series (compiled, interp, vm) runs a device-paced design
+// via Advance: work arrives in short bursts every pacedPeriod cycles
+// and the machine drains in between, so the vm engine's quiescent
+// fast-forward skips the quiet stretches in O(1) while the others tick
+// them one by one. Every engine simulates exactly b.N machine-cycles
+// with identical observables (fastforward_test.go pins this).
+//
+// The -hot series runs the saturated kernel — an instruction in every
+// stage every cycle, no quiet cycles to skip — and so isolates raw
+// dispatch cost; there the three engines are within ~2x of each other
+// because per-cycle scheduling machinery, not expression evaluation,
+// dominates. Run with -benchmem: compiled and vm cycle loops must stay
+// at ~0 allocs/op in both shapes.
 func BenchmarkSimThroughput(b *testing.B) {
-	b.Run("compiled", func(b *testing.B) { runThroughput(b, false) })
-	b.Run("interp", func(b *testing.B) { runThroughput(b, true) })
+	b.Run("compiled", func(b *testing.B) { runPaced(b, "closure") })
+	b.Run("interp", func(b *testing.B) { runPaced(b, "interp") })
+	b.Run("vm", func(b *testing.B) { runPaced(b, "vm") })
+	b.Run("compiled-hot", func(b *testing.B) { runHot(b, "closure") })
+	b.Run("interp-hot", func(b *testing.B) { runHot(b, "interp") })
+	b.Run("vm-hot", func(b *testing.B) { runHot(b, "vm") })
+}
+
+// BenchmarkSimBatch measures aggregate cycles/s over N independent
+// device-paced machines of the same design: sequentially one-by-one
+// with the closure executor (the pre-batch baseline) versus vm.Batch
+// running the shared bytecode image over all lanes in lockstep
+// strides. Every lane advances exactly b.N machine-cycles either way;
+// the reported metric counts machine-cycles across all lanes.
+func BenchmarkSimBatch(b *testing.B) {
+	const lanes = 16
+	for _, mode := range []string{"closure-seq", "vm-batch"} {
+		b.Run(fmt.Sprintf("%s-%d", mode, lanes), func(b *testing.B) {
+			ms := make([]*Machine, lanes)
+			steppers := make([]vm.Stepper, lanes)
+			engine := "closure"
+			if mode == "vm-batch" {
+				engine = "vm"
+			}
+			for i := range ms {
+				ms[i] = buildPaced(b, engine, batchPeriod)
+				steppers[i] = ms[i]
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if mode == "vm-batch" {
+				batch := vm.NewBatch(steppers)
+				if live := batch.Run(b.N); live != lanes {
+					b.Fatalf("batch lanes died: %d live of %d", live, lanes)
+				}
+			} else {
+				for _, m := range ms {
+					if err := m.Advance(b.N); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*lanes/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
 }

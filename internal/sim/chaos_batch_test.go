@@ -1,0 +1,127 @@
+// Chaos-batch lockstep: running N seeded lanes of one design under
+// vm.Batch must be observably identical to running each lane alone —
+// lanes are independent machines, the lockstep driver only schedules
+// them. Per-lane fault streams come from Injector.WithLane, so one
+// base seed reproducibly decorrelates the whole batch.
+package sim_test
+
+import (
+	"testing"
+
+	"xpdl/internal/designs"
+	"xpdl/internal/fault"
+	"xpdl/internal/sim"
+	"xpdl/internal/vm"
+	"xpdl/internal/workloads"
+)
+
+// buildChaosLane is resumeBuild with an explicit injector (nil for an
+// unperturbed lane).
+func buildChaosLane(t *testing.T, v designs.Variant, w workloads.Workload, inj *fault.Injector, engine string) *designs.Processor {
+	t.Helper()
+	cfg := sim.Config{Engine: engine}
+	if inj != nil {
+		cfg.Faults = inj
+	}
+	p, err := designs.BuildCfg(v, cfg)
+	if err != nil {
+		t.Fatalf("build %s: %v", v, err)
+	}
+	prog, err := w.Assemble()
+	if err != nil {
+		t.Fatalf("assemble %s: %v", w.Name, err)
+	}
+	if err := p.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil && p.InterruptCapable() {
+		p.AttachStorm(inj)
+	}
+	return p
+}
+
+func TestChaosBatchLockstep(t *testing.T) {
+	const lanes = 4
+	w := resumeWorkloads(t)[0]
+	base := fault.New(fault.Default(0xBA7C4EED))
+	budget := w.MaxSteps * 32
+
+	// Solo reference runs, one per lane seed.
+	solos := make([]*designs.Processor, lanes)
+	cycles := make([]int, lanes)
+	horizon := 0
+	for i := 0; i < lanes; i++ {
+		solos[i] = buildChaosLane(t, designs.Base, w, base.WithLane(i), "vm")
+		n, err := solos[i].Run(budget)
+		if err != nil {
+			t.Fatalf("solo lane %d: %v", i, err)
+		}
+		cycles[i] = n
+		if n > horizon {
+			horizon = n
+		}
+	}
+	// Distinct lane seeds must actually decorrelate the fault streams:
+	// identical run lengths across all four lanes would mean WithLane
+	// handed every lane the same stream.
+	allEqual := true
+	for i := 1; i < lanes; i++ {
+		if cycles[i] != cycles[0] {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Fatalf("all %d lanes ran identical cycle counts %d: lanes not decorrelated", lanes, cycles[0])
+	}
+
+	// The same lanes again, driven in lockstep to a common horizon.
+	batched := make([]*designs.Processor, lanes)
+	steppers := make([]vm.Stepper, lanes)
+	for i := 0; i < lanes; i++ {
+		batched[i] = buildChaosLane(t, designs.Base, w, base.WithLane(i), "vm")
+		steppers[i] = batched[i].M
+	}
+	b := vm.NewBatch(steppers)
+	b.Stride = 64
+	if live := b.Run(horizon); live != lanes {
+		for i := 0; i < lanes; i++ {
+			if err := b.Err(i); err != nil {
+				t.Errorf("lane %d failed: %v", i, err)
+			}
+		}
+		t.Fatalf("%d of %d lanes live after batch run", live, lanes)
+	}
+
+	// Each batched lane must be indistinguishable from its solo run
+	// (identical fault replay, identical machine): same retirement
+	// trace with cycles and iids, registers, memory, volatiles.
+	for i := 0; i < lanes; i++ {
+		if got := batched[i].M.Cycle(); got != horizon {
+			t.Errorf("lane %d stopped at cycle %d, want horizon %d", i, got, horizon)
+		}
+		compareMachines(t, "batched", "solo", batched[i], solos[i], cycles[i], cycles[i])
+	}
+}
+
+// TestWithLaneAnchor pins lane 0 to the base injector: a one-lane
+// batch replays exactly the fault stream of the plain seeded run, so
+// batch results are comparable against the chaos suite's.
+func TestWithLaneAnchor(t *testing.T) {
+	base := fault.New(fault.Default(0xC0FFEE01))
+	if base.WithLane(0) != base {
+		t.Error("WithLane(0) must be the base injector itself")
+	}
+	l1, l1b := base.WithLane(1), base.WithLane(1)
+	if l1.Seed() != l1b.Seed() {
+		t.Error("WithLane is not deterministic")
+	}
+	if l1.Seed() == base.Seed() {
+		t.Error("WithLane(1) did not derive a new seed")
+	}
+	if base.WithLane(2).Seed() == l1.Seed() {
+		t.Error("lanes 1 and 2 share a seed")
+	}
+}

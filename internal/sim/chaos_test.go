@@ -118,9 +118,9 @@ func compareArch(t *testing.T, golden, got archState, skipVols map[string]bool) 
 // the workload to completion and returns the processor and cycle count.
 // seed 0 means unperturbed. Storms attach only on interrupt-capable
 // variants; stormed reports whether one was attached.
-func chaosRun(t *testing.T, v designs.Variant, w workloads.Workload, seed uint64, interp bool) (p *designs.Processor, cycles int, stormed bool) {
+func chaosRun(t *testing.T, v designs.Variant, w workloads.Workload, seed uint64, engine string) (p *designs.Processor, cycles int, stormed bool) {
 	t.Helper()
-	cfg := sim.Config{Interp: interp}
+	cfg := sim.Config{Engine: engine}
 	var inj *fault.Injector
 	if seed != 0 {
 		inj = fault.New(fault.Default(seed))
@@ -172,11 +172,13 @@ var chaosSeeds = []uint64{
 }
 
 // TestChaosDifferential runs the full variant x workload matrix: one
-// golden run per cell, then every chaos seed on the compiled executor,
-// asserting architectural equivalence against the golden run. A
-// rotating subset of seeds additionally runs on the interpreter and is
-// compared cycle-exactly against the compiled chaos run (same seed =>
-// identical perturbation => identical machine).
+// golden run per cell, then every chaos seed on both compiled
+// executors (closure and bytecode VM), asserting architectural
+// equivalence against the golden run and cycle-exact equivalence
+// between the two compiled executors (same seed => identical
+// perturbation => identical machine). A rotating subset of seeds
+// additionally runs on the interpreter and is compared cycle-exactly
+// against the closure chaos run.
 func TestChaosDifferential(t *testing.T) {
 	vs := designs.Variants()
 	ws := workloads.All()
@@ -193,10 +195,10 @@ func TestChaosDifferential(t *testing.T) {
 			rot := cell
 			t.Run(v.String()+"/"+w.Name, func(t *testing.T) {
 				t.Parallel()
-				gp, gn, _ := chaosRun(t, v, w, 0, false)
+				gp, gn, _ := chaosRun(t, v, w, 0, "closure")
 				golden := captureArch(gp)
 				for si, seed := range seeds {
-					cp, cn, stormed := chaosRun(t, v, w, seed, false)
+					cp, cn, stormed := chaosRun(t, v, w, seed, "closure")
 					if cn <= gn {
 						// At the default rates a perturbed run must be
 						// strictly slower; equality means dead hooks.
@@ -207,11 +209,14 @@ func TestChaosDifferential(t *testing.T) {
 						skip["mip"] = true
 					}
 					compareArch(t, golden, captureArch(cp), skip)
+					vp, vn, _ := chaosRun(t, v, w, seed, "vm")
+					compareArch(t, golden, captureArch(vp), skip)
+					compareMachines(t, "vm", "closure", vp, cp, vn, cn)
 					// Cross-executor: every 4th (seed, cell) pair also
 					// runs interpreted and must match cycle-for-cycle.
 					if (si+rot)%4 == 0 {
-						ip, in, _ := chaosRun(t, v, w, seed, true)
-						compareMachines(t, cp, ip, cn, in)
+						ip, in, _ := chaosRun(t, v, w, seed, "interp")
+						compareMachines(t, "closure", "interp", cp, ip, cn, in)
 					}
 				}
 			})

@@ -151,10 +151,10 @@ func (c *compiler) stmt(s ast.Stmt) cStmt {
 	case *ast.Skip:
 		return nil
 	case *ast.GefGuard:
-		ps := c.ps
+		pidx := c.ps.idx
 		body := c.stmts(n.Body)
 		return func(f *firing) {
-			if ps.gef {
+			if f.m.gefs[pidx] {
 				f.stall()
 				return
 			}
@@ -552,7 +552,7 @@ func (c *compiler) expr(e ast.Expr) cExpr {
 	case *ast.GefRef:
 		// f.node.pipe (not the compile-time pipe) so the closure is also
 		// correct if it ever runs from a function body.
-		return func(f *firing) V { return Scalar(val.Bool(f.node.pipe.gef)) }
+		return func(f *firing) V { return Scalar(val.Bool(f.m.gefs[f.node.pipe.idx])) }
 	case *ast.Unary:
 		x := c.expr(n.X)
 		switch n.Op {
@@ -631,10 +631,10 @@ func (c *compiler) expr(e ast.Expr) cExpr {
 			if xv.Rec == nil {
 				panic(fmt.Sprintf("sim: field access .%s on scalar", field))
 			}
-			if idx >= 0 && idx < len(xv.Rec.names) && xv.Rec.names[idx] == field {
-				return Scalar(xv.Rec.vals[idx])
+			if idx >= 0 && idx < len(xv.Rec.Names) && xv.Rec.Names[idx] == field {
+				return Scalar(xv.Rec.Vals[idx])
 			}
-			fv, ok := xv.Rec.field(field)
+			fv, ok := xv.Rec.Field(field)
 			if !ok {
 				panic(fmt.Sprintf("sim: record has no field %q", field))
 			}
@@ -670,8 +670,8 @@ func (c *compiler) ident(n *ast.Ident) cExpr {
 		con := b.con
 		return func(f *firing) V { return con }
 	case 2:
-		vol := b.vol
-		return func(f *firing) V { return Scalar(vol.v) }
+		vidx := b.vol.idx
+		return func(f *firing) V { return Scalar(f.m.volVals[vidx]) }
 	}
 	slot := b.slot
 	zero := c.ps.zeroes[slot]
@@ -680,8 +680,8 @@ func (c *compiler) ident(n *ast.Ident) cExpr {
 		if sc.localEpoch[slot] == sc.epoch {
 			return sc.local[slot]
 		}
-		if sv := f.in.vars[slot]; sv.ok {
-			return sv.v
+		if sv := f.in.vars[slot]; sv.OK {
+			return sv.V
 		}
 		// Undriven / untaken-path read: the typed zero.
 		return zero

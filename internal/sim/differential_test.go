@@ -1,12 +1,13 @@
-// Differential testing of the two stage executors: every run is
-// performed twice on identical machines — once with the compile-once
-// closure executor (the default) and once with the AST interpreter
-// (Config.Interp) — and the complete observable state is compared:
-// cycle count, firing count, the full retirement trace (pipe, iid,
-// arguments, exceptional flag, exception arguments, retire cycle),
-// architectural registers, data memory, every declared volatile, and
-// the in-flight count. Any divergence is an executor bug by
-// construction, since the interpreter is the executable specification.
+// Differential testing of the three stage executors: every run is
+// performed once per engine on identical machines — the AST
+// interpreter (the executable specification), the compile-once
+// closure executor, and the bytecode VM — and the complete observable
+// state is compared pairwise against the interpreter: cycle count,
+// firing count, the full retirement trace (pipe, iid, arguments,
+// exceptional flag, exception arguments, retire cycle), architectural
+// registers, data memory, every declared volatile, and the in-flight
+// count. Any divergence is an executor bug by construction, since the
+// interpreter is the executable specification.
 package sim_test
 
 import (
@@ -20,18 +21,17 @@ import (
 	"xpdl/internal/workloads"
 )
 
-// buildPair constructs compiled and interpreter machines for a variant.
-func buildPair(t *testing.T, v designs.Variant) (compiled, interp *designs.Processor) {
+// engines lists every selectable executor, specification first.
+var engines = []string{"interp", "closure", "vm"}
+
+// buildEngine constructs a machine for a variant on one executor.
+func buildEngine(t *testing.T, v designs.Variant, engine string) *designs.Processor {
 	t.Helper()
-	c, err := designs.BuildCfg(v, sim.Config{})
+	p, err := designs.BuildCfg(v, sim.Config{Engine: engine})
 	if err != nil {
-		t.Fatalf("build compiled %s: %v", v, err)
+		t.Fatalf("build %s %s: %v", engine, v, err)
 	}
-	i, err := designs.BuildCfg(v, sim.Config{Interp: true})
-	if err != nil {
-		t.Fatalf("build interp %s: %v", v, err)
-	}
-	return c, i
+	return p
 }
 
 // runOne loads, boots and runs a single processor, returning the cycle
@@ -61,74 +61,83 @@ func runOne(t *testing.T, p *designs.Processor, src string, maxCycles int, hook 
 	return n
 }
 
-// compareMachines diffs every observable between the two executors.
-func compareMachines(t *testing.T, c, i *designs.Processor, cCycles, iCycles int) {
+// compareMachines diffs every observable between two executors; la/lb
+// name them in failure messages (lb is the reference).
+func compareMachines(t *testing.T, la, lb string, c, i *designs.Processor, cCycles, iCycles int) {
 	t.Helper()
 	if cCycles != iCycles {
-		t.Errorf("cycle count: compiled %d, interp %d", cCycles, iCycles)
+		t.Errorf("cycle count: %s %d, %s %d", la, cCycles, lb, iCycles)
 	}
 	if cf, fi := c.M.Firings(), i.M.Firings(); cf != fi {
-		t.Errorf("firings: compiled %d, interp %d", cf, fi)
+		t.Errorf("firings: %s %d, %s %d", la, cf, lb, fi)
 	}
 	if cf, fi := c.M.InFlight(), i.M.InFlight(); cf != fi {
-		t.Errorf("in-flight: compiled %d, interp %d", cf, fi)
+		t.Errorf("in-flight: %s %d, %s %d", la, cf, lb, fi)
 	}
 
 	crs, irs := c.M.Retired(), i.M.Retired()
 	if len(crs) != len(irs) {
-		t.Fatalf("retirement trace length: compiled %d, interp %d", len(crs), len(irs))
+		t.Fatalf("retirement trace length: %s %d, %s %d", la, len(crs), lb, len(irs))
 	}
 	for k := range crs {
 		cr, ir := crs[k], irs[k]
 		if cr.Pipe != ir.Pipe || cr.IID != ir.IID || cr.Cycle != ir.Cycle || cr.Exceptional != ir.Exceptional {
-			t.Fatalf("retirement %d: compiled %+v, interp %+v", k, cr, ir)
+			t.Fatalf("retirement %d: %s %+v, %s %+v", k, la, cr, lb, ir)
 		}
 		if len(cr.Args) != len(ir.Args) || len(cr.EArgs) != len(ir.EArgs) {
-			t.Fatalf("retirement %d arg shapes differ: compiled %+v, interp %+v", k, cr, ir)
+			t.Fatalf("retirement %d arg shapes differ: %s %+v, %s %+v", k, la, cr, lb, ir)
 		}
 		for a := range cr.Args {
 			if cr.Args[a].Uint() != ir.Args[a].Uint() || cr.Args[a].Width() != ir.Args[a].Width() {
-				t.Fatalf("retirement %d arg %d: compiled %v, interp %v", k, a, cr.Args[a], ir.Args[a])
+				t.Fatalf("retirement %d arg %d: %s %v, %s %v", k, a, la, cr.Args[a], lb, ir.Args[a])
 			}
 		}
 		for a := range cr.EArgs {
 			if cr.EArgs[a].Uint() != ir.EArgs[a].Uint() || cr.EArgs[a].Width() != ir.EArgs[a].Width() {
-				t.Fatalf("retirement %d earg %d: compiled %v, interp %v", k, a, cr.EArgs[a], ir.EArgs[a])
+				t.Fatalf("retirement %d earg %d: %s %v, %s %v", k, a, la, cr.EArgs[a], lb, ir.EArgs[a])
 			}
 		}
 	}
 
 	for r := uint32(1); r < 32; r++ {
 		if cv, iv := c.Reg(r), i.Reg(r); cv != iv {
-			t.Errorf("x%d: compiled %#x, interp %#x", r, cv, iv)
+			t.Errorf("x%d: %s %#x, %s %#x", r, la, cv, lb, iv)
 		}
 	}
 	for w := uint32(0); w < designs.DMemWords; w++ {
 		if cv, iv := c.DMemWord(w), i.DMemWord(w); cv != iv {
-			t.Errorf("dmem[%d]: compiled %#x, interp %#x", w, cv, iv)
+			t.Errorf("dmem[%d]: %s %#x, %s %#x", w, la, cv, lb, iv)
 		}
 	}
 	for _, vd := range c.Design.Prog.Vols {
 		cv, iv := c.M.VolPeek(vd.Name), i.M.VolPeek(vd.Name)
 		if cv.Uint() != iv.Uint() {
-			t.Errorf("volatile %s: compiled %#x, interp %#x", vd.Name, cv.Uint(), iv.Uint())
+			t.Errorf("volatile %s: %s %#x, %s %#x", vd.Name, la, cv.Uint(), lb, iv.Uint())
 		}
 	}
 }
 
-// differential runs src on both executors of a variant and compares.
+// differential runs src on all three executors of a variant and
+// compares each compiled executor against the interpreter oracle.
 func differential(t *testing.T, v designs.Variant, src string, maxCycles int, hook func(*designs.Processor)) {
 	t.Helper()
-	c, i := buildPair(t, v)
-	cn := runOne(t, c, src, maxCycles, hook)
-	in := runOne(t, i, src, maxCycles, hook)
-	compareMachines(t, c, i, cn, in)
+	ps := make(map[string]*designs.Processor, len(engines))
+	ns := make(map[string]int, len(engines))
+	for _, eng := range engines {
+		p := buildEngine(t, v, eng)
+		ps[eng] = p
+		ns[eng] = runOne(t, p, src, maxCycles, hook)
+	}
+	for _, eng := range engines[1:] {
+		compareMachines(t, eng, "interp", ps[eng], ps["interp"], ns[eng], ns["interp"])
+	}
 }
 
 // TestDifferentialWorkloads runs every workload kernel on every
-// processor variant under both executors. The kernels are branch- and
-// memory-heavy, so they exercise speculative fetch, mispredict squash,
-// renaming/bypass/basic lock traffic, and multi-stage retirement.
+// processor variant under all three executors. The kernels are branch-
+// and memory-heavy, so they exercise speculative fetch, mispredict
+// squash, renaming/bypass/basic lock traffic, and multi-stage
+// retirement.
 func TestDifferentialWorkloads(t *testing.T) {
 	vs := designs.Variants()
 	ws := workloads.All()
@@ -291,7 +300,7 @@ func TestDifferentialExceptions(t *testing.T) {
 }
 
 // TestDifferentialInterrupt injects a timer interrupt at the same cycle
-// on both machines: the asynchronous-exception path (gef set by the
+// on all machines: the asynchronous-exception path (gef set by the
 // interrupt check, not by a throw) must also be executor-independent.
 func TestDifferentialInterrupt(t *testing.T) {
 	const src = `

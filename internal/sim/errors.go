@@ -141,8 +141,8 @@ func (m *Machine) diagnose() Diagnosis {
 				Spec:    n.cur.spec, Lef: n.cur.lef,
 			})
 		}
-		if len(ps.entryQ) > 0 || ps.gef {
-			d.Pipes = append(d.Pipes, PipeDiag{Pipe: name, EntryQ: len(ps.entryQ), Gef: ps.gef})
+		if len(ps.entryQ) > 0 || m.gefs[ps.idx] {
+			d.Pipes = append(d.Pipes, PipeDiag{Pipe: name, EntryQ: len(ps.entryQ), Gef: m.gefs[ps.idx]})
 		}
 	}
 	for i, l := range m.memList {

@@ -83,9 +83,9 @@ func (m *Machine) applyEffects() {
 		e := &m.effBuf[i]
 		switch e.kind {
 		case effVolWrite:
-			e.vol.v = e.v
+			m.volVals[e.vol.idx] = e.v
 		case effSetGEF:
-			e.ps.gef = e.flag
+			m.gefs[e.ps.idx] = e.flag
 		case effPipeClear:
 			m.pipeClear(e.ps, e.in)
 		case effSpecClear:
@@ -113,7 +113,7 @@ func (m *Machine) applyEffects() {
 			}
 			if e.resultVar != "" {
 				if slot, ok := caller.pipe.slotOf[e.resultVar]; ok {
-					caller.vars[slot] = slotVal{v: e.vv, ok: true}
+					caller.vars[slot] = slotVal{V: e.vv, OK: true}
 				}
 			}
 			caller.waiting = nil
@@ -138,6 +138,9 @@ func (m *Machine) applyEffects() {
 // whether the pipeline made progress (the stage fired or the instruction
 // died).
 func (m *Machine) fire(node *stageNode) bool {
+	if m.engine == engVM {
+		return m.fireVM(node)
+	}
 	in := node.cur
 	if in.waiting != nil {
 		return false // blocked on a sub-pipeline call
@@ -215,10 +218,10 @@ func (m *Machine) fire(node *stageNode) bool {
 		sc := &m.scratch
 		for slot := range in.vars {
 			if sc.localEpoch[slot] == sc.epoch {
-				in.vars[slot] = slotVal{v: sc.local[slot], ok: true}
+				in.vars[slot] = slotVal{V: sc.local[slot], OK: true}
 			}
 			if sc.pendEpoch[slot] == sc.epoch {
-				in.vars[slot] = slotVal{v: sc.pend[slot], ok: true}
+				in.vars[slot] = slotVal{V: sc.pend[slot], OK: true}
 			}
 		}
 	}
@@ -315,7 +318,7 @@ func (f *firing) stmt(s ast.Stmt) {
 	switch n := s.(type) {
 	case *ast.Skip:
 	case *ast.GefGuard:
-		if f.node.pipe.gef {
+		if m.gefs[f.node.pipe.idx] {
 			f.stall()
 			return
 		}
@@ -618,7 +621,7 @@ func (f *firing) eval(e ast.Expr) V {
 	case *ast.LefRef:
 		return Scalar(val.Bool(f.lef))
 	case *ast.GefRef:
-		return Scalar(val.Bool(f.node.pipe.gef))
+		return Scalar(val.Bool(f.m.gefs[f.node.pipe.idx]))
 	case *ast.Unary:
 		x := f.eval(n.X)
 		if f.stalled {
@@ -664,10 +667,10 @@ func (f *firing) eval(e ast.Expr) V {
 			panic(fmt.Sprintf("sim: field access .%s on scalar", n.Field))
 		}
 		if idx, ok := f.m.fieldIdx[n]; ok && idx >= 0 &&
-			idx < len(x.Rec.names) && x.Rec.names[idx] == n.Field {
-			return Scalar(x.Rec.vals[idx])
+			idx < len(x.Rec.Names) && x.Rec.Names[idx] == n.Field {
+			return Scalar(x.Rec.Vals[idx])
 		}
-		fv, ok := x.Rec.field(n.Field)
+		fv, ok := x.Rec.Field(n.Field)
 		if !ok {
 			panic(fmt.Sprintf("sim: record has no field %q", n.Field))
 		}
@@ -699,13 +702,13 @@ func (f *firing) lookup(n *ast.Ident) V {
 	case 1:
 		return b.con
 	case 2:
-		return Scalar(b.vol.v)
+		return Scalar(f.m.volVals[b.vol.idx])
 	}
 	if v, ok := f.getLocal(b.slot); ok {
 		return v
 	}
-	if sv := f.in.vars[b.slot]; sv.ok {
-		return sv.v
+	if sv := f.in.vars[b.slot]; sv.OK {
+		return sv.V
 	}
 	// A variable defined only on an untaken conditional path reads as a
 	// zero of its checked type (hardware: an undriven mux input).

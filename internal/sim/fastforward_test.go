@@ -1,0 +1,189 @@
+// Quiescent-cycle fast-forward correctness: skipping provably-quiet
+// cycles under the vm engine must be externally invisible. Every
+// observable — cycle counts, firing cycles, retirement traces, memory,
+// watchdog trip points and their diagnoses — must match a per-cycle
+// run of the same design exactly; only wall-clock time may differ.
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"xpdl/internal/val"
+)
+
+// pacedSrc is a device-paced pipeline: work arrives only when the
+// (predictable) device enqueues it, so the machine alternates short
+// active bursts with long fully-drained stretches — the shape
+// quiescent fast-forward exists for.
+const pacedSrc = `
+memory acc: uint<32>[16] with basic, comb_read;
+pipe p(i: uint<32>)[acc] {
+    x = i * 3;
+    a = i[3:0];
+    acquire(acc[ext(a, 4)], W);
+    ---
+    acc[ext(a, 4)] <- acc[ext(a, 4)] + x;
+    release(acc[ext(a, 4)]);
+}
+`
+
+// pacedMachine builds a machine whose device starts one instruction
+// every period cycles, maxEvents times, via the wake-predicting hook.
+// It returns the machine and a counter of hook invocations (every
+// non-skipped cycle calls the hook; skipped cycles must not).
+func pacedMachine(t *testing.T, engine string, period, maxEvents int) (*Machine, *int) {
+	t.Helper()
+	m := build(t, pacedSrc, Config{Engine: engine})
+	hookCalls := new(int)
+	started := 0
+	m.OnCycleWake(func(m *Machine) {
+		*hookCalls++
+		if m.Cycle()%period == 0 && started < maxEvents {
+			if err := m.Start("p", val.New(uint64(started), 32)); err != nil {
+				t.Errorf("device start %d: %v", started, err)
+			}
+			started++
+		}
+	}, func(cycle int) int {
+		if started >= maxEvents {
+			return cycle + 1<<30 // device exhausted: never wakes again
+		}
+		if cycle%period == 0 {
+			return cycle
+		}
+		return cycle + period - cycle%period
+	})
+	return m, hookCalls
+}
+
+func TestFastForwardDeviceDriven(t *testing.T) {
+	const period, events, horizon = 97, 12, 2000
+	type result struct {
+		m     *Machine
+		hooks int
+	}
+	results := map[string]result{}
+	for _, engine := range []string{"closure", "vm"} {
+		m, hooks := pacedMachine(t, engine, period, events)
+		if err := m.Advance(horizon); err != nil {
+			t.Fatalf("%s: advance: %v", engine, err)
+		}
+		if got := m.Cycle(); got != horizon {
+			t.Fatalf("%s: Advance(%d) left cycle at %d", engine, horizon, got)
+		}
+		if m.InFlight() != 0 {
+			t.Fatalf("%s: %d instructions still in flight", engine, m.InFlight())
+		}
+		results[engine] = result{m, *hooks}
+	}
+
+	c, v := results["closure"].m, results["vm"].m
+	if cf, vf := c.Firings(), v.Firings(); cf != vf {
+		t.Errorf("firings: closure %d, vm %d", cf, vf)
+	}
+	crs, vrs := c.Retired(), v.Retired()
+	if len(crs) != len(vrs) {
+		t.Fatalf("retirements: closure %d, vm %d", len(crs), len(vrs))
+	}
+	if len(crs) != events {
+		t.Fatalf("retirements: got %d, want %d", len(crs), events)
+	}
+	for k := range crs {
+		if crs[k].IID != vrs[k].IID || crs[k].Cycle != vrs[k].Cycle {
+			t.Errorf("retirement %d: closure iid=%d cycle=%d, vm iid=%d cycle=%d",
+				k, crs[k].IID, crs[k].Cycle, vrs[k].IID, vrs[k].Cycle)
+		}
+	}
+	for a := uint64(0); a < 16; a++ {
+		if cv, vv := c.MemPeek("acc", a).Uint(), v.MemPeek("acc", a).Uint(); cv != vv {
+			t.Errorf("acc[%d]: closure %d, vm %d", a, cv, vv)
+		}
+	}
+
+	// The closure engine ticks every cycle; the vm engine must have
+	// skipped the drained stretches between device wakes (at period 97
+	// over 2000 cycles, ~94% of cycles are quiet).
+	if got := results["closure"].hooks; got != horizon {
+		t.Errorf("closure device hook ran %d times, want %d", got, horizon)
+	}
+	if got := results["vm"].hooks; got >= horizon/2 {
+		t.Errorf("vm device hook ran %d of %d cycles: fast-forward never engaged", got, horizon)
+	} else if got < events {
+		t.Errorf("vm device hook ran %d times, fewer than the %d wake events", got, events)
+	}
+}
+
+// TestFastForwardWatchdogExact pins the subtlest equivalence: the hang
+// watchdog must trip at the same cycle with the same idle count and
+// diagnosis whether or not the idle run-up was fast-forwarded, because
+// the trip itself is raised by a real Step.
+func TestFastForwardWatchdogExact(t *testing.T) {
+	type trip struct {
+		n  int
+		dl *DeadlockError
+	}
+	trips := map[string]trip{}
+	for _, engine := range []string{"closure", "vm"} {
+		m := build(t, crossLockSrc, Config{Engine: engine})
+		m.Start("a", val.New(10, 32))
+		m.Start("b", val.New(20, 32))
+		n, err := m.Run(5000)
+		var dl *DeadlockError
+		if !errors.As(err, &dl) {
+			t.Fatalf("%s: got %T (%v), want *DeadlockError", engine, err, err)
+		}
+		trips[engine] = trip{n, dl}
+	}
+	c, v := trips["closure"], trips["vm"]
+	if c.n != v.n {
+		t.Errorf("run length: closure %d, vm %d", c.n, v.n)
+	}
+	if c.dl.Cycle != v.dl.Cycle || c.dl.Idle != v.dl.Idle || c.dl.InFlight != v.dl.InFlight {
+		t.Errorf("deadlock: closure cycle=%d idle=%d inflight=%d, vm cycle=%d idle=%d inflight=%d",
+			c.dl.Cycle, c.dl.Idle, c.dl.InFlight, v.dl.Cycle, v.dl.Idle, v.dl.InFlight)
+	}
+	if c.dl.Error() != v.dl.Error() {
+		t.Errorf("diagnosis differs:\nclosure: %s\nvm: %s", c.dl.Error(), v.dl.Error())
+	}
+}
+
+// TestAdvanceEmptyMachine: with no devices and nothing in flight the vm
+// engine jumps the whole horizon in one skip; either way Advance lands
+// exactly on target.
+func TestAdvanceEmptyMachine(t *testing.T) {
+	for _, engine := range []string{"closure", "vm"} {
+		m := build(t, pacedSrc, Config{Engine: engine})
+		if err := m.Advance(100000); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if got := m.Cycle(); got != 100000 {
+			t.Errorf("%s: cycle = %d, want 100000", engine, got)
+		}
+	}
+}
+
+// TestAdvanceBudgetErrorFree: Advance treats the horizon as a target,
+// not a budget — in-flight work at the horizon is not an error, and a
+// later Advance picks up exactly where the first stopped.
+func TestAdvanceBudgetErrorFree(t *testing.T) {
+	for _, engine := range []string{"closure", "vm"} {
+		m := build(t, counterPipe, Config{Engine: engine})
+		m.Start("p", val.New(0, 32))
+		if err := m.Advance(3); err != nil {
+			t.Fatalf("%s: advance into flight: %v", engine, err)
+		}
+		if m.InFlight() == 0 {
+			t.Fatalf("%s: pipeline drained implausibly fast", engine)
+		}
+		if err := m.Advance(500); err != nil {
+			t.Fatalf("%s: second advance: %v", engine, err)
+		}
+		if m.InFlight() != 0 {
+			t.Errorf("%s: machine did not drain", engine)
+		}
+		if got := m.Cycle(); got != 503 {
+			t.Errorf("%s: cycle = %d, want 503", engine, got)
+		}
+	}
+}

@@ -83,7 +83,7 @@ func (m *Machine) StageSlot(pipe string, pos, slot int) (V, bool) {
 		return V{}, false
 	}
 	sv := in.vars[slot]
-	return sv.v, sv.ok
+	return sv.V, sv.OK
 }
 
 // QueueLen reports the entry-queue depth of a pipeline.
@@ -93,16 +93,4 @@ func (m *Machine) QueueLen(pipe string) int { return len(m.pipes[pipe].entryQ) }
 // i (0 = head).
 func (m *Machine) QueueArg(pipe string, i, argIdx int) val.Value {
 	return m.pipes[pipe].entryQ[i].args[argIdx]
-}
-
-// IsRecord reports whether a V carries a record value.
-func (v V) IsRecord() bool { return v.Rec != nil }
-
-// Field reads a record field by name; ok is false for scalars or
-// unknown fields.
-func (v V) Field(name string) (val.Value, bool) {
-	if v.Rec == nil {
-		return val.Value{}, false
-	}
-	return v.Rec.field(name)
 }

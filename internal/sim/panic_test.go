@@ -17,12 +17,8 @@ import (
 )
 
 func TestSeededPanicContained(t *testing.T) {
-	for _, interp := range []bool{false, true} {
-		name := "compiled"
-		if interp {
-			name = "interp"
-		}
-		t.Run(name, func(t *testing.T) {
+	for _, engine := range engines {
+		t.Run(engine, func(t *testing.T) {
 			w, err := workloads.ByName("fib")
 			if err != nil {
 				t.Fatal(err)
@@ -44,7 +40,7 @@ func TestSeededPanicContained(t *testing.T) {
 				}
 				return orig(args)
 			}
-			p, err := designs.BuildCfg(designs.All, sim.Config{Interp: interp, Externs: ex})
+			p, err := designs.BuildCfg(designs.All, sim.Config{Engine: engine, Externs: ex})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,7 +71,7 @@ func TestSeededPanicContained(t *testing.T) {
 
 			// The repro snapshot restores into a clean machine (sane
 			// externs, same design) and completes the workload.
-			res := resumeBuild(t, designs.All, w, 0, interp)
+			res := resumeBuild(t, designs.All, w, 0, engine)
 			if err := res.M.Restore(bytes.NewReader(ie.Snapshot)); err != nil {
 				t.Fatalf("restore repro snapshot: %v", err)
 			}

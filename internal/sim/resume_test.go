@@ -5,7 +5,7 @@
 // identical to the uninterrupted run — same retirement trace (iids and
 // cycle numbers included), same registers, memory, CSRs and counters.
 // The snapshot itself must also round-trip save→restore→save to the
-// exact same bytes, and be byte-identical across the two executors
+// exact same bytes, and be byte-identical across all three executors
 // (machine state is executor-independent by construction).
 package sim_test
 
@@ -25,9 +25,9 @@ import (
 // resumeBuild constructs a booted, loaded processor with a seeded
 // injector (and storm, when the variant is interrupt-capable), exactly
 // like chaosRun but without running it.
-func resumeBuild(t *testing.T, v designs.Variant, w workloads.Workload, seed uint64, interp bool) *designs.Processor {
+func resumeBuild(t *testing.T, v designs.Variant, w workloads.Workload, seed uint64, engine string) *designs.Processor {
 	t.Helper()
-	cfg := sim.Config{Interp: interp}
+	cfg := sim.Config{Engine: engine}
 	var inj *fault.Injector
 	if seed != 0 {
 		inj = fault.New(fault.Default(seed))
@@ -93,16 +93,16 @@ func TestResumeEquivalence(t *testing.T) {
 			t.Run(v.String()+"/"+w.Name, func(t *testing.T) {
 				t.Parallel()
 				for _, seed := range seeds {
-					var compiledSnap []byte
-					for _, interp := range []bool{false, true} {
-						snap := resumeCell(t, v, w, seed, interp)
+					var refSnap []byte
+					for ei, engine := range engines {
+						snap := resumeCell(t, v, w, seed, engine)
 						// The machine snapshot is executor-independent:
-						// both executors at the same cycle of the same
+						// all executors at the same cycle of the same
 						// seeded run serialize to identical bytes.
-						if !interp {
-							compiledSnap = snap
-						} else if !bytes.Equal(compiledSnap, snap) {
-							t.Fatalf("seed %#x: compiled and interp snapshots differ", seed)
+						if ei == 0 {
+							refSnap = snap
+						} else if !bytes.Equal(refSnap, snap) {
+							t.Fatalf("seed %#x: %s and %s snapshots differ", seed, engines[0], engine)
 						}
 					}
 				}
@@ -113,15 +113,15 @@ func TestResumeEquivalence(t *testing.T) {
 
 // resumeCell runs one matrix cell and returns the mid-run snapshot it
 // verified (for the cross-executor byte comparison).
-func resumeCell(t *testing.T, v designs.Variant, w workloads.Workload, seed uint64, interp bool) []byte {
+func resumeCell(t *testing.T, v designs.Variant, w workloads.Workload, seed uint64, engine string) []byte {
 	t.Helper()
 	budget := w.MaxSteps * 32
 
 	// Uninterrupted reference run.
-	ref := resumeBuild(t, v, w, seed, interp)
+	ref := resumeBuild(t, v, w, seed, engine)
 	n, err := ref.Run(budget)
 	if err != nil {
-		t.Fatalf("seed %#x interp=%v: reference run: %v", seed, interp, err)
+		t.Fatalf("seed %#x %s: reference run: %v", seed, engine, err)
 	}
 	if n < 2 {
 		t.Fatalf("seed %#x: run too short to snapshot (%d cycles)", seed, n)
@@ -129,11 +129,11 @@ func resumeCell(t *testing.T, v designs.Variant, w workloads.Workload, seed uint
 
 	// Fresh identical machine, stopped at a seed-determined mid cycle.
 	k := 1 + int(splitmix(seed^uint64(n))%uint64(n-1))
-	mid := resumeBuild(t, v, w, seed, interp)
+	mid := resumeBuild(t, v, w, seed, engine)
 	if _, err := mid.Run(k); err != nil {
 		var cb *sim.CycleBudgetError
 		if !errors.As(err, &cb) {
-			t.Fatalf("seed %#x interp=%v: run to cycle %d: %v", seed, interp, k, err)
+			t.Fatalf("seed %#x %s: run to cycle %d: %v", seed, engine, k, err)
 		}
 	}
 	snap1, err := mid.M.SaveBytes()
@@ -143,7 +143,7 @@ func resumeCell(t *testing.T, v designs.Variant, w workloads.Workload, seed uint
 
 	// Restore into a freshly built machine; save→restore→save must be
 	// byte-identical.
-	res := resumeBuild(t, v, w, seed, interp)
+	res := resumeBuild(t, v, w, seed, engine)
 	if err := res.M.Restore(bytes.NewReader(snap1)); err != nil {
 		t.Fatalf("seed %#x: restore at cycle %d: %v", seed, k, err)
 	}
@@ -152,21 +152,21 @@ func resumeCell(t *testing.T, v designs.Variant, w workloads.Workload, seed uint
 		t.Fatalf("seed %#x: re-save: %v", seed, err)
 	}
 	if !bytes.Equal(snap1, snap2) {
-		t.Fatalf("seed %#x interp=%v: save/restore/save differs at cycle %d (%d vs %d bytes)",
-			seed, interp, k, len(snap1), len(snap2))
+		t.Fatalf("seed %#x %s: save/restore/save differs at cycle %d (%d vs %d bytes)",
+			seed, engine, k, len(snap1), len(snap2))
 	}
 
 	// Continue the restored machine to completion: it must be
 	// cycle-exactly the reference run.
 	rem, err := res.M.Run(budget - k)
 	if err != nil {
-		t.Fatalf("seed %#x interp=%v: resumed run from cycle %d: %v", seed, interp, k, err)
+		t.Fatalf("seed %#x %s: resumed run from cycle %d: %v", seed, engine, k, err)
 	}
 	if k+rem != n {
-		t.Fatalf("seed %#x interp=%v: resumed run took %d cycles total, straight run %d",
-			seed, interp, k+rem, n)
+		t.Fatalf("seed %#x %s: resumed run took %d cycles total, straight run %d",
+			seed, engine, k+rem, n)
 	}
-	compareMachines(t, ref, res, n, k+rem)
+	compareMachines(t, "resumed", "reference", res, ref, k+rem, n)
 	return snap1
 }
 
@@ -174,7 +174,7 @@ func resumeCell(t *testing.T, v designs.Variant, w workloads.Workload, seed uint
 // snapshot from one variant must not restore into another.
 func TestRestoreRejectsOtherDesign(t *testing.T) {
 	w := resumeWorkloads(t)[0]
-	src := resumeBuild(t, designs.All, w, 0, false)
+	src := resumeBuild(t, designs.All, w, 0, "closure")
 	if _, err := src.Run(50); err != nil {
 		var cb *sim.CycleBudgetError
 		if !errors.As(err, &cb) {
@@ -185,7 +185,7 @@ func TestRestoreRejectsOtherDesign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dst := resumeBuild(t, designs.Base, w, 0, false)
+	dst := resumeBuild(t, designs.Base, w, 0, "closure")
 	err = dst.M.Restore(bytes.NewReader(snap))
 	if err == nil || !strings.Contains(err.Error(), "design mismatch") {
 		t.Fatalf("cross-variant restore: got %v, want design mismatch", err)
@@ -197,7 +197,7 @@ func TestRestoreRejectsOtherDesign(t *testing.T) {
 // fault decisions.
 func TestRestoreRejectsOtherSeed(t *testing.T) {
 	w := resumeWorkloads(t)[0]
-	src := resumeBuild(t, designs.Base, w, 0xC0FFEE01, false)
+	src := resumeBuild(t, designs.Base, w, 0xC0FFEE01, "closure")
 	if _, err := src.Run(50); err != nil {
 		var cb *sim.CycleBudgetError
 		if !errors.As(err, &cb) {
@@ -208,12 +208,12 @@ func TestRestoreRejectsOtherSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	other := resumeBuild(t, designs.Base, w, 0xC0FFEE02, false)
+	other := resumeBuild(t, designs.Base, w, 0xC0FFEE02, "closure")
 	err = other.M.Restore(bytes.NewReader(snap))
 	if err == nil || !strings.Contains(err.Error(), "fault seed") {
 		t.Fatalf("cross-seed restore: got %v, want fault seed mismatch", err)
 	}
-	unfaulted := resumeBuild(t, designs.Base, w, 0, false)
+	unfaulted := resumeBuild(t, designs.Base, w, 0, "closure")
 	err = unfaulted.M.Restore(bytes.NewReader(snap))
 	if err == nil || !strings.Contains(err.Error(), "fault injection") {
 		t.Fatalf("faulted snapshot into unfaulted machine: got %v, want fault injection mismatch", err)
@@ -242,13 +242,13 @@ func TestRunCtxCancelLeavesResumableSnapshot(t *testing.T) {
 	seed := uint64(0xC0FFEE03)
 	budget := w.MaxSteps * 32
 
-	ref := resumeBuild(t, designs.All, w, seed, false)
+	ref := resumeBuild(t, designs.All, w, seed, "closure")
 	n, err := ref.Run(budget)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	run := resumeBuild(t, designs.All, w, seed, false)
+	run := resumeBuild(t, designs.All, w, seed, "closure")
 	ctx, cancel := contextWithCycleLimit(run, n/2)
 	defer cancel()
 	_, err = run.RunCtx(ctx, budget)
@@ -260,7 +260,7 @@ func TestRunCtxCancelLeavesResumableSnapshot(t *testing.T) {
 		t.Fatal("CanceledError carries no snapshot")
 	}
 
-	res := resumeBuild(t, designs.All, w, seed, false)
+	res := resumeBuild(t, designs.All, w, seed, "closure")
 	if err := res.M.Restore(bytes.NewReader(ce.Snapshot)); err != nil {
 		t.Fatalf("restore canceled snapshot: %v", err)
 	}
@@ -268,5 +268,5 @@ func TestRunCtxCancelLeavesResumableSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatalf("resume canceled run: %v", err)
 	}
-	compareMachines(t, ref, res, n, ce.Cycle+rem)
+	compareMachines(t, "reference", "resumed", ref, res, n, ce.Cycle+rem)
 }

@@ -31,77 +31,40 @@ import (
 	"fmt"
 	"io"
 	"runtime/debug"
-	"sort"
 
 	"xpdl/internal/check"
 	"xpdl/internal/core"
 	"xpdl/internal/locks"
 	"xpdl/internal/pdl/ast"
 	"xpdl/internal/val"
+	"xpdl/internal/vm"
 )
 
 // V is a runtime value: a bit vector or (for extern decode-style results)
 // a record of named bit vectors. Records store fields sorted by name so
-// field access resolves to an index at machine-build time.
-type V struct {
-	Rec *recVal // non-nil for records
-	Val val.Value
-}
+// field access resolves to an index at machine-build time. V is an alias
+// of vm.V: machine state slices are shared with the bytecode dispatch
+// loop without conversion, so all three executors see one representation.
+type V = vm.V
 
-type recVal struct {
-	names []string
-	vals  []val.Value
-}
+// recVal is the record payload of a V (see vm.Rec).
+type recVal = vm.Rec
 
-// field looks a record field up by name. Names are sorted (see Record),
-// so the lookup is a binary search; the compiled executor avoids even
-// that by resolving field indices at machine-build time.
-func (r *recVal) field(name string) (val.Value, bool) {
-	lo, hi := 0, len(r.names)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if r.names[mid] < name {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(r.names) && r.names[lo] == name {
-		return r.vals[lo], true
-	}
-	return val.Value{}, false
-}
-
-// Uint returns the scalar payload; it panics on records.
-func (v V) Uint() uint64 {
-	if v.Rec != nil {
-		panic("sim: record used as scalar")
-	}
-	return v.Val.Uint()
-}
+// slotVal is one latched variable slot of an in-flight instruction
+// (see vm.SlotVal).
+type slotVal = vm.SlotVal
 
 // Scalar wraps a bit vector as a V.
 func Scalar(x val.Value) V { return V{Val: x} }
 
 // Record wraps named fields as a V.
-func Record(fields map[string]val.Value) V {
-	names := make([]string, 0, len(fields))
-	for n := range fields {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	vals := make([]val.Value, len(names))
-	for i, n := range names {
-		vals[i] = fields[n]
-	}
-	return V{Rec: &recVal{names: names, vals: vals}}
-}
+func Record(fields map[string]val.Value) V { return vm.Record(fields) }
 
 // ExternFunc implements an extern combinational function in Go — the
 // analogue of an imported Verilog module in PDL. The args slice is only
-// valid for the duration of the call (the compiled executor passes a
+// valid for the duration of the call (the compiled executors pass a
 // reusable scratch buffer); implementations must copy it to retain it.
-type ExternFunc func(args []val.Value) V
+type ExternFunc = vm.ExternFunc
 
 // FaultInjector is the hook-point contract for deterministic fault
 // injection (see internal/fault). Hooks are timing-only: a true return
@@ -154,10 +117,15 @@ type Config struct {
 	// TraceRetirements keeps the full retirement trace (default true
 	// behaviour is controlled by the caller reading Retired).
 	MaxTrace int
-	// Interp selects the per-cycle AST interpreter instead of the
-	// compile-once stage executor (the default). The two are semantically
-	// identical; the interpreter is kept as the differential-testing
-	// oracle and as a debugging aid.
+	// Engine selects the executor: "closure" (the compile-once stage
+	// executor, the default), "interp" (the per-cycle AST interpreter,
+	// kept as the differential-testing oracle and debugging aid), or
+	// "vm" (the bytecode VM over struct-of-arrays state; one compiled
+	// Program is shared by every machine of the same design). The three
+	// are semantically identical. Empty defers to Interp.
+	Engine string
+	// Interp selects the AST interpreter; the legacy switch, equivalent
+	// to Engine "interp". Engine wins when both are set.
 	Interp bool
 	// Faults plugs a deterministic fault injector into the machine's
 	// hook points. nil (the default) disables injection entirely.
@@ -171,6 +139,30 @@ type Config struct {
 	// default) disables all notifications. The cosimulation harness uses
 	// it to replay the simulator's schedule into the emitted RTL.
 	Observer Observer
+}
+
+// Executor engines (resolved from Config.Engine / Config.Interp).
+const (
+	engClosure uint8 = iota
+	engInterp
+	engVM
+)
+
+// Engines lists the valid Config.Engine values, for flag help text.
+func Engines() []string { return []string{"interp", "closure", "vm"} }
+
+// ParseEngine validates an engine name (e.g. an -exec flag value),
+// mapping the empty string to the default.
+func ParseEngine(s string) (string, error) {
+	switch s {
+	case "", "closure":
+		return "closure", nil
+	case "interp":
+		return "interp", nil
+	case "vm":
+		return "vm", nil
+	}
+	return "", fmt.Errorf("sim: unknown engine %q (want interp, closure or vm)", s)
 }
 
 // defaultWatchdog is the hang watchdog's default patience. It must
@@ -198,18 +190,30 @@ type Machine struct {
 	pipes map[string]*pipeState
 	// pipeOrder is deterministic processing order (declaration order).
 	pipeOrder []string
+	pipeList  []*pipeState // parallel to pipeOrder; indexed by pipeState.idx
 	mems      map[string]locks.Lock
 	memList   []locks.Lock // deterministic iteration for transactions
 	memOrder  []string     // names parallel to memList, for diagnostics
 	plains    map[string]*locks.Plain
+	plainList []*locks.Plain // declaration order (vm memory indices)
 	memDecl   map[string]*ast.MemDecl
 	vols      map[string]*volatileReg
-	consts    map[string]V
-	funcs     map[string]*ast.FuncDecl
-	externs   map[string]ExternFunc
+	// volVals is the struct-of-arrays home of every volatile register's
+	// value, in declaration order; volatileReg only carries the index.
+	volVals []val.Value
+	// gefs is the struct-of-arrays home of the per-pipe global exception
+	// flags, indexed by pipeState.idx.
+	gefs    []bool
+	consts  map[string]V
+	funcs   map[string]*ast.FuncDecl
+	externs map[string]ExternFunc
 
 	devices []func(m *Machine)
-	traceW  io.Writer
+	// deviceWakes is parallel to devices: a non-nil entry predicts the
+	// next cycle (>= its argument) at which the device may act, enabling
+	// quiescent fast-forward; nil marks an unpredictable device.
+	deviceWakes []func(cycle int) int
+	traceW      io.Writer
 
 	// Build-time identifier resolution: every Ident node in pipeline
 	// code resolves once to a slot, a constant, or a volatile register,
@@ -243,16 +247,24 @@ type Machine struct {
 	snapBuf    []*inst
 	descBuf    []*inst
 
-	cycle   int
-	nextIID uint64
-	alive   map[uint64]*inst
-	retired []Retirement
-	firings uint64 // total successful stage firings, for utilization stats
-	idleFor int    // consecutive cycles with no firing and no movement
+	cycle     int
+	nextIID   uint64
+	alive     map[uint64]*inst
+	retired   []Retirement
+	firings   uint64 // total successful stage firings, for utilization stats
+	idleFor   int    // consecutive cycles with no firing and no movement
+	pulledAny bool   // an entry-queue pull happened last Step (state moved)
 
 	faults   FaultInjector // from cfg.Faults; nil disables all hooks
 	watchdog int           // idle-cycle limit; <= 0 disables the watchdog
 	failed   error         // sticky *InternalError after a recovered panic
+
+	// Bytecode engine state (engine == engVM): the design's shared
+	// immutable Program and this machine's dispatch environment, wired to
+	// the machine's own arenas and struct-of-arrays state (see vmexec.go).
+	engine uint8
+	vmProg *vm.Program
+	vmEnv  vm.Env
 }
 
 // pushFrame reserves n slots on the function-frame arena and returns
@@ -276,9 +288,11 @@ func (m *Machine) pushFrame(n int) []V {
 
 func (m *Machine) popFrame(n int) { m.frameTop -= n }
 
+// volatileReg is a resolved volatile register: its declaration plus its
+// index into the machine's struct-of-arrays value store (Machine.volVals).
 type volatileReg struct {
 	decl *ast.VolDecl
-	v    val.Value
+	idx  int
 }
 
 // identBind is a resolved identifier.
@@ -328,8 +342,7 @@ type pipeState struct {
 	commit  []*stageNode
 	exc     []*stageNode
 	entryQ  []*inst
-	gef     bool
-	specTab *specTable
+	specTab *specTable // gef lives in Machine.gefs[idx] (SoA)
 
 	// Variable storage layout: every name the checker recorded for this
 	// pipeline gets a fixed slot; instruction state and firing scratch
@@ -415,11 +428,6 @@ type pendingCall struct {
 	subPipe   string
 }
 
-type slotVal struct {
-	v  V
-	ok bool
-}
-
 type inst struct {
 	iid    uint64
 	pipe   *pipeState
@@ -450,6 +458,24 @@ func New(info *check.Info, trs map[string]*core.Result, cfg Config) (*Machine, e
 	if cfg.EntryCap <= 0 {
 		cfg.EntryCap = 8
 	}
+	engName, err := ParseEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Engine == "" && cfg.Interp {
+		engName = "interp" // legacy switch; Engine wins when set
+	}
+	var engine uint8
+	switch engName {
+	case "interp":
+		engine = engInterp
+	case "vm":
+		engine = engVM
+	default:
+		engine = engClosure
+	}
+	cfg.Engine = engName
+	cfg.Interp = engine == engInterp
 	m := &Machine{
 		info:    info,
 		trs:     trs,
@@ -497,13 +523,16 @@ func New(info *check.Info, trs map[string]*core.Result, cfg Config) (*Machine, e
 			m.mems[md.Name] = locks.NewRenaming(md.Depth, md.Elem.Width, cfg.RenamingExtra)
 		}
 	}
-	for _, vd := range info.Prog.Vols {
-		m.vols[vd.Name] = &volatileReg{decl: vd, v: val.New(0, vd.Elem.Width)}
+	for i, vd := range info.Prog.Vols {
+		m.vols[vd.Name] = &volatileReg{decl: vd, idx: i}
+		m.volVals = append(m.volVals, val.New(0, vd.Elem.Width))
 	}
 	for _, md := range info.Prog.Mems {
 		if l, ok := m.mems[md.Name]; ok {
 			m.memList = append(m.memList, l)
 			m.memOrder = append(m.memOrder, md.Name)
+		} else {
+			m.plainList = append(m.plainList, m.plains[md.Name])
 		}
 	}
 	for _, pd := range info.Prog.Pipes {
@@ -518,7 +547,9 @@ func New(info *check.Info, trs map[string]*core.Result, cfg Config) (*Machine, e
 		ps.idx = len(m.pipeOrder)
 		m.pipes[pd.Name] = ps
 		m.pipeOrder = append(m.pipeOrder, pd.Name)
+		m.pipeList = append(m.pipeList, ps)
 	}
+	m.gefs = make([]bool, len(m.pipeOrder))
 	// Machine-global stage ids, in deterministic pipe/processing order:
 	// the StallStage coordinate both executors share.
 	gid := 0
@@ -535,8 +566,12 @@ func New(info *check.Info, trs map[string]*core.Result, cfg Config) (*Machine, e
 	}
 	m.spawnCnt = make([]int, len(m.pipeOrder))
 	m.fr.m = m
-	if !cfg.Interp {
+	m.engine = engine
+	switch engine {
+	case engClosure:
 		m.compileAll()
+	case engVM:
+		m.buildVM()
 	}
 	return m, nil
 }
@@ -622,8 +657,26 @@ func (m *Machine) buildPipe(orig *ast.PipeDecl, tr *core.Result) (*pipeState, er
 }
 
 // OnCycle registers a device hook invoked at the start of every cycle —
-// the external writers of volatile memories (§3.6).
-func (m *Machine) OnCycle(fn func(m *Machine)) { m.devices = append(m.devices, fn) }
+// the external writers of volatile memories (§3.6). A device registered
+// this way is unpredictable, which disables quiescent fast-forward; use
+// OnCycleWake when the device can predict its next active cycle.
+func (m *Machine) OnCycle(fn func(m *Machine)) {
+	m.devices = append(m.devices, fn)
+	m.deviceWakes = append(m.deviceWakes, nil)
+}
+
+// OnCycleWake registers a device hook together with a wake predictor:
+// wake(cycle) returns the earliest cycle >= cycle at which the device
+// may act (observe or mutate machine state); before that cycle the hook
+// must be a pure no-op. Machines whose devices all carry predictors are
+// eligible for quiescent-cycle fast-forward under the vm engine: when a
+// cycle moves nothing, Run skips ahead in O(1) to the next cycle that
+// can — the next device wake, the watchdog trip, or the budget end —
+// with externally identical behaviour (same cycle counts, same errors).
+func (m *Machine) OnCycleWake(fn func(m *Machine), wake func(cycle int) int) {
+	m.devices = append(m.devices, fn)
+	m.deviceWakes = append(m.deviceWakes, wake)
+}
 
 // PipeTrace streams one line per cycle to w showing, for every pipeline,
 // which instruction occupies each stage (by iid), plus queue depth and
@@ -656,7 +709,7 @@ func (m *Machine) emitTrace() {
 		if len(ps.entryQ) > 0 {
 			fmt.Fprintf(m.traceW, " q=%d", len(ps.entryQ))
 		}
-		if ps.gef {
+		if m.gefs[ps.idx] {
 			fmt.Fprint(m.traceW, " GEF")
 		}
 	}
@@ -718,7 +771,7 @@ func (m *Machine) enqueue(ps *pipeState, args []val.Value, parent uint64, spec b
 	}
 	m.nextIID++
 	for i, p := range ps.decl.Params {
-		in.vars[ps.slotOf[p.Name]] = slotVal{v: Scalar(in.args[i]), ok: true}
+		in.vars[ps.slotOf[p.Name]] = slotVal{V: Scalar(in.args[i]), OK: true}
 	}
 	ps.entryQ = append(ps.entryQ, in)
 	m.alive[in.iid] = in
@@ -786,16 +839,16 @@ func (m *Machine) MemDepth(mem string) int {
 }
 
 // VolPeek reads a volatile register.
-func (m *Machine) VolPeek(name string) val.Value { return m.vols[name].v }
+func (m *Machine) VolPeek(name string) val.Value { return m.volVals[m.vols[name].idx] }
 
 // VolPoke writes a volatile register, as an external device would.
 func (m *Machine) VolPoke(name string, v val.Value) {
 	reg := m.vols[name]
-	reg.v = val.New(v.Uint(), reg.decl.Elem.Width)
+	m.volVals[reg.idx] = val.New(v.Uint(), reg.decl.Elem.Width)
 }
 
 // GefSet reports whether a pipeline is in exception-handling mode.
-func (m *Machine) GefSet(pipe string) bool { return m.pipes[pipe].gef }
+func (m *Machine) GefSet(pipe string) bool { return m.gefs[m.pipes[pipe].idx] }
 
 // Step advances one cycle. It returns a *DeadlockError when the hang
 // watchdog trips (no stage fired for WatchdogCycles consecutive cycles
@@ -832,6 +885,7 @@ func (m *Machine) step() error {
 	for _, d := range m.devices {
 		d(m)
 	}
+	m.pulledAny = false
 	progressed := false
 	for _, name := range m.pipeOrder {
 		ps := m.pipes[name]
@@ -873,6 +927,7 @@ func (m *Machine) pullEntry(ps *pipeState, node *stageNode) {
 	node.cur = ps.entryQ[0]
 	copy(ps.entryQ, ps.entryQ[1:])
 	ps.entryQ = ps.entryQ[:len(ps.entryQ)-1]
+	m.pulledAny = true
 	if obs := m.cfg.Observer; obs != nil {
 		obs.EntryPulled(ps.name)
 	}
@@ -886,6 +941,10 @@ func (m *Machine) Run(maxCycles int) (int, error) {
 	for m.cycle-start < maxCycles {
 		if len(m.alive) == 0 {
 			return m.cycle - start, nil
+		}
+		m.quiesceSkip(maxCycles - (m.cycle - start))
+		if m.cycle-start >= maxCycles {
+			break
 		}
 		if err := m.Step(); err != nil {
 			return m.cycle - start, err
@@ -919,6 +978,10 @@ func (m *Machine) RunCtx(ctx context.Context, maxCycles int) (int, error) {
 			return m.cycle - start, ce
 		default:
 		}
+		m.quiesceSkip(maxCycles - (m.cycle - start))
+		if m.cycle-start >= maxCycles {
+			break
+		}
 		if err := m.Step(); err != nil {
 			return m.cycle - start, err
 		}
@@ -930,6 +993,87 @@ func (m *Machine) RunCtx(ctx context.Context, maxCycles int) (int, error) {
 		}
 	}
 	return m.cycle - start, nil
+}
+
+// quiesceSkip implements quiescent-cycle fast-forward for the vm
+// engine. When the previous cycle moved nothing — no stage fired, no
+// entry-queue pull, no death — the machine is at a fixed point: ticking
+// changes nothing but the cycle counter until an external event (a
+// device wake; fault hooks and observers disqualify a machine since
+// they see every cycle). Instead of ticking, jump the cycle counter
+// straight to the last provably-quiet cycle, bounded by the next device
+// wake, the watchdog trip (which must be raised by a real Step so its
+// diagnosis and cycle stamp match an unskipped run exactly), and the
+// caller's remaining budget. Returns the number of cycles skipped.
+func (m *Machine) quiesceSkip(budgetLeft int) int {
+	if m.engine != engVM || m.failed != nil || m.pulledAny ||
+		m.faults != nil || m.cfg.Observer != nil || m.traceW != nil {
+		return 0
+	}
+	// Two provably-quiet shapes: an in-flight machine whose previous
+	// cycle moved nothing (idleFor > 0), and a fully drained machine
+	// with empty entry queues — nothing can happen until a device acts.
+	drained := false
+	if m.idleFor == 0 {
+		if len(m.alive) != 0 {
+			return 0
+		}
+		for _, name := range m.pipeOrder {
+			if len(m.pipes[name].entryQ) != 0 {
+				return 0
+			}
+		}
+		drained = true
+	}
+	skip := budgetLeft
+	if !drained && m.watchdog > 0 {
+		if w := m.watchdog - m.idleFor; w < skip {
+			skip = w
+		}
+	}
+	for _, wake := range m.deviceWakes {
+		if wake == nil {
+			return 0 // unpredictable device: every cycle is potentially live
+		}
+		w := wake(m.cycle)
+		if w < m.cycle {
+			w = m.cycle
+		}
+		if d := w - m.cycle; d < skip {
+			skip = d
+		}
+	}
+	if skip <= 0 {
+		return 0
+	}
+	m.cycle += skip
+	if !drained {
+		// Empty cycles reset the idle counter (the watchdog only counts
+		// while work is in flight), so only the in-flight shape ages it.
+		m.idleFor += skip
+	}
+	return skip
+}
+
+// Advance runs exactly n cycles, devices included, regardless of
+// whether work is in flight — the driver for free-running,
+// device-paced simulation and for lockstep batch execution. Unlike
+// Run it does not stop when the machine drains (a predictable device
+// may repopulate it later) and never reports a budget error: the
+// horizon is the point, not a limit. Quiescent stretches — including
+// fully drained ones — fast-forward in O(1) under the vm engine.
+func (m *Machine) Advance(n int) error {
+	target := m.cycle + n
+	for m.cycle < target {
+		m.quiesceSkip(target - m.cycle)
+		if m.cycle >= target {
+			return nil
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunUntil advances until pred returns true, up to maxCycles.

@@ -63,7 +63,7 @@ func (m *Machine) Save(wr io.Writer) error {
 	// sorted by handle.
 	for _, name := range m.pipeOrder {
 		ps := m.pipes[name]
-		w.Bool(ps.gef)
+		w.Bool(m.gefs[ps.idx])
 		w.U64(ps.specTab.nextHandle)
 		handles := make([]uint64, 0, len(ps.specTab.entries))
 		for h := range ps.specTab.entries {
@@ -90,8 +90,8 @@ func (m *Machine) Save(wr io.Writer) error {
 		}
 		w.Int(len(in.vars))
 		for _, sv := range in.vars {
-			w.Bool(sv.ok)
-			writeV(w, sv.v)
+			w.Bool(sv.OK)
+			writeV(w, sv.V)
 		}
 		w.Bool(in.lef)
 		w.Bool(in.eargs != nil)
@@ -160,7 +160,7 @@ func (m *Machine) Save(wr io.Writer) error {
 		}
 	}
 	for _, vd := range m.info.Prog.Vols {
-		w.Val(m.vols[vd.Name].v)
+		w.Val(m.volVals[m.vols[vd.Name].idx])
 	}
 
 	return w.Close()
@@ -239,7 +239,7 @@ func (m *Machine) Restore(rd io.Reader) error {
 
 	for _, name := range m.pipeOrder {
 		ps := m.pipes[name]
-		ps.gef = r.Bool()
+		m.gefs[ps.idx] = r.Bool()
 		ps.specTab.nextHandle = r.U64()
 		n := r.Int()
 		if err := r.Err(); err != nil {
@@ -302,7 +302,7 @@ func (m *Machine) Restore(rd io.Reader) error {
 			if err != nil {
 				return err
 			}
-			in.vars[j] = slotVal{v: v, ok: ok}
+			in.vars[j] = slotVal{V: v, OK: ok}
 		}
 		in.lef = r.Bool()
 		in.eargs = nil
@@ -421,7 +421,7 @@ func (m *Machine) Restore(rd io.Reader) error {
 		}
 	}
 	for _, vd := range m.info.Prog.Vols {
-		m.vols[vd.Name].v = r.Val()
+		m.volVals[m.vols[vd.Name].idx] = r.Val()
 	}
 
 	return r.Finish()
@@ -515,10 +515,10 @@ func writeV(w *snap.Writer, v V) {
 		return
 	}
 	w.U64(1)
-	w.Int(len(v.Rec.names))
-	for i, n := range v.Rec.names {
+	w.Int(len(v.Rec.Names))
+	for i, n := range v.Rec.Names {
 		w.String(n)
-		w.Val(v.Rec.vals[i])
+		w.Val(v.Rec.Vals[i])
 	}
 }
 
@@ -531,13 +531,13 @@ func readV(r *snap.Reader) (V, error) {
 		if err := r.Err(); err != nil {
 			return V{}, err
 		}
-		rec := &recVal{names: make([]string, n), vals: make([]val.Value, n)}
+		rec := &recVal{Names: make([]string, n), Vals: make([]val.Value, n)}
 		for i := 0; i < n; i++ {
-			rec.names[i] = r.String()
-			rec.vals[i] = r.Val()
+			rec.Names[i] = r.String()
+			rec.Vals[i] = r.Val()
 		}
 		for i := 1; i < n; i++ {
-			if rec.names[i-1] >= rec.names[i] {
+			if rec.Names[i-1] >= rec.Names[i] {
 				return V{}, fmt.Errorf("sim: snapshot record fields out of order")
 			}
 		}

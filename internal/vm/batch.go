@@ -1,0 +1,143 @@
+package vm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stepper is one batch lane: the subset of the simulator API the
+// lockstep driver needs. *sim.Machine satisfies it.
+type Stepper interface {
+	Step() error
+}
+
+// Advancer is the stride-capable lane contract. A lane that also
+// implements it (*sim.Machine does) is driven a whole stride per call,
+// which lets quiescent-cycle fast-forward skip device-idle stretches
+// inside the stride instead of ticking them one Step at a time.
+type Advancer interface {
+	Advance(n int) error
+}
+
+// Batch advances N machines of one design in lockstep: every lane runs
+// the same bytecode image (a Program is immutable and shared), so
+// stepping lanes in bounded strides keeps the decoded program and its
+// dispatch tables hot across the whole batch while chaos seeds, sweep
+// points, or cosim replicas differ only in state.
+//
+// Lanes are independent machines; the driver parallelizes across lanes
+// with a small worker pool and re-synchronizes every stride so no lane
+// runs unboundedly ahead (which keeps aggregate progress even and makes
+// cross-lane comparisons at stride boundaries meaningful).
+type Batch struct {
+	lanes []Stepper
+	errs  []error
+	done  []bool
+
+	// Stride is the number of cycles each lane advances per lockstep
+	// turn; 0 selects the default (1024).
+	Stride int
+	// Workers bounds the concurrent lane drivers; 0 selects
+	// GOMAXPROCS, capped at the lane count. Workers == 1 runs the
+	// batch sequentially on the calling goroutine.
+	Workers int
+}
+
+// NewBatch wraps lanes in a lockstep driver. The lanes are typically
+// sim machines built from one Design with engine "vm" but distinct
+// chaos seeds or workloads.
+func NewBatch(lanes []Stepper) *Batch {
+	return &Batch{
+		lanes: lanes,
+		errs:  make([]error, len(lanes)),
+		done:  make([]bool, len(lanes)),
+	}
+}
+
+// Run advances every live lane by cycles (in lockstep strides) and
+// returns the number of lanes still live. A lane whose Step returns an
+// error stops permanently; the error is available from Err. Run may be
+// called repeatedly to continue the batch.
+func (b *Batch) Run(cycles int) int {
+	stride := b.Stride
+	if stride <= 0 {
+		stride = 1024
+	}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(b.lanes) {
+		workers = len(b.lanes)
+	}
+	for done := 0; done < cycles; {
+		n := stride
+		if left := cycles - done; n > left {
+			n = left
+		}
+		if workers <= 1 {
+			for i := range b.lanes {
+				b.runLane(i, n)
+			}
+		} else {
+			var wg sync.WaitGroup
+			var next int64
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(atomic.AddInt64(&next, 1)) - 1
+						if i >= len(b.lanes) {
+							return
+						}
+						b.runLane(i, n)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		done += n
+	}
+	return b.Live()
+}
+
+func (b *Batch) runLane(i, cycles int) {
+	if b.done[i] {
+		return
+	}
+	lane := b.lanes[i]
+	if a, ok := lane.(Advancer); ok {
+		if err := a.Advance(cycles); err != nil {
+			b.errs[i] = err
+			b.done[i] = true
+		}
+		return
+	}
+	for c := 0; c < cycles; c++ {
+		if err := lane.Step(); err != nil {
+			b.errs[i] = err
+			b.done[i] = true
+			return
+		}
+	}
+}
+
+// Err returns lane i's terminal error, or nil while the lane is live
+// (or if it is simply done stepping).
+func (b *Batch) Err(i int) error { return b.errs[i] }
+
+// Live returns the number of lanes that have not failed.
+func (b *Batch) Live() int {
+	n := 0
+	for i := range b.done {
+		if !b.done[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the lane count.
+func (b *Batch) Len() int { return len(b.lanes) }

@@ -1,0 +1,143 @@
+package vm
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// stepLane counts cycles via Step only (the fallback driver path).
+type stepLane struct {
+	n      int64
+	failAt int64
+}
+
+var errLane = errors.New("lane blew up")
+
+func (l *stepLane) Step() error {
+	if n := atomic.AddInt64(&l.n, 1); l.failAt > 0 && n >= l.failAt {
+		return errLane
+	}
+	return nil
+}
+
+// advLane counts cycles via Advance (the stride driver path) and
+// records how many stride calls it received.
+type advLane struct {
+	stepLane
+	advCalls int64
+}
+
+func (l *advLane) Advance(n int) error {
+	atomic.AddInt64(&l.advCalls, 1)
+	for i := 0; i < n; i++ {
+		if err := l.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestBatchRunCounts(t *testing.T) {
+	lanes := make([]Stepper, 5)
+	for i := range lanes {
+		lanes[i] = &stepLane{}
+	}
+	b := NewBatch(lanes)
+	b.Stride = 7
+	b.Workers = 1
+	if live := b.Run(100); live != 5 {
+		t.Fatalf("live = %d, want 5", live)
+	}
+	for i, l := range lanes {
+		if n := l.(*stepLane).n; n != 100 {
+			t.Errorf("lane %d ran %d cycles, want 100", i, n)
+		}
+	}
+	// Run continues from where it stopped.
+	b.Run(50)
+	if n := lanes[0].(*stepLane).n; n != 150 {
+		t.Errorf("continued lane ran %d cycles, want 150", n)
+	}
+}
+
+func TestBatchAdvancerStrides(t *testing.T) {
+	l := &advLane{}
+	b := NewBatch([]Stepper{l})
+	b.Stride = 32
+	b.Workers = 1
+	b.Run(128)
+	if l.n != 128 {
+		t.Errorf("advancer lane ran %d cycles, want 128", l.n)
+	}
+	if l.advCalls != 4 {
+		t.Errorf("advancer got %d stride calls, want 4 (stride 32 over 128)", l.advCalls)
+	}
+}
+
+func TestBatchErrIsolation(t *testing.T) {
+	lanes := []Stepper{
+		&stepLane{},
+		&stepLane{failAt: 10},
+		&advLane{stepLane: stepLane{failAt: 25}},
+	}
+	b := NewBatch(lanes)
+	b.Stride = 8
+	b.Workers = 1
+	if live := b.Run(100); live != 1 {
+		t.Fatalf("live = %d, want 1", live)
+	}
+	if err := b.Err(0); err != nil {
+		t.Errorf("healthy lane has error %v", err)
+	}
+	if err := b.Err(1); !errors.Is(err, errLane) {
+		t.Errorf("lane 1 error = %v, want errLane", err)
+	}
+	if err := b.Err(2); !errors.Is(err, errLane) {
+		t.Errorf("lane 2 error = %v, want errLane", err)
+	}
+	// The healthy lane kept running after the others died.
+	if n := lanes[0].(*stepLane).n; n != 100 {
+		t.Errorf("healthy lane ran %d cycles, want 100", n)
+	}
+	// Dead lanes stopped at their failure point and were never re-driven.
+	if n := lanes[1].(*stepLane).n; n != 10 {
+		t.Errorf("dead lane 1 ran %d cycles, want 10", n)
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d, want 3", b.Len())
+	}
+}
+
+// TestBatchWorkersParallel drives many lanes with a worker pool; under
+// -race this is the proof that the work-stealing driver is data-race
+// free (each lane is only ever touched by one worker per stride).
+func TestBatchWorkersParallel(t *testing.T) {
+	const n = 32
+	lanes := make([]Stepper, n)
+	for i := range lanes {
+		if i%2 == 0 {
+			lanes[i] = &advLane{}
+		} else {
+			lanes[i] = &stepLane{}
+		}
+	}
+	b := NewBatch(lanes)
+	b.Stride = 16
+	b.Workers = 8
+	if live := b.Run(500); live != n {
+		t.Fatalf("live = %d, want %d", live, n)
+	}
+	for i, l := range lanes {
+		var got int64
+		switch v := l.(type) {
+		case *advLane:
+			got = v.n
+		case *stepLane:
+			got = v.n
+		}
+		if got != 500 {
+			t.Errorf("lane %d ran %d cycles, want 500", i, got)
+		}
+	}
+}
