@@ -1,5 +1,5 @@
 # Tier-1: everything must build and every test must pass.
-.PHONY: all test vet vet-xpdl bench bench-smoke chaos cover fuzz-smoke race soak clean
+.PHONY: all test vet vet-xpdl bench bench-smoke chaos cover fuzz-smoke fuzz-designs fuzz-corpus race soak clean
 
 all: vet vet-xpdl test
 
@@ -42,6 +42,24 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/pdl/parser/
 	go test -run='^$$' -fuzz=FuzzCheck -fuzztime=10s ./internal/check/
 	go test -run='^$$' -fuzz=FuzzRTLExpr -fuzztime=10s ./internal/rtl/
+
+# fuzz-designs is the design-space fuzzing smoke: a fixed-seed xpdlfuzz
+# campaign over 500 generated (design, program) pairs through the full
+# gauntlet — parse, check, translate, three engines vs the golden model,
+# with chaos / save-restore / cosim / checker mutants sampled in. Pure
+# function of its flags, so CI failures reproduce exactly; exit 8 means
+# a counterexample (bundle written to testdata/designfuzz/).
+fuzz-designs:
+	go run ./cmd/xpdlfuzz -n 500 -seed 1 -shrink -out testdata/designfuzz -q
+
+# fuzz-corpus refreshes the generator-seeded corpora for the FuzzParse
+# and FuzzCheck native fuzz targets: realistic whole-pipeline sources
+# land in each package's testdata/fuzz/<Target>/ directory, where Go
+# replays them during ordinary `go test` runs too. Commit the result.
+fuzz-corpus:
+	go run ./cmd/xpdlfuzz -corpus internal/pdl/parser/testdata/fuzz/FuzzParse -n 24 -seed 100
+	go run ./cmd/xpdlfuzz -corpus internal/check/testdata/fuzz/FuzzCheck -n 24 -seed 100
+	go test -run Fuzz ./internal/pdl/parser/ ./internal/check/
 
 # race runs the concurrency-bearing packages under the race detector
 # with caching disabled — checkpoint/resume plus the lockstep batch

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 
+	"xpdl"
 	"xpdl/internal/asm"
 	"xpdl/internal/designs"
 	"xpdl/internal/fault"
@@ -37,6 +38,19 @@ import (
 type Options struct {
 	Variant designs.Variant
 	Program *asm.Program
+	// Design, when non-nil, cosimulates an arbitrary compiled design
+	// instead of a named processor variant (the design-space fuzzer's
+	// path). Externs supplies its extern implementations and IMem its
+	// raw instruction image; Variant/Program/Firmware are ignored and
+	// the golden OIAT diff (RV32-specific) is skipped.
+	Design  *xpdl.Design
+	Externs map[string]sim.ExternFunc
+	IMem    []uint32
+	// StormSchedule pulses value 1 into the StormVol volatile at the
+	// listed cycles — the generic-design interrupt source (requires
+	// Design). StormVol defaults to "mip" for variant runs.
+	StormSchedule []int
+	StormVol      string
 	// MaxCycles bounds the run (default 200000).
 	MaxCycles int
 	// Interp selects the simulator's AST-interpreter executor.
@@ -209,7 +223,8 @@ type harness struct {
 	numEArg int
 
 	// device write captured by the OnCycle hook, replayed onto the
-	// RTL's mip_dev_* ports the same cycle.
+	// RTL's <devVol>_dev_* ports the same cycle.
+	devVol string
 	devWE  bool
 	devDin uint64
 
@@ -225,11 +240,15 @@ func Run(opts Options) (*Result, error) {
 	if opts.DMemEvery == 0 {
 		opts.DMemEvery = 64
 	}
-	if opts.Storm {
+	if opts.Storm || opts.Design != nil {
 		opts.SkipGolden = true
 	}
 
 	h := &harness{opts: opts}
+	h.devVol = opts.StormVol
+	if h.devVol == "" {
+		h.devVol = "mip"
+	}
 
 	// --- simulator side -------------------------------------------------
 	cfg := sim.Config{Interp: opts.Interp, Observer: &h.rec}
@@ -244,20 +263,37 @@ func Run(opts Options) (*Result, error) {
 		inj = fault.New(fc)
 		cfg.Faults = inj
 	}
-	p, err := designs.BuildCfg(opts.Variant, cfg)
-	if err != nil {
-		return nil, err
+	var p *designs.Processor
+	var err error
+	if opts.Design != nil {
+		cfg.Externs = opts.Externs
+		if cfg.Externs == nil {
+			cfg.Externs = map[string]sim.ExternFunc{}
+		}
+		m, merr := opts.Design.NewMachine(cfg)
+		if merr != nil {
+			return nil, merr
+		}
+		p = &designs.Processor{Design: opts.Design, M: m}
+		for i, w := range opts.IMem {
+			m.MemPoke("imem", uint64(i), val.New(uint64(w), 32))
+		}
+	} else {
+		p, err = designs.BuildCfg(opts.Variant, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if (opts.Storm || opts.InterruptAt > 0) && !p.InterruptCapable() {
+			return nil, fmt.Errorf("cosim: variant %s cannot take interrupts", opts.Variant)
+		}
+		if err := p.Load(opts.Program); err != nil {
+			return nil, err
+		}
+		for name, v := range opts.Firmware {
+			p.SetCSR(name, v)
+		}
 	}
 	h.p = p
-	if (opts.Storm || opts.InterruptAt > 0) && !p.InterruptCapable() {
-		return nil, fmt.Errorf("cosim: variant %s cannot take interrupts", opts.Variant)
-	}
-	if err := p.Load(opts.Program); err != nil {
-		return nil, err
-	}
-	for name, v := range opts.Firmware {
-		p.SetCSR(name, v)
-	}
 
 	// --- RTL side -------------------------------------------------------
 	text, plans := synth.VerilogPlans(p.Design.Info, p.Design.Translations)
@@ -277,7 +313,11 @@ func Run(opts Options) (*Result, error) {
 	if mod == nil {
 		return nil, fmt.Errorf("cosim: module %s not emitted", plan.Module)
 	}
-	funcs, err := RTLFuncs(p.Design.Info.Prog.Externs, designs.Externs())
+	impls := designs.Externs()
+	if opts.Design != nil {
+		impls = opts.Externs
+	}
+	funcs, err := RTLFuncs(p.Design.Info.Prog.Externs, impls)
 	if err != nil {
 		return nil, err
 	}
@@ -302,6 +342,22 @@ func Run(opts Options) (*Result, error) {
 
 	// Interrupt sources run as a simulator device at cycle start; the
 	// hook also captures the merged mip value for the RTL's device port.
+	if len(opts.StormSchedule) > 0 {
+		sched := opts.StormSchedule
+		next := 0
+		p.M.OnCycle(func(m *sim.Machine) {
+			c := m.Cycle()
+			for next < len(sched) && sched[next] < c {
+				next++
+			}
+			if next < len(sched) && sched[next] == c {
+				next++
+				m.VolPoke(h.devVol, val.New(1, m.VolPeek(h.devVol).Width()))
+				h.devWE = true
+				h.devDin = m.VolPeek(h.devVol).Uint()
+			}
+		})
+	}
 	if opts.Storm || opts.InterruptAt > 0 {
 		p.M.OnCycle(func(m *sim.Machine) {
 			raised := false
@@ -487,7 +543,7 @@ func (h *harness) cycle(boot bool) error {
 	}
 	for _, v := range h.plan.Vols {
 		we, din := uint64(0), uint64(0)
-		if v.Name == "mip" && h.devWE {
+		if v.Name == h.devVol && h.devWE {
 			we, din = 1, h.devDin
 		}
 		if err := m.Poke(v.Name+"_dev_we", val.New(we, 1)); err != nil {

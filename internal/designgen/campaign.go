@@ -1,0 +1,168 @@
+package designgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xpdl/internal/core"
+)
+
+// CampaignOpts drives a fuzzing campaign: N iterations from a base
+// seed, each a fresh (design, program) pair through the gauntlet with
+// chaos, save/restore, cosim and rule-breaking mutants sampled in.
+type CampaignOpts struct {
+	N      int
+	Seed   uint64
+	Shrink bool   // minimize counterexamples before reporting
+	OutDir string // write repro bundles here ("" = don't write)
+	// Log receives one line per phase change / finding (nil = silent).
+	Log func(format string, args ...any)
+	// Corrupt seeds a translation bug into every run (tests only).
+	Corrupt func(map[string]*core.Result)
+}
+
+// Finding is one counterexample a campaign produced.
+type Finding struct {
+	Iteration  int         `json:"iteration"`
+	Kind       string      `json:"kind"` // gauntlet | mutant
+	DesignSeed uint64      `json:"design_seed"`
+	ChaosSeed  uint64      `json:"chaos_seed,omitempty"`
+	Mutant     string      `json:"mutant,omitempty"`
+	Stage      string      `json:"stage"`
+	Engine     string      `json:"engine,omitempty"`
+	Detail     string      `json:"detail"`
+	Design     string      `json:"design"`
+	Spec       *DesignSpec `json:"spec"`
+	Prog       []uint32    `json:"prog"`
+	BundleDir  string      `json:"bundle_dir,omitempty"`
+}
+
+// Summary is a campaign's result, JSON-ready for xpdlfuzz.
+type Summary struct {
+	N        int        `json:"n"`
+	Seed     uint64     `json:"seed"`
+	Designs  int        `json:"distinct_designs"`
+	Chaos    int        `json:"chaos_runs"`
+	Resume   int        `json:"resume_runs"`
+	Cosim    int        `json:"cosim_runs"`
+	Mutants  int        `json:"mutant_runs"`
+	Findings []*Finding `json:"findings"`
+}
+
+// campMix derives per-iteration seeds (splitmix64 over seed and i).
+func campMix(seed, i uint64) uint64 {
+	r := rng{s: seed ^ (i * 0x9e3779b97f4a7c15)}
+	return r.next()
+}
+
+// RunCampaign executes a campaign. The hard layers are sampled on fixed
+// iteration residues so a campaign's coverage is a pure function of
+// (N, Seed): two thirds of runs carry chaos timing, every 11th also
+// proves mid-run save/restore, every 13th cosimulates the emitted
+// Verilog, and every 5th applies one rule-breaking mutant (rotating
+// through the catalogue) that the checker must reject.
+func RunCampaign(opts CampaignOpts) *Summary {
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sum := &Summary{N: opts.N, Seed: opts.Seed, Findings: []*Finding{}}
+	distinct := map[string]bool{}
+
+	for i := 0; i < opts.N; i++ {
+		dseed := campMix(opts.Seed, uint64(i))
+		d := Generate(dseed)
+		prog := GenProgram(d, dseed)
+		distinct[d.Name()] = true
+
+		ro := RunOpts{Corrupt: opts.Corrupt}
+		if i%3 != 0 {
+			ro.ChaosSeed = campMix(dseed, 0xC4A05) | 1
+			sum.Chaos++
+		}
+		if i%11 == 5 {
+			ro.SaveRestore = true
+			sum.Resume++
+		}
+		if i%13 == 7 {
+			ro.Cosim = true
+			sum.Cosim++
+		}
+		if div := Gauntlet(d, prog, ro); div != nil {
+			f := &Finding{
+				Iteration: i, Kind: "gauntlet", DesignSeed: dseed, ChaosSeed: ro.ChaosSeed,
+				Stage: div.Stage, Engine: div.Engine, Detail: div.Detail,
+				Design: d.Name(), Spec: d, Prog: prog,
+			}
+			logf("iteration %d: DIVERGENCE on %s: %v", i, d.Name(), div)
+			if opts.Shrink {
+				sd, sp := Shrink(d, prog, ro)
+				if rediv := Gauntlet(sd, sp, ro); rediv != nil {
+					f.Spec, f.Prog, f.Design = sd, sp, sd.Name()
+					f.Stage, f.Engine, f.Detail = rediv.Stage, rediv.Engine, rediv.Detail
+					logf("  shrunk to %s, %d words", sd.Name(), len(sp))
+				}
+			}
+			if opts.OutDir != "" {
+				dir, err := WriteBundle(opts.OutDir, f)
+				if err != nil {
+					logf("  bundle write failed: %v", err)
+				} else {
+					f.BundleDir = dir
+				}
+			}
+			sum.Findings = append(sum.Findings, f)
+		}
+
+		if i%5 == 0 {
+			m := Mutants[(i/5)%len(Mutants)]
+			sum.Mutants++
+			if applied, ok, got := CheckMutant(d, m); applied && !ok {
+				f := &Finding{
+					Iteration: i, Kind: "mutant", DesignSeed: dseed, Mutant: m.Name,
+					Stage: "check", Detail: fmt.Sprintf("mutant %s not rejected with %s (checker said %v)", m.Name, m.Code, got),
+					Design: d.Name(), Spec: d, Prog: prog,
+				}
+				logf("iteration %d: mutant %s ESCAPED on %s", i, m.Name, d.Name())
+				sum.Findings = append(sum.Findings, f)
+			}
+		}
+	}
+	sum.Designs = len(distinct)
+	return sum
+}
+
+// WriteBundle emits a self-contained repro directory:
+//
+//	design.xpdl — the (shrunk) design source
+//	program.hex — one instruction word per line
+//	repro.json  — seeds, engines, divergence, and the full DesignSpec
+//
+// The directory name is derived from the design seed, so re-running the
+// same campaign overwrites rather than accumulates.
+func WriteBundle(out string, f *Finding) (string, error) {
+	dir := filepath.Join(out, fmt.Sprintf("repro-%d-%s", f.DesignSeed, f.Kind))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "design.xpdl"), []byte(f.Spec.Source()), 0o644); err != nil {
+		return "", err
+	}
+	var hex []byte
+	for _, w := range f.Prog {
+		hex = append(hex, fmt.Sprintf("%08x\n", w)...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "program.hex"), hex, 0o644); err != nil {
+		return "", err
+	}
+	js, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "repro.json"), append(js, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
+}

@@ -1,0 +1,31 @@
+package designgen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteGoFuzzCorpus writes n generated design sources into dir in Go's
+// file-based fuzz corpus format (one `go test fuzz v1` file per design,
+// named gen-<seed>). Pointed at a package's testdata/fuzz/<Target>
+// directory it seeds that target with realistic whole-pipeline inputs —
+// far deeper into the grammar than the hand-written f.Add seeds — and,
+// because Go replays the seed corpus during ordinary `go test` runs,
+// pins the parser/checker against panics on all of them in tier-1.
+func WriteGoFuzzCorpus(dir string, n int, seed uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		s := seed + uint64(i)
+		src := Generate(s).Source()
+		body := "go test fuzz v1\nstring(" + strconv.Quote(src) + ")\n"
+		name := filepath.Join(dir, fmt.Sprintf("gen-%d", s))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package designgen is the design-space fuzzer: a seed-driven generator
+// of random well-formed XPDL pipelines paired with a random-program
+// generator and a per-design sequential oracle.
+//
+// The paper's central claim — any design the checker accepts is precise
+// by construction (Rules 1–4 plus the §3.3 translation) — is exercised
+// elsewhere in this repo on five hand-written RV32IM variants. This
+// package attacks the *design* axis instead: every seed yields a
+// different pipeline over a small fixed micro-ISA (stage splits, lock
+// substrates, speculation placement, throw/commit/except placement,
+// padding stages, extern and volatile traffic), and every generated
+// design must agree with its sequential specification on every program,
+// under every engine, under chaos timing, across save/restore, and in
+// RTL cosimulation. See gauntlet.go for the attack surface and
+// shrink.go for counterexample minimization.
+package designgen
+
+// The micro-ISA executed by generated designs. One instruction is one
+// 32-bit word:
+//
+//	op  = insn[31:28]
+//	rd  = insn[26:24]   (rf has 8 registers; no zero-register convention)
+//	r1  = insn[22:20]
+//	r2  = insn[18:16]
+//	imm = insn[15:0]    (zero-extended to 32 bits)
+//
+// The architectural semantics below are the *sequential specification*:
+// the oracle in oracle.go executes them one instruction at a time, and
+// every generated pipeline — no matter how it is staged, locked or
+// speculated — must match it exactly. Ops gated on a capability the
+// design lacks decode as no-ops (and the oracle mirrors that, so each
+// DesignSpec fixes its own architecture).
+const (
+	opHalt = 0  // retire and stop (a zero word is a halt, so falling off code halts)
+	opAdd  = 1  // rd <- r1 + r2
+	opSub  = 2  // rd <- r1 - r2
+	opXor  = 3  // rd <- r1 ^ r2
+	opAddi = 4  // rd <- r1 + imm
+	opSeti = 5  // rd <- imm
+	opLd   = 6  // rd <- dmem[(r1+imm)[9:0]]          (HasDmem)
+	opSt   = 7  // dmem[(r1+imm)[9:0]] <- r2          (HasDmem)
+	opBnz  = 8  // if r1 != 0: pc <- imm[11:0]
+	opJr   = 9  // pc <- (r1+imm)[11:0]
+	opThn  = 10 // if r1 != 0: throw(imm[3:0]&7, pc)  (HasExcept)
+	opCsrc = 11 // rd <- ecause                        (HasVols)
+	opIll  = 12 // throw(1, pc)                        (HasExcept)
+	opCsre = 13 // rd <- eepc                          (HasVols)
+	// ops 14, 15: reserved, decode as no-ops everywhere
+)
+
+// causeInt is the exception cause reserved for interrupts. opThn masks
+// its immediate cause to 0..7 so synchronous throws can never collide
+// with it (a collision would make resume-at-epc kinds livelock).
+const causeInt = 15
+
+// Memory geometry. IMem and DMem deliberately match internal/designs'
+// constants so designs.Processor.Load and the cosim harness work
+// unchanged on generated designs; rf is small to maximize hazards.
+const (
+	RFRegs    = 8
+	IMemWords = 4096
+	DMemWords = 1024
+	pcMask    = IMemWords - 1
+)
+
+// encode packs one micro-ISA instruction.
+func encode(op, rd, r1, r2 int, imm uint32) uint32 {
+	return uint32(op&15)<<28 | uint32(rd&7)<<24 | uint32(r1&7)<<20 |
+		uint32(r2&7)<<16 | (imm & 0xFFFF)
+}
+
+// field extraction, mirrored from the generated XPDL decode stage.
+func fOp(w uint32) int     { return int(w >> 28) }
+func fRd(w uint32) int     { return int(w>>24) & 7 }
+func fR1(w uint32) int     { return int(w>>20) & 7 }
+func fR2(w uint32) int     { return int(w>>16) & 7 }
+func fImm(w uint32) uint32 { return w & 0xFFFF }

@@ -1,0 +1,188 @@
+package designgen
+
+import (
+	"strings"
+
+	"xpdl/internal/check"
+	"xpdl/internal/diag"
+	"xpdl/internal/pdl/parser"
+)
+
+// A Mutant is a deliberately rule-breaking transformation of a
+// generated design's source, paired with the diagnostic code the
+// checker must reject it with. Mutants operate by exact string surgery
+// on the emitted text — legal because Source() is fully deterministic —
+// and report inapplicability when the design lacks the construct.
+//
+// The mutants cover the checker's main rule families: lock discipline
+// (reserve/acquire/release/double), volatile placement (reads after the
+// barrier, writes only in final blocks), sync_read staging, and
+// throw-vs-speculation ordering. CheckMutants proves each one is
+// rejected with its code — the "checker rejects rule-breakers" half of
+// the generator's claim, complementing "checker accepts the clean
+// population".
+type Mutant struct {
+	Name string
+	Code string // diagnostic code the checker must emit
+	// Apply rewrites the source; ok=false when the design lacks the
+	// construct this mutant breaks.
+	Apply func(d *DesignSpec, src string) (out string, ok bool)
+}
+
+// replace1 rewrites the first occurrence, reporting whether it existed.
+func replace1(src, old, new string) (string, bool) {
+	if !strings.Contains(src, old) {
+		return src, false
+	}
+	return strings.Replace(src, old, new, 1), true
+}
+
+// Mutants is the rule-breaking catalogue.
+var Mutants = []Mutant{
+	{
+		Name: "read-unlocked",
+		Code: "E-LOCK-NORESERVE",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			// Read rf before acquiring its read lock.
+			return replace1(src,
+				"acquire(rf[r1], R);\n    a = rf[r1];",
+				"a = rf[r1];\n    acquire(rf[r1], R);")
+		},
+	},
+	{
+		Name: "write-unreserved",
+		Code: "E-LOCK-UNOWNED",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			// Drop the write reservation; the staged write later blocks
+			// and writes a lock it never owned.
+			return replace1(src, "    if (wen) { reserve(rf[rd], W); }\n", "")
+		},
+	},
+	{
+		Name: "leak-read-lock",
+		Code: "E-LOCK-UNRELEASED",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			return replace1(src, "    release(rf[r2]);\n", "")
+		},
+	},
+	{
+		Name: "leak-write-lock",
+		Code: "E-LOCK-UNRELEASED",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			return replace1(src, "    if (wen) { release(rf[rd]); }\n", "")
+		},
+	},
+	{
+		Name: "double-acquire",
+		Code: "E-LOCK-DOUBLE",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			return replace1(src,
+				"acquire(rf[r1], R);",
+				"acquire(rf[r1], R);\n    acquire(rf[r1], R);")
+		},
+	},
+	{
+		Name: "vol-read-speculative",
+		Code: "E-VOL-READ",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			// Hoist a volatile read above the speculation barrier.
+			if !d.Spec || !d.Vols {
+				return src, false
+			}
+			return replace1(src,
+				"spec_barrier();",
+				"cv0 = ecause;\n    spec_barrier();")
+		},
+	},
+	{
+		Name: "vol-write-body",
+		Code: "E-VOL-WRITE",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			// Volatile writes belong in final blocks only.
+			if !d.Vols {
+				return src, false
+			}
+			return replace1(src, "wb = res;", "wb = res;\n    ecause <- 32'd7;")
+		},
+	},
+	{
+		Name: "sync-read-comb",
+		Code: "E-SYNC-READ",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			// Use a sync_read memory combinationally.
+			return replace1(src, "insn <- imem[pc];", "insn = imem[pc];")
+		},
+	},
+	{
+		Name: "throw-before-barrier",
+		Code: "E-SPEC",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			// A throw in the fetch stage of a speculative design: the
+			// barrier is always in a later stage, so a misspeculated
+			// instruction could raise the exception (§3.5e).
+			if !d.Spec || !d.HasExcept() {
+				return src, false
+			}
+			return replace1(src,
+				"insn <- imem[pc];",
+				"insn <- imem[pc];\n    if (pc == 32'd4095) { throw(4'd2, pc); }")
+		},
+	},
+	{
+		Name: "call-in-commit",
+		Code: "E-R4",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			// Rule 4: the commit block cannot spawn instructions.
+			return replace1(src,
+				"commit:\n",
+				"commit:\n    call cpu(32'd0);\n")
+		},
+	},
+	{
+		Name: "call-early-except",
+		Code: "E-R1C",
+		Apply: func(d *DesignSpec, src string) (string, bool) {
+			// Rule 1c: a recursive call in the except block must be in
+			// its last stage; inject one into the first of two stages.
+			if !d.Except2 {
+				return src, false
+			}
+			return replace1(src,
+				"except(cause: uint<4>, epc: uint<32>):\n",
+				"except(cause: uint<4>, epc: uint<32>):\n    call cpu(epc);\n")
+		},
+	},
+}
+
+// CheckMutant applies one mutant and reports (applied, rejectedWithCode,
+// otherDiags) — used by tests and the fuzz campaign's mutant pass.
+func CheckMutant(d *DesignSpec, m Mutant) (applied bool, ok bool, got []string) {
+	src, applied := m.Apply(d, d.Source())
+	if !applied {
+		return false, true, nil
+	}
+	codes := checkSource(src)
+	for _, c := range codes {
+		if c == m.Code {
+			return true, true, codes
+		}
+	}
+	return true, false, codes
+}
+
+// checkSource parses and checks a source, returning its error codes
+// (E-PARSE for unparseable text).
+func checkSource(src string) []string {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return []string{"E-PARSE"}
+	}
+	_, diags := check.Analyze(p, check.Options{})
+	var codes []string
+	for _, dg := range diags {
+		if dg.Severity == diag.Error {
+			codes = append(codes, dg.Code)
+		}
+	}
+	return codes
+}

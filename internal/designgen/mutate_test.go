@@ -1,0 +1,26 @@
+package designgen
+
+import "testing"
+
+// TestMutantsRejected: every rule-breaking mutant must apply to a
+// healthy share of the generated population and be rejected with
+// exactly the diagnostic code it targets, every time.
+func TestMutantsRejected(t *testing.T) {
+	for _, m := range Mutants {
+		applied := 0
+		for seed := uint64(0); seed < 60; seed++ {
+			d := Generate(seed)
+			app, ok, got := CheckMutant(d, m)
+			if !app {
+				continue
+			}
+			applied++
+			if !ok {
+				t.Errorf("%s on seed %d (%s): want %s, checker said %v", m.Name, seed, d.Name(), m.Code, got)
+			}
+		}
+		if applied < 5 {
+			t.Errorf("%s: applied to only %d/60 designs — mutant is rotting", m.Name, applied)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package designgen
+
+// Oracle is the sequential specification of a generated design: it
+// executes the micro-ISA one instruction at a time with the exact
+// capability gating of its DesignSpec (ops the design lacks decode as
+// no-ops, the except policy redirects control the same way). A pipeline
+// built from d.Source() must match it event-for-event — the gauntlet
+// walks the pipeline's retirement trace and replays it here, injecting
+// Interrupt() wherever the pipeline retired an interrupt.
+type Oracle struct {
+	d      *DesignSpec
+	imem   []uint32
+	PC     uint32
+	RF     [RFRegs]uint32
+	DMem   []uint32
+	ECause uint32
+	EEPC   uint32
+	Halted bool
+}
+
+// Event is one architectural retirement: the instruction (or interrupt)
+// at PC, exceptional or not.
+type Event struct {
+	PC    uint32
+	Exc   bool
+	Cause uint32
+}
+
+// NewOracle builds an oracle over an instruction image (indices beyond
+// the image read as zero words, i.e. halts).
+func NewOracle(d *DesignSpec, imem []uint32) *Oracle {
+	o := &Oracle{d: d, imem: imem}
+	if d.HasDmem {
+		o.DMem = make([]uint32, DMemWords)
+	}
+	return o
+}
+
+// alu mirrors the generated compute mux exactly; it is also the Go
+// implementation bound to the xalu extern, so inline and extern designs
+// share one definition and cannot drift apart.
+func alu(op int, a, b, imm uint32) uint32 {
+	switch op {
+	case opAdd:
+		return a + b
+	case opSub:
+		return a - b
+	case opXor:
+		return a ^ b
+	case opAddi:
+		return a + imm
+	case opSeti:
+		return imm
+	default:
+		return a
+	}
+}
+
+func (o *Oracle) fetch(pc uint32) uint32 {
+	if int(pc) < len(o.imem) {
+		return o.imem[pc]
+	}
+	return 0
+}
+
+// Step executes the instruction at PC (no interrupt pending) and
+// reports the retirement event. Calling Step on a halted oracle returns
+// a zero event with Halted still set — the gauntlet treats that as a
+// trace divergence.
+func (o *Oracle) Step() Event {
+	if o.Halted {
+		return Event{}
+	}
+	pc := o.PC
+	w := o.fetch(pc)
+	op, rd := fOp(w), fRd(w)
+	a, b := o.RF[fR1(w)], o.RF[fR2(w)]
+	imm := fImm(w)
+	npc := (pc + 1) & pcMask
+	exc, cause := false, uint32(0)
+	switch op {
+	case opHalt:
+		o.Halted = true
+	case opAdd, opSub, opXor, opAddi, opSeti:
+		o.RF[rd] = alu(op, a, b, imm)
+	case opLd:
+		if o.d.HasDmem {
+			o.RF[rd] = o.DMem[(a+imm)&(DMemWords-1)]
+		}
+	case opSt:
+		if o.d.HasDmem {
+			o.DMem[(a+imm)&(DMemWords-1)] = b
+		}
+	case opBnz:
+		if a != 0 {
+			npc = imm & pcMask
+		}
+	case opJr:
+		npc = (a + imm) & pcMask
+	case opThn:
+		if o.d.HasExcept() && a != 0 {
+			exc, cause = true, imm&7
+		}
+	case opCsrc:
+		if o.d.Vols {
+			o.RF[rd] = o.ECause
+		}
+	case opIll:
+		if o.d.HasExcept() {
+			exc, cause = true, 1
+		}
+	case opCsre:
+		if o.d.Vols {
+			o.RF[rd] = o.EEPC
+		}
+	}
+	if exc {
+		o.except(cause, pc)
+		return Event{PC: pc, Exc: true, Cause: cause}
+	}
+	if !o.Halted {
+		o.PC = npc
+	}
+	return Event{PC: pc}
+}
+
+// Interrupt performs the interrupt transition: the instruction at PC is
+// canceled before executing and the except policy redirects control.
+func (o *Oracle) Interrupt() Event {
+	pc := o.PC
+	o.except(causeInt, pc)
+	return Event{PC: pc, Exc: true, Cause: causeInt}
+}
+
+// except mirrors the generated except block.
+func (o *Oracle) except(cause, epc uint32) {
+	if o.d.Vols {
+		o.ECause = cause
+		o.EEPC = epc
+	}
+	switch o.d.Except {
+	case ExcHalt:
+		o.Halted = true
+	case ExcSkip:
+		if cause == causeInt {
+			o.PC = epc
+		} else {
+			o.PC = (epc + 1) & pcMask
+		}
+	case ExcHandler:
+		o.PC = HBase
+	}
+}

@@ -1,0 +1,127 @@
+package designgen
+
+// The program generator. Programs are drawn to collide with the
+// design's exception machinery: throws inside countdown loops, CSR
+// reads right after potential exception points, stores adjacent to
+// throws (a store that survives a cancellation is exactly the
+// imprecision the paper's rules exclude). Every candidate is vetted
+// against the oracle — it must halt within progVetSteps sequential
+// steps — so a pipeline that fails to drain is a timing finding, not a
+// generator artifact.
+
+const (
+	progVetSteps = 3000 // oracle steps a candidate may take before halting
+	progMaxLen   = 56   // main section stays below HBase
+)
+
+// GenProgram draws an oracle-vetted halting program for design d. The
+// returned image is the imem contents (zero-padded tail reads as halt).
+func GenProgram(d *DesignSpec, seed uint64) []uint32 {
+	for try := uint64(0); try < 24; try++ {
+		p := genCandidate(d, seed+try*0x9e37)
+		o := NewOracle(d, p)
+		for i := 0; i < progVetSteps && !o.Halted; i++ {
+			o.Step()
+		}
+		if o.Halted {
+			return p
+		}
+	}
+	// Deterministic fallback: straight-line arithmetic, then halt.
+	return []uint32{
+		encode(opSeti, 1, 0, 0, 7),
+		encode(opAddi, 2, 1, 0, 3),
+		encode(opAdd, 3, 1, 2, 0),
+		encode(opHalt, 0, 0, 0, 0),
+	}
+}
+
+func genCandidate(d *DesignSpec, seed uint64) []uint32 {
+	r := newRNG(seed ^ 0x9106c1a0b0ff5ea)
+	n := 12 + r.intn(progMaxLen-16) // leaves room for the closing halt
+	prog := make([]uint32, 0, n+4)
+
+	// Seed a few registers so throw conditions and addresses are live.
+	for i := 0; i < 3; i++ {
+		prog = append(prog, encode(opSeti, 1+r.intn(RFRegs-1), 0, 0, uint32(r.intn(64))))
+	}
+
+	// Countdown loops: seti rK, c … body … sub rK, rK, r1 ; bnz rK, top.
+	// openLoop remembers (counter reg, top index) of an open loop.
+	type loop struct{ reg, top int }
+	var open []loop
+
+	for len(prog) < n {
+		at := len(prog)
+		switch k := r.intn(100); {
+		case k < 30: // plain ALU traffic
+			op := pick(r, []int{opAdd, opSub, opXor, opAddi, opSeti})
+			prog = append(prog, encode(op, r.intn(RFRegs), r.intn(RFRegs), r.intn(RFRegs), uint32(r.intn(256))))
+		case k < 45 && d.HasDmem: // memory traffic, small window for aliasing
+			if r.pct(50) {
+				prog = append(prog, encode(opLd, r.intn(RFRegs), r.intn(RFRegs), 0, uint32(r.intn(16))))
+			} else {
+				prog = append(prog, encode(opSt, 0, r.intn(RFRegs), r.intn(RFRegs), uint32(r.intn(16))))
+			}
+		case k < 60 && d.HasExcept(): // conditional / unconditional throws
+			if r.pct(75) {
+				prog = append(prog, encode(opThn, 0, r.intn(RFRegs), 0, uint32(r.intn(8))))
+			} else {
+				prog = append(prog, encode(opIll, 0, 0, 0, 0))
+			}
+		case k < 70 && d.Vols: // CSR reads right after exception points
+			op := pick(r, []int{opCsrc, opCsre})
+			prog = append(prog, encode(op, r.intn(RFRegs), 0, 0, 0))
+		case k < 78 && len(open) < 2 && at+6 < n: // open a countdown loop
+			reg := 5 + r.intn(3)
+			prog = append(prog,
+				encode(opSeti, reg, 0, 0, uint32(2+r.intn(4))),
+				encode(opSeti, 4, 0, 0, 1))
+			open = append(open, loop{reg: reg, top: len(prog)})
+		case k < 86 && len(open) > 0: // close the innermost loop
+			l := open[len(open)-1]
+			open = open[:len(open)-1]
+			prog = append(prog,
+				encode(opSub, l.reg, l.reg, 4, 0),
+				encode(opBnz, 0, l.reg, 0, uint32(l.top)))
+		case k < 92: // computed jump pair: seti rX, T ; jr rX
+			// Target is the next-next slot, so the pair is a dense no-op
+			// unless an interrupt skips the seti (then it goes wild into
+			// the zero tail and halts).
+			reg := 1 + r.intn(RFRegs-1)
+			prog = append(prog,
+				encode(opSeti, reg, 0, 0, uint32(len(prog)+2)),
+				encode(opJr, 0, reg, 0, 0))
+		default: // forward skip branch
+			tgt := at + 2 + r.intn(3)
+			if tgt < n {
+				prog = append(prog, encode(opBnz, 0, r.intn(RFRegs), 0, uint32(tgt)))
+			} else {
+				prog = append(prog, encode(opXor, r.intn(RFRegs), r.intn(RFRegs), r.intn(RFRegs), 0))
+			}
+		}
+	}
+	// Close any loops left open, then halt.
+	for len(open) > 0 {
+		l := open[len(open)-1]
+		open = open[:len(open)-1]
+		prog = append(prog,
+			encode(opSub, l.reg, l.reg, 4, 0),
+			encode(opBnz, 0, l.reg, 0, uint32(l.top)))
+	}
+	prog = append(prog, encode(opHalt, 0, 0, 0, 0))
+
+	if d.Except == ExcHandler {
+		// Handler at HBase: bump eepc past the faulting instruction and
+		// return. (For interrupts this skips the interrupted instruction
+		// — legal, since the oracle runs the very same handler code.)
+		img := make([]uint32, HBase, HBase+4)
+		copy(img, prog)
+		img = append(img,
+			encode(opCsre, 6, 0, 0, 0),
+			encode(opAddi, 6, 6, 0, 1),
+			encode(opJr, 0, 6, 0, 0))
+		return img
+	}
+	return prog
+}

@@ -1,0 +1,119 @@
+package designgen
+
+import (
+	"testing"
+
+	"xpdl/internal/check"
+	"xpdl/internal/pdl/parser"
+)
+
+// protoSrc is a hand-written worst-case instance of the generated
+// template: speculation, renaming rf, bypass dmem, extern ALU, volatile
+// CSRs, interrupts, 2-stage commit, 2-stage except. It exists to pin the
+// language/checker constraints the generator must respect.
+const protoSrc = `
+extern func xalu(op: uint<4>, a: uint<32>, b: uint<32>, imm: uint<32>) -> uint<32>;
+
+memory rf: uint<32>[8] with renaming, comb_read;
+memory imem: uint<32>[4096] with nolock, sync_read;
+memory dmem: uint<32>[1024] with bypass, comb_read;
+volatile ipend: uint<32>;
+volatile eepc: uint<32>;
+volatile ecause: uint<32>;
+const HBASE = 32'd192;
+
+pipe cpu(pc: uint<32>)[rf, imem, dmem, ipend, eepc, ecause] {
+    // F: fetch
+    spec_check();
+    insn <- imem[pc];
+    ---
+    // D1: predict + extract
+    spec_check();
+    s <- spec_call cpu(ext((pc + 1)[11:0], 32));
+    op = insn[31:28];
+    rd = insn[26:24];
+    r1 = insn[22:20];
+    r2 = insn[18:16];
+    imm = ext(insn[15:0], 32);
+    ---
+    // D2: register read + write reservation
+    spec_check();
+    wen = (op >= 1 && op <= 6) || op == 11 || op == 13;
+    memop = op == 6 || op == 7;
+    acquire(rf[r1], R);
+    a = rf[r1];
+    release(rf[r1]);
+    acquire(rf[r2], R);
+    b = rf[r2];
+    release(rf[r2]);
+    if (wen) { reserve(rf[rd], W); }
+    ---
+    // X1: resolve + compute
+    spec_barrier();
+    res = xalu(op, a, b, imm);
+    midx = (a + imm)[9:0];
+    pcp1 = ext((pc + 1)[11:0], 32);
+    taken = op == 8 && a != 0;
+    npc = op == 9 ? ext((a + imm)[11:0], 32) : (taken ? ext(imm[11:0], 32) : pcp1);
+    halt = op == 0;
+    ipv = ipend;
+    iex = ipv != 0;
+    thx = op == 10 && a != 0;
+    illx = op == 12;
+    exc = iex || thx || illx;
+    ---
+    // X2: throw + spawn + CSR reads
+    if (iex) { throw(4'd8, pc); }
+    else { if (thx) { throw(imm[3:0], pc); }
+    else { if (illx) { throw(4'd1, pc); } } }
+    if (halt || exc) { invalidate(s); }
+    else {
+        if (npc == pcp1) { verify(s); }
+        else { invalidate(s); call cpu(npc); }
+    }
+    cv = ecause;
+    ev = eepc;
+    ---
+    // M: memory + register write
+    if (memop) { acquire(dmem[midx], W); }
+    wb = res;
+    if (op == 6) { wb = dmem[midx]; }
+    if (op == 11) { wb = cv; }
+    if (op == 13) { wb = ev; }
+    if (op == 7) { dmem[midx] <- b; }
+    if (wen) {
+        block(rf[rd]);
+        rf[rd] <- wb;
+    }
+    ---
+    // W: drain
+    skip;
+commit:
+    if (wen) { release(rf[rd]); }
+    ---
+    if (memop) { release(dmem[midx]); }
+except(cause: uint<4>, epc: uint<32>):
+    ecause <- ext(cause, 32);
+    eepc <- epc;
+    if (cause == 4'd8) { ipend <- 32'd0; }
+    tgt = HBASE;
+    ---
+    call cpu(tgt);
+}
+`
+
+func TestProtoTemplateChecks(t *testing.T) {
+	prog, err := parser.Parse(protoSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, diags := check.Analyze(prog, check.Options{})
+	for _, d := range diags {
+		t.Logf("%s: %s", d.Code, d.Message)
+	}
+	for _, d := range diags {
+		if d.Severity == 2 { // error
+			t.Errorf("unexpected error %s: %s", d.Code, d.Message)
+		}
+	}
+}

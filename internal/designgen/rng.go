@@ -1,0 +1,31 @@
+package designgen
+
+// rng is a splitmix64 sequence — the same stateless core internal/fault
+// uses, kept private here so generated designs and programs are
+// reproducible from a single uint64 seed with no dependency on
+// math/rand's version-sensitive stream.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// pct rolls a percentage: true with probability p/100.
+func (r *rng) pct(p int) bool { return r.intn(100) < p }
+
+// pick returns a uniform element of xs.
+func pick[T any](r *rng, xs []T) T { return xs[r.intn(len(xs))] }

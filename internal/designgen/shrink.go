@@ -1,0 +1,115 @@
+package designgen
+
+// The counterexample shrinker. Given a (design, program) pair on which
+// the gauntlet diverges, it greedily minimizes first the design (strip
+// capabilities, merge stages, simplify lock substrates) and then the
+// program (shortest diverging prefix, then instruction-wise zeroing),
+// re-running the gauntlet after every candidate step and keeping only
+// steps that preserve *some* divergence. Everything is a pure function
+// of the inputs — candidate order is fixed and the gauntlet is
+// deterministic — so the same counterexample always shrinks to the
+// same minimal repro (pinned by TestShrinkDeterministic).
+
+// shrinkBudget bounds gauntlet re-runs per shrink; the greedy passes
+// converge far below it on real counterexamples, but a pathological
+// flip-flopping property must not hang a campaign.
+const shrinkBudget = 2000
+
+// Shrink minimizes a diverging pair. The property is "Gauntlet still
+// reports a divergence under opts" — not necessarily the same one; a
+// shrunk repro that trips a different check is still a repro.
+func Shrink(d *DesignSpec, prog []uint32, opts RunOpts) (*DesignSpec, []uint32) {
+	runs := 0
+	diverges := func(cd *DesignSpec, cp []uint32) bool {
+		if runs >= shrinkBudget {
+			return false
+		}
+		runs++
+		return Gauntlet(cd, cp, opts) != nil
+	}
+	d = shrinkDesign(d, prog, diverges)
+	prog = shrinkProgram(d, prog, diverges)
+	// A smaller program sometimes unlocks further design shrinking.
+	d = shrinkDesign(d, prog, diverges)
+	return d, prog
+}
+
+// shrinkDesign runs capability-stripping steps to fixpoint. Steps are
+// ordered most-simplifying first.
+func shrinkDesign(d *DesignSpec, prog []uint32, diverges func(*DesignSpec, []uint32) bool) *DesignSpec {
+	steps := []func(*DesignSpec){
+		func(s *DesignSpec) { s.Spec = false },
+		func(s *DesignSpec) { s.Interrupts = false },
+		func(s *DesignSpec) { s.Vols = false },
+		func(s *DesignSpec) { s.Except = ExcNone },
+		func(s *DesignSpec) { s.Except = ExcHalt },
+		func(s *DesignSpec) { s.Extern = false },
+		func(s *DesignSpec) { s.HasDmem = false },
+		func(s *DesignSpec) { s.RFLock = "basic" },
+		func(s *DesignSpec) { s.DMemLock = "basic" },
+		func(s *DesignSpec) { s.Commit2 = false },
+		func(s *DesignSpec) { s.Except2 = false },
+		func(s *DesignSpec) { s.Padding = 0 },
+		func(s *DesignSpec) { s.PredictIF = false },
+		func(s *DesignSpec) { s.SplitPredict = false },
+		func(s *DesignSpec) { s.SplitExtract = false },
+		func(s *DesignSpec) { s.CompWithLocks = true },
+		func(s *DesignSpec) { s.ResolveWithComp = true },
+		func(s *DesignSpec) { s.WBWithResolve = true },
+		func(s *DesignSpec) { s.DrainWithWB = true },
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, step := range steps {
+			cand := *d
+			step(&cand)
+			cand.Normalize()
+			if cand.Source() == d.Source() {
+				continue
+			}
+			if diverges(&cand, prog) {
+				d = &cand
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// shrinkProgram minimizes the instruction image: binary-search the
+// shortest diverging prefix (the truncated tail reads as halt words),
+// then zero instructions one at a time, then drop trailing zeros.
+func shrinkProgram(d *DesignSpec, prog []uint32, diverges func(*DesignSpec, []uint32) bool) []uint32 {
+	// Shortest diverging prefix.
+	lo, hi := 0, len(prog)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if diverges(d, prog[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	prog = append([]uint32(nil), prog[:hi]...)
+
+	// Instruction-wise zeroing, repeated to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := range prog {
+			if prog[i] == 0 {
+				continue
+			}
+			save := prog[i]
+			prog[i] = 0
+			if diverges(d, prog) {
+				changed = true
+			} else {
+				prog[i] = save
+			}
+		}
+	}
+	for len(prog) > 0 && prog[len(prog)-1] == 0 {
+		prog = prog[:len(prog)-1]
+	}
+	return prog
+}

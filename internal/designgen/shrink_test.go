@@ -1,0 +1,117 @@
+package designgen
+
+import (
+	"testing"
+
+	"xpdl/internal/core"
+	"xpdl/internal/pdl/ast"
+)
+
+// stripAborts is the seeded translation bug: it deletes the rollback
+// stage's abort statements from the translated pipeline, so a flushed
+// instruction's lock reservations and staged writes survive an
+// exception — exactly the imprecision §3.3's rollback stage exists to
+// prevent.
+func stripAborts(trs map[string]*core.Result) {
+	res := trs["cpu"]
+	res.Pipe.Body = stripAbortStmts(res.Pipe.Body)
+}
+
+// stripAbortStmts removes *ast.Abort recursively (the rollback stage
+// lives inside the LefBranch except arm, which itself sits inside the
+// per-stage GefGuard wrappers the translation adds).
+func stripAbortStmts(stmts []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *ast.Abort:
+			continue
+		case *ast.GefGuard:
+			n.Body = stripAbortStmts(n.Body)
+		case *ast.LefBranch:
+			n.Commit = stripAbortStmts(n.Commit)
+			n.Except = stripAbortStmts(n.Except)
+		case *ast.If:
+			n.Then = stripAbortStmts(n.Then)
+			n.Else = stripAbortStmts(n.Else)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// corruptibleSeeds finds generated designs on which the seeded bug is
+// observable (the design must take an exception while some squashed
+// instruction holds lock state).
+func corruptibleSeeds(t *testing.T, max int) []uint64 {
+	t.Helper()
+	var out []uint64
+	for seed := uint64(0); seed < uint64(max); seed++ {
+		d := Generate(seed)
+		if !d.HasExcept() {
+			continue
+		}
+		prog := GenProgram(d, seed)
+		opts := RunOpts{ChaosSeed: seed + 1, Corrupt: stripAborts}
+		if Gauntlet(d, prog, opts) != nil {
+			out = append(out, seed)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("seeded translation bug invisible on the whole sample — gauntlet has lost its teeth")
+	}
+	return out
+}
+
+// TestSeededTranslationBugCaught: a deliberately broken translation
+// rule (no rollback aborts) must be detected by the gauntlet and shrunk
+// to a minimal repro of at most 2 body stages.
+func TestSeededTranslationBugCaught(t *testing.T) {
+	seeds := corruptibleSeeds(t, 40)
+	t.Logf("bug visible on %d/40 seeds", len(seeds))
+
+	seed := seeds[0]
+	d := Generate(seed)
+	prog := GenProgram(d, seed)
+	opts := RunOpts{ChaosSeed: seed + 1, Corrupt: stripAborts}
+
+	sd, sp := Shrink(d, prog, opts)
+	div := Gauntlet(sd, sp, opts)
+	if div == nil {
+		t.Fatal("shrunk repro no longer diverges (monotonicity violated)")
+	}
+	t.Logf("shrunk: %s, %d body stages, %d words, divergence %v", sd.Name(), sd.BodyStages(), len(sp), div)
+	if sd.BodyStages() > 2 {
+		t.Errorf("shrunk design has %d body stages, want <= 2\n%s", sd.BodyStages(), sd.Source())
+	}
+	// The uncorrupted translation of the same shrunk pair must be clean:
+	// the divergence is the seeded bug, not a latent real one.
+	cleanOpts := opts
+	cleanOpts.Corrupt = nil
+	if cdiv := Gauntlet(sd, sp, cleanOpts); cdiv != nil {
+		t.Errorf("shrunk pair diverges even without the seeded bug: %v", cdiv)
+	}
+}
+
+// TestShrinkDeterministic: same counterexample, byte-identical minimal
+// repro, twice.
+func TestShrinkDeterministic(t *testing.T) {
+	seed := corruptibleSeeds(t, 40)[0]
+	d := Generate(seed)
+	prog := GenProgram(d, seed)
+	opts := RunOpts{ChaosSeed: seed + 1, Corrupt: stripAborts}
+
+	d1, p1 := Shrink(d, prog, opts)
+	d2, p2 := Shrink(Generate(seed), GenProgram(d, seed), opts)
+	if d1.Source() != d2.Source() {
+		t.Error("shrunk design sources differ across runs")
+	}
+	if len(p1) != len(p2) {
+		t.Fatalf("shrunk program lengths differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("shrunk programs differ at word %d", i)
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package designgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExceptKind selects the architectural exception policy of a generated
+// design — what its except block does after recording the event.
+type ExceptKind int
+
+const (
+	// ExcNone: no final blocks; throw-class ops decode as no-ops.
+	ExcNone ExceptKind = iota
+	// ExcHalt: record and stop (no successor is spawned) — the shape of
+	// the paper's Fatal variant.
+	ExcHalt
+	// ExcSkip: record and resume at epc+1 (interrupts resume at epc).
+	ExcSkip
+	// ExcHandler: record and redirect to the handler at HBase; the
+	// handler returns via opJr using the saved eepc (requires Vols).
+	ExcHandler
+)
+
+func (k ExceptKind) String() string {
+	switch k {
+	case ExcNone:
+		return "none"
+	case ExcHalt:
+		return "halt"
+	case ExcSkip:
+		return "skip"
+	case ExcHandler:
+		return "handler"
+	}
+	return fmt.Sprintf("ExceptKind(%d)", int(k))
+}
+
+// HBase is the fixed handler entry point of ExcHandler designs.
+const HBase = 64
+
+// DesignSpec is one point in the design space: everything that varies
+// between generated pipelines. Source() deterministically renders it to
+// XPDL; Oracle (oracle.go) executes its architectural semantics
+// sequentially. The zero value is not valid — use Generate or fill in
+// and call Normalize.
+type DesignSpec struct {
+	Seed uint64 // generation seed, carried for naming/repros only
+
+	// Substrates and traffic.
+	RFLock     string // rf lock kind: basic | bypass | renaming
+	HasDmem    bool
+	DMemLock   string // dmem lock kind: basic | bypass
+	Extern     bool   // ALU via extern call instead of inline muxes
+	Except     ExceptKind
+	Vols       bool // ecause/eepc CSR volatiles (requires Except)
+	Interrupts bool // ipend volatile + interrupt throw path (requires Except)
+
+	// Speculation.
+	Spec      bool
+	PredictIF bool // spec_call in the fetch stage instead of decode
+
+	// Stage shaping. Each flag adds a stage boundary; Padding inserts
+	// skip stages between writeback and the end of the body.
+	SplitPredict    bool // predict in its own stage (ignored with PredictIF)
+	SplitExtract    bool // field extraction apart from the lock stage
+	CompWithLocks   bool // merge compute into the lock stage
+	ResolveWithComp bool // merge barrier/throw/spawn into the compute stage
+	WBWithResolve   bool // merge writeback into the resolve stage
+	DrainWithWB     bool // ExcNone only: release in the writeback stage
+	Padding         int  // 0..2 skip stages before the drain
+	Commit2         bool // two-stage commit block (=> one translation padding stage)
+	Except2         bool // two-stage except block
+}
+
+// HasExcept reports whether the design has final blocks.
+func (d *DesignSpec) HasExcept() bool { return d.Except != ExcNone }
+
+// Normalize enforces the inter-knob constraints, so any assignment of
+// the fields becomes a well-formed point of the design space. It is
+// idempotent and every generated or shrunk spec passes through it.
+func (d *DesignSpec) Normalize() {
+	if d.RFLock == "" {
+		d.RFLock = "renaming"
+	}
+	if d.DMemLock == "" {
+		d.DMemLock = "bypass"
+	}
+	if !d.HasExcept() {
+		d.Vols = false
+		d.Interrupts = false
+		d.Commit2 = false
+		d.Except2 = false
+	} else {
+		d.DrainWithWB = false
+	}
+	if d.Except == ExcHandler && !d.Vols {
+		// The handler reads eepc to return; without CSRs it cannot.
+		d.Except = ExcSkip
+	}
+	if !d.Spec {
+		d.PredictIF = false
+		d.SplitPredict = false
+	}
+	if d.PredictIF {
+		d.SplitPredict = false
+	}
+	if d.Padding < 0 {
+		d.Padding = 0
+	}
+	if d.Padding > 2 {
+		d.Padding = 2
+	}
+	// Spec designs need the barrier in a stage after the spec_call; when
+	// the call sits in the lock stage (no predict split) and compute is
+	// merged into that same stage, the resolve group cannot join too.
+	if d.Spec && !d.PredictIF && !d.SplitPredict && d.CompWithLocks {
+		d.ResolveWithComp = false
+	}
+}
+
+// BodyStages counts the pipeline body stages Source will emit.
+func (d *DesignSpec) BodyStages() int {
+	n := 1 // fetch
+	if d.Spec && !d.PredictIF && d.SplitPredict {
+		n++
+	}
+	if d.SplitExtract {
+		n++
+	}
+	n++ // lock stage
+	if !d.CompWithLocks {
+		n++
+	}
+	if !d.ResolveWithComp {
+		n++
+	}
+	if !d.WBWithResolve {
+		n++
+	}
+	n += d.Padding
+	if !d.HasExcept() && !d.DrainWithWB {
+		n++
+	}
+	return n
+}
+
+// Name is a compact human-readable identity used in logs and bundles.
+func (d *DesignSpec) Name() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d-b%d-%s", d.Seed, d.BodyStages(), d.RFLock)
+	if d.HasDmem {
+		fmt.Fprintf(&b, "-d%s", d.DMemLock)
+	}
+	if d.Spec {
+		b.WriteString("-spec")
+		if d.PredictIF {
+			b.WriteString("IF")
+		}
+	}
+	if d.HasExcept() {
+		fmt.Fprintf(&b, "-x%s", d.Except)
+		if d.Commit2 {
+			b.WriteString("-c2")
+		}
+		if d.Except2 {
+			b.WriteString("-e2")
+		}
+	}
+	if d.Vols {
+		b.WriteString("-csr")
+	}
+	if d.Interrupts {
+		b.WriteString("-irq")
+	}
+	if d.Extern {
+		b.WriteString("-ext")
+	}
+	return b.String()
+}
+
+// Generate draws a random well-formed design from the seed. The
+// distribution is biased toward exception-capable, speculative designs
+// (the interesting region of the space) while still covering plain
+// in-order cores.
+func Generate(seed uint64) *DesignSpec {
+	r := newRNG(seed ^ 0xde519e0de519e0d)
+	d := &DesignSpec{Seed: seed}
+	d.RFLock = pick(r, []string{"basic", "bypass", "renaming"})
+	d.HasDmem = r.pct(80)
+	d.DMemLock = pick(r, []string{"basic", "bypass"})
+	d.Extern = r.pct(40)
+	switch r.intn(5) {
+	case 0:
+		d.Except = ExcNone
+	case 1:
+		d.Except = ExcHalt
+	case 2, 3:
+		d.Except = ExcSkip
+	default:
+		d.Except = ExcHandler
+	}
+	d.Vols = d.HasExcept() && r.pct(70)
+	d.Interrupts = d.HasExcept() && r.pct(50)
+	d.Spec = r.pct(60)
+	d.PredictIF = r.pct(30)
+	d.SplitPredict = r.pct(40)
+	d.SplitExtract = r.pct(30)
+	d.CompWithLocks = r.pct(25)
+	d.ResolveWithComp = r.pct(35)
+	d.WBWithResolve = r.pct(30)
+	d.DrainWithWB = r.pct(30)
+	d.Padding = []int{0, 0, 0, 1, 1, 2}[r.intn(6)]
+	d.Commit2 = r.pct(30)
+	d.Except2 = r.pct(40)
+	d.Normalize()
+	// Keep the generated population inside the 3..8 stage band; the
+	// shrinker is allowed to go below it.
+	for d.BodyStages() > 8 {
+		switch {
+		case d.Padding > 0:
+			d.Padding--
+		case d.SplitExtract:
+			d.SplitExtract = false
+		case d.SplitPredict:
+			d.SplitPredict = false
+		default:
+			d.WBWithResolve = true
+		}
+		d.Normalize()
+	}
+	for d.BodyStages() < 3 {
+		d.Padding++
+		d.Normalize()
+	}
+	return d
+}
+
+// wenExpr is the decode-time write-enable condition; gated ops decode
+// with wen=false so rd is never reserved for them.
+func (d *DesignSpec) wenExpr() string {
+	e := "(op >= 4'd1 && op <= 4'd5)"
+	if d.HasDmem {
+		e = "(op >= 4'd1 && op <= 4'd6)"
+	}
+	if d.Vols {
+		e += " || op == 4'd11 || op == 4'd13"
+	}
+	return e
+}
+
+// Source renders the design to XPDL. The emission is purely a function
+// of the spec, so equal specs produce byte-identical sources (the
+// shrinker's determinism rests on this).
+func (d *DesignSpec) Source() string {
+	var b strings.Builder
+
+	// --- declarations ---------------------------------------------------
+	if d.Extern {
+		b.WriteString("extern func xalu(op: uint<4>, a: uint<32>, b: uint<32>, imm: uint<32>) -> uint<32>;\n")
+	}
+	fmt.Fprintf(&b, "memory rf: uint<32>[%d] with %s, comb_read;\n", RFRegs, d.RFLock)
+	fmt.Fprintf(&b, "memory imem: uint<32>[%d] with nolock, sync_read;\n", IMemWords)
+	if d.HasDmem {
+		fmt.Fprintf(&b, "memory dmem: uint<32>[%d] with %s, comb_read;\n", DMemWords, d.DMemLock)
+	}
+	if d.Interrupts {
+		b.WriteString("volatile ipend: uint<32>;\n")
+	}
+	if d.Vols {
+		b.WriteString("volatile ecause: uint<32>;\nvolatile eepc: uint<32>;\n")
+	}
+	if d.Except == ExcHandler {
+		fmt.Fprintf(&b, "const HBASE = 32'd%d;\n", HBase)
+	}
+
+	mods := []string{"rf", "imem"}
+	if d.HasDmem {
+		mods = append(mods, "dmem")
+	}
+	if d.Interrupts {
+		mods = append(mods, "ipend")
+	}
+	if d.Vols {
+		mods = append(mods, "ecause", "eepc")
+	}
+	fmt.Fprintf(&b, "\npipe cpu(pc: uint<32>)[%s] {\n", strings.Join(mods, ", "))
+
+	// --- body stages ----------------------------------------------------
+	var stages [][]string
+	cur := []string{}
+	flush := func() {
+		if len(cur) > 0 {
+			stages = append(stages, cur)
+			cur = nil
+		}
+	}
+
+	// Fetch stage (always alone: imem is sync_read).
+	if d.Spec {
+		cur = append(cur, "spec_check();")
+	}
+	cur = append(cur, "insn <- imem[pc];")
+	predict := "s <- spec_call cpu(ext((pc + 1)[11:0], 32));"
+	if d.Spec && d.PredictIF {
+		cur = append(cur, predict)
+	}
+	flush()
+
+	// Predict stage / group.
+	if d.Spec && !d.PredictIF {
+		cur = append(cur, "spec_check();", predict)
+		if d.SplitPredict {
+			flush()
+		}
+	}
+
+	// Extraction.
+	if d.Spec && !d.PredictIF && d.SplitPredict {
+		cur = append(cur, "spec_check();")
+	}
+	cur = append(cur,
+		"op = insn[31:28];",
+		"rd = insn[26:24];",
+		"r1 = insn[22:20];",
+		"r2 = insn[18:16];",
+		"imm = ext(insn[15:0], 32);",
+	)
+	if d.SplitExtract {
+		flush()
+	}
+
+	// Lock stage: reads plus the write reservation, atomically.
+	cur = append(cur,
+		"wen = "+d.wenExpr()+";",
+	)
+	if d.HasDmem {
+		cur = append(cur, "memop = op == 4'd6 || op == 4'd7;")
+	}
+	cur = append(cur,
+		"acquire(rf[r1], R);",
+		"a = rf[r1];",
+		"release(rf[r1]);",
+		"acquire(rf[r2], R);",
+		"b = rf[r2];",
+		"release(rf[r2]);",
+		"if (wen) { reserve(rf[rd], W); }",
+	)
+	if !d.CompWithLocks {
+		flush()
+	}
+
+	// Compute.
+	if d.Extern {
+		cur = append(cur, "res = xalu(op, a, b, imm);")
+	} else {
+		cur = append(cur, "res = op == 4'd1 ? a + b : (op == 4'd2 ? a - b : (op == 4'd3 ? (a ^ b) : (op == 4'd4 ? a + imm : (op == 4'd5 ? imm : a))));")
+	}
+	if d.HasDmem {
+		cur = append(cur, "midx = (a + imm)[9:0];")
+	}
+	cur = append(cur,
+		"pcp1 = ext((pc + 1)[11:0], 32);",
+		"taken = op == 4'd8 && a != 32'd0;",
+		"npc = op == 4'd9 ? ext((a + imm)[11:0], 32) : (taken ? ext(imm[11:0], 32) : pcp1);",
+		"halt = op == 4'd0;",
+	)
+	if d.HasExcept() {
+		cur = append(cur, "thx = op == 4'd10 && a != 32'd0;", "illx = op == 4'd12;")
+	}
+	if !d.ResolveWithComp {
+		flush()
+	}
+
+	// Resolve: barrier, interrupt/volatile reads, throw chain, spawn.
+	if d.Spec {
+		cur = append(cur, "spec_barrier();")
+	}
+	if d.Interrupts {
+		cur = append(cur, "ipv = ipend;", "iex = ipv != 32'd0;")
+	}
+	if d.Vols {
+		cur = append(cur, "cv = ecause;", "ev = eepc;")
+	}
+	if d.HasExcept() {
+		exc := "thx || illx"
+		if d.Interrupts {
+			exc = "iex || " + exc
+		}
+		cur = append(cur, "exc = "+exc+";")
+		var chain string
+		if d.Interrupts {
+			chain = fmt.Sprintf("if (iex) { throw(4'd%d, pc); }\n    else { if (thx) { throw(ext(imm[2:0], 4), pc); }\n    else { if (illx) { throw(4'd1, pc); } } }", causeInt)
+		} else {
+			chain = "if (thx) { throw(ext(imm[2:0], 4), pc); }\n    else { if (illx) { throw(4'd1, pc); } }"
+		}
+		cur = append(cur, chain)
+	}
+	cur = append(cur, d.spawnStmt())
+	if !d.WBWithResolve {
+		flush()
+	}
+
+	// Writeback.
+	if d.HasDmem {
+		cur = append(cur, "if (memop) { acquire(dmem[midx], W); }")
+	}
+	cur = append(cur, "wb = res;")
+	if d.HasDmem {
+		cur = append(cur, "if (op == 4'd6) { wb = dmem[midx]; }")
+	}
+	if d.Vols {
+		cur = append(cur, "if (op == 4'd11) { wb = cv; }", "if (op == 4'd13) { wb = ev; }")
+	}
+	if d.HasDmem {
+		cur = append(cur, "if (op == 4'd7) { dmem[midx] <- b; }")
+	}
+	cur = append(cur, "if (wen) {\n        block(rf[rd]);\n        rf[rd] <- wb;\n    }")
+	if !d.HasExcept() && d.DrainWithWB {
+		cur = append(cur, d.releaseStmts()...)
+	}
+	flush()
+
+	// Padding skip stages.
+	for i := 0; i < d.Padding; i++ {
+		stages = append(stages, []string{"skip;"})
+	}
+
+	// Drain stage: releases for plain designs (unless folded into WB).
+	if !d.HasExcept() && !d.DrainWithWB {
+		stages = append(stages, d.releaseStmts())
+	}
+
+	for i, st := range stages {
+		if i > 0 {
+			b.WriteString("    ---\n")
+		}
+		for _, s := range st {
+			b.WriteString("    " + s + "\n")
+		}
+	}
+
+	// --- final blocks ---------------------------------------------------
+	if d.HasExcept() {
+		b.WriteString("commit:\n")
+		rel := d.releaseStmts()
+		if d.Commit2 && len(rel) > 1 {
+			b.WriteString("    " + rel[0] + "\n    ---\n    " + rel[1] + "\n")
+		} else if d.Commit2 {
+			b.WriteString("    " + rel[0] + "\n    ---\n    skip;\n")
+		} else {
+			for _, s := range rel {
+				b.WriteString("    " + s + "\n")
+			}
+		}
+
+		b.WriteString("except(cause: uint<4>, epc: uint<32>):\n")
+		var rec []string
+		if d.Vols {
+			rec = append(rec, "ecause <- ext(cause, 32);", "eepc <- epc;")
+		}
+		if d.Interrupts {
+			rec = append(rec, fmt.Sprintf("if (cause == 4'd%d) { ipend <- 32'd0; }", causeInt))
+		}
+		var tail []string
+		switch d.Except {
+		case ExcHalt:
+			// No successor: the core drains and stops.
+		case ExcSkip:
+			if d.Interrupts {
+				tail = append(tail, fmt.Sprintf("tgt = cause == 4'd%d ? epc : ext((epc + 1)[11:0], 32);", causeInt))
+			} else {
+				tail = append(tail, "tgt = ext((epc + 1)[11:0], 32);")
+			}
+			tail = append(tail, "call cpu(tgt);")
+		case ExcHandler:
+			tail = append(tail, "tgt = HBASE;", "call cpu(tgt);")
+		}
+		if len(rec) == 0 && len(tail) == 0 {
+			rec = []string{"skip;"}
+		}
+		if d.Except2 {
+			if len(rec) == 0 {
+				rec = []string{"skip;"}
+			}
+			for _, s := range rec {
+				b.WriteString("    " + s + "\n")
+			}
+			b.WriteString("    ---\n")
+			if len(tail) == 0 {
+				tail = []string{"skip;"}
+			}
+			for _, s := range tail {
+				b.WriteString("    " + s + "\n")
+			}
+		} else {
+			for _, s := range append(rec, tail...) {
+				b.WriteString("    " + s + "\n")
+			}
+		}
+	}
+
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// spawnStmt is the successor-spawn logic of the resolve stage.
+func (d *DesignSpec) spawnStmt() string {
+	if d.Spec {
+		cond := "halt"
+		if d.HasExcept() {
+			cond = "halt || exc"
+		}
+		return "if (" + cond + ") { invalidate(s); }\n    else {\n        if (npc == pcp1) { verify(s); }\n        else { invalidate(s); call cpu(npc); }\n    }"
+	}
+	cond := "!halt"
+	if d.HasExcept() {
+		cond = "!halt && !exc"
+	}
+	return "if (" + cond + ") { call cpu(npc); }"
+}
+
+// releaseStmts are the lock releases every retiring instruction performs
+// (in the commit block for exception designs, at the body tail for plain
+// ones).
+func (d *DesignSpec) releaseStmts() []string {
+	out := []string{"if (wen) { release(rf[rd]); }"}
+	if d.HasDmem {
+		out = append(out, "if (memop) { release(dmem[midx]); }")
+	}
+	return out
+}

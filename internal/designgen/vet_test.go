@@ -1,0 +1,38 @@
+package designgen
+
+import (
+	"strings"
+	"testing"
+
+	"xpdl/internal/vet"
+)
+
+// TestVetCleanOnGeneratedCorpus: the whole-program lints (W-LOCK-ORDER
+// static deadlock detection, W-DEAD-* dead code, W-STAGE-COST) must
+// neither panic nor fire on any generated design — the generator claims
+// its population is clean, and the lints must agree at the default
+// stage budget.
+func TestVetCleanOnGeneratedCorpus(t *testing.T) {
+	fired := map[string][]string{}
+	for seed := uint64(0); seed < 150; seed++ {
+		d := Generate(seed)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("vet panicked on seed %d (%s): %v", seed, d.Name(), r)
+				}
+			}()
+			r := vet.Analyze(d.Name(), d.Source(), vet.Options{})
+			for _, dg := range r.Diags {
+				fired[dg.Code] = append(fired[dg.Code], d.Name())
+			}
+		}()
+	}
+	for code, designs := range fired {
+		n := len(designs)
+		if n > 3 {
+			designs = designs[:3]
+		}
+		t.Errorf("%s fired on %d generated designs (e.g. %s)", code, n, strings.Join(designs, ", "))
+	}
+}
