@@ -1,7 +1,7 @@
 # Tier-1: everything must build and every test must pass.
-.PHONY: all test vet vet-xpdl bench bench-smoke chaos cover fuzz-smoke fuzz-designs fuzz-corpus race soak clean
+.PHONY: all test vet vet-xpdl bveq-smoke bveq-nightly bench bench-smoke chaos cover fuzz-smoke fuzz-designs fuzz-corpus race soak clean
 
-all: vet vet-xpdl test
+all: vet vet-xpdl bveq-smoke test
 
 # vet-xpdl runs the XPDL static analyzer over every program in the tree:
 # the built-in processor variants (which back examples/) and all .xpdl
@@ -16,6 +16,31 @@ test:
 
 vet:
 	go vet ./...
+
+# bveq-smoke runs the bounded exhaustive equivalence gate as a tier-1
+# check: all five hand-written variants must earn the bounded-verified
+# badge at K=2, the pinned abort-strip fixture must pass clean, and the
+# same fixture with the seeded translator bug applied must be REJECTED
+# with exit 9 — the gate proving it still has teeth. Runs in seconds.
+# (A built binary, not `go run`: go run flattens exit codes to 1.)
+BVEQ_FIXTURE := internal/designgen/testdata/bveq-abort-strip.json
+BVEQ_DIR := $(or $(TMPDIR),/tmp)/xpdlvet-bveq
+bveq-smoke:
+	mkdir -p $(BVEQ_DIR)
+	go build -o $(BVEQ_DIR)/xpdlvet ./cmd/xpdlvet
+	$(BVEQ_DIR)/xpdlvet -bveq -bveq-len 2 -bveq-window 4 -design all
+	$(BVEQ_DIR)/xpdlvet -bveq -bveq-len 2 -bveq-window 6 -bveq-spec $(BVEQ_FIXTURE)
+	$(BVEQ_DIR)/xpdlvet -bveq -bveq-len 2 -bveq-window 6 -bveq-spec $(BVEQ_FIXTURE) \
+	  -bveq-corrupt abort-strip >/dev/null 2>$(BVEQ_DIR)/corrupt.log; \
+	  status=$$?; test $$status -eq 9 || \
+	  { echo "bveq-smoke: expected exit 9 from the corrupted fixture, got $$status"; \
+	    cat $(BVEQ_DIR)/corrupt.log; exit 1; }
+	@echo "bveq-smoke: five variants verified, seeded bug rejected"
+
+# bveq-nightly is the deep sweep: K=3 over every variant with the full
+# default interrupt window, JSON badges kept as an artifact.
+bveq-nightly:
+	go run ./cmd/xpdlvet -bveq -bveq-len 3 -design all -json > bveq-report.json
 
 # cover runs the whole suite with statement coverage over internal/...
 # and fails if the aggregate drops below COVER_MIN percent. The floor

@@ -26,6 +26,13 @@
 // fuzz-corpus` to seed the FuzzParse and FuzzCheck targets with
 // realistic whole-pipeline inputs.
 //
+// -bveq additionally pushes every design that survives the gauntlet
+// through the bounded exhaustive equivalence gate (internal/bveq):
+// every program up to -bveq-len instructions in the design's micro-ISA
+// projection, crossed with exception sites and interrupt arrival
+// cycles, compared bit-exactly against the sequential oracle. Gate
+// counterexamples are findings like any other.
+//
 // The campaign summary is printed to stdout as JSON.
 //
 // Exit codes: 0 clean campaign, 2 usage, 8 counterexample found (codes
@@ -54,6 +61,8 @@ func main() {
 	out := flag.String("out", "", "write repro bundles into this directory")
 	quiet := flag.Bool("q", false, "suppress progress lines on stderr")
 	corpus := flag.String("corpus", "", "write -n design sources into this directory as a Go fuzz seed corpus, then exit")
+	bveqOn := flag.Bool("bveq", false, "gate surviving designs with the bounded exhaustive equivalence sweep")
+	bveqLen := flag.Int("bveq-len", 2, "bveq: max program length in instructions")
 	flag.Parse()
 	if *n <= 0 || flag.NArg() != 0 {
 		flag.Usage()
@@ -69,10 +78,12 @@ func main() {
 	}
 
 	opts := designgen.CampaignOpts{
-		N:      *n,
-		Seed:   *seed,
-		Shrink: *shrink,
-		OutDir: *out,
+		N:       *n,
+		Seed:    *seed,
+		Shrink:  *shrink,
+		OutDir:  *out,
+		Bveq:    *bveqOn,
+		BveqLen: *bveqLen,
 	}
 	if !*quiet {
 		opts.Log = func(format string, args ...any) {

@@ -1,0 +1,49 @@
+package bveq
+
+import (
+	"xpdl/internal/core"
+	"xpdl/internal/pdl/ast"
+)
+
+// StripAborts is the seeded translation bug the gate regression-pins
+// (originally hand-rolled in the design-fuzzer tests): it deletes every
+// abort statement from a pipeline's translated body, so a squashed
+// instruction's lock reservations and staged writes survive an
+// exception — exactly the imprecision §3.3's rollback stage exists to
+// prevent. Applied to a translation before machines are built, it must
+// be caught *statically* by the bounded gate, with no fuzzing involved.
+func StripAborts(trs map[string]*core.Result) {
+	for _, res := range trs {
+		res.Pipe.Body = stripAbortStmts(res.Pipe.Body)
+	}
+}
+
+// stripAbortStmts removes *ast.Abort recursively (the rollback stage
+// lives inside the LefBranch except arm, which itself sits inside the
+// per-stage GefGuard wrappers the translation adds).
+func stripAbortStmts(stmts []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *ast.Abort:
+			continue
+		case *ast.GefGuard:
+			n.Body = stripAbortStmts(n.Body)
+		case *ast.LefBranch:
+			n.Commit = stripAbortStmts(n.Commit)
+			n.Except = stripAbortStmts(n.Except)
+		case *ast.If:
+			n.Then = stripAbortStmts(n.Then)
+			n.Else = stripAbortStmts(n.Else)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Corruptions names the seeded translator bugs the CLI can apply
+// (xpdlvet -bveq-corrupt); each is a known-broken translation transform
+// the gate must reject.
+var Corruptions = map[string]func(map[string]*core.Result){
+	"abort-strip": StripAborts,
+}

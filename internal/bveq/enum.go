@@ -1,0 +1,124 @@
+package bveq
+
+// The enumerator. Points are generated in one fixed order so the sweep,
+// the report, and any counterexample index are deterministic:
+//
+//	for k = 1..K                         (program length, ascending)
+//	  every pure program in A^k          (odometer, slot 0 slowest)
+//	  for each exception site s = 0..k-1 (letters elsewhere from A)
+//	    for each exception letter x
+//	      every filling of the other k-1 slots (odometer)
+//	× for each program: the timing axis — no interrupt, then arrival
+//	  cycles 0..Window-1 (only on interrupt-capable targets).
+//
+// The closed-form cardinality (pinned by TestEnumerationCardinality):
+//
+//	programs = Σ_{k=1..K} |A|^k + k·|X|·|A|^(k-1)
+//	points   = programs · (1 + Window·[interrupts])
+
+// PointDesc is one enumeration point: a program plus its timing.
+type PointDesc struct {
+	// Index is the point's position in enumeration order.
+	Index int
+	// Prog is the slot words (length 1..K).
+	Prog []uint32
+	// ExcSite is the slot holding an exception letter, -1 for pure
+	// programs.
+	ExcSite int
+	// Intr is the interrupt-arrival cycle, -1 for none.
+	Intr int
+}
+
+// Enumerate generates every point of the target within the bounds, in
+// the fixed order above, invoking fn for each. fn returning false stops
+// the walk. It reports the number of programs and points *emitted*.
+func Enumerate(t Target, bounds Bounds, fn func(PointDesc) bool) (programs, points int) {
+	b := bounds.withDefaults()
+	alpha, exc := t.Alphabet(), t.ExcLetters()
+	window := 0
+	if t.IntrCapable() {
+		window = b.Window
+	}
+	stopped := false
+
+	// emit crosses one program with the timing axis.
+	emit := func(words []uint32, site int) bool {
+		if stopped {
+			return false
+		}
+		programs++
+		for intr := -1; intr < window; intr++ {
+			pd := PointDesc{
+				Index: points, Prog: append([]uint32(nil), words...),
+				ExcSite: site, Intr: intr,
+			}
+			points++
+			if !fn(pd) {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	}
+
+	// odometer walks A^n over the given slot positions of words,
+	// calling visit for each assignment; slot order is most-significant
+	// first (the last position varies fastest).
+	var odometer func(words []uint32, free []int, site int) bool
+	odometer = func(words []uint32, free []int, site int) bool {
+		if len(free) == 0 {
+			return emit(words, site)
+		}
+		for _, in := range alpha {
+			words[free[0]] = in.Word
+			if !odometer(words, free[1:], site) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for k := 1; k <= b.K; k++ {
+		words := make([]uint32, k)
+		free := make([]int, k)
+		for i := range free {
+			free[i] = i
+		}
+		// Pure programs.
+		if !odometer(words, free, -1) {
+			return programs, points
+		}
+		// Exactly one exception letter, at every site.
+		for site := 0; site < k; site++ {
+			rest := make([]int, 0, k-1)
+			for i := 0; i < k; i++ {
+				if i != site {
+					rest = append(rest, i)
+				}
+			}
+			for _, x := range exc {
+				words[site] = x.Word
+				if !odometer(words, rest, site) {
+					return programs, points
+				}
+			}
+		}
+	}
+	return programs, points
+}
+
+// Cardinality computes the closed-form point count for the bounds over
+// a target's alphabet sizes — the enumeration-completeness oracle.
+func Cardinality(b Bounds, alphabet, excLetters int, intrCapable bool) (programs, points int) {
+	b = b.withDefaults()
+	pow := 1 // alphabet^(k-1)
+	for k := 1; k <= b.K; k++ {
+		programs += pow*alphabet + k*excLetters*pow
+		pow *= alphabet
+	}
+	points = programs
+	if intrCapable {
+		points = programs * (1 + b.Window)
+	}
+	return programs, points
+}

@@ -1,0 +1,106 @@
+package bveq
+
+import (
+	"fmt"
+	"testing"
+
+	"xpdl/internal/sim"
+)
+
+// fakeTarget is an enumeration-only stub (Build/Check are never called
+// by Enumerate).
+type fakeTarget struct {
+	alpha, exc int
+	intr       bool
+}
+
+func (f *fakeTarget) Name() string { return "fake" }
+func (f *fakeTarget) Alphabet() []Inst {
+	out := make([]Inst, f.alpha)
+	for i := range out {
+		out[i] = Inst{Word: uint32(0x100 + i), Asm: fmt.Sprintf("a%d", i)}
+	}
+	return out
+}
+func (f *fakeTarget) ExcLetters() []Inst {
+	out := make([]Inst, f.exc)
+	for i := range out {
+		out[i] = Inst{Word: uint32(0x200 + i), Asm: fmt.Sprintf("x%d", i)}
+	}
+	return out
+}
+func (f *fakeTarget) IntrCapable() bool { return f.intr }
+func (f *fakeTarget) Neutral() uint32   { return 0x100 }
+func (f *fakeTarget) Build([]uint32, int, string) (*sim.Machine, error) {
+	panic("fakeTarget.Build: not used by Enumerate")
+}
+func (f *fakeTarget) Check([]uint32, int, *sim.Machine, error) *Mismatch {
+	panic("fakeTarget.Check: not used by Enumerate")
+}
+
+// TestEnumerationCardinality: the enumerator must emit exactly the
+// closed-form number of (program × exception-site × interrupt-cycle)
+// points at K=2 — the completeness oracle of the whole gate.
+func TestEnumerationCardinality(t *testing.T) {
+	cases := []struct {
+		alpha, exc int
+		intr       bool
+	}{
+		{alpha: 3, exc: 2, intr: true},
+		{alpha: 3, exc: 2, intr: false},
+		{alpha: 4, exc: 0, intr: false},
+		{alpha: 2, exc: 3, intr: true},
+		{alpha: 1, exc: 1, intr: true},
+	}
+	for _, tc := range cases {
+		b := Bounds{K: 2, Window: 5}
+		ft := &fakeTarget{alpha: tc.alpha, exc: tc.exc, intr: tc.intr}
+
+		// Closed form at K=2:
+		//   programs = A + X            (k=1: pure + one exc letter)
+		//            + A² + 2·X·A       (k=2: pure + site×letter×fill)
+		wantProgs := tc.alpha + tc.exc + tc.alpha*tc.alpha + 2*tc.exc*tc.alpha
+		wantPoints := wantProgs
+		if tc.intr {
+			wantPoints = wantProgs * (1 + b.Window)
+		}
+
+		seen := map[string]bool{}
+		progs, points := Enumerate(ft, b, func(pd PointDesc) bool {
+			key := fmt.Sprintf("%v@%d", pd.Prog, pd.Intr)
+			if seen[key] {
+				t.Fatalf("duplicate point %s", key)
+			}
+			seen[key] = true
+			if pd.Index != len(seen)-1 {
+				t.Fatalf("point index %d out of order (want %d)", pd.Index, len(seen)-1)
+			}
+			return true
+		})
+		if progs != wantProgs || points != wantPoints {
+			t.Errorf("A=%d X=%d intr=%v: enumerated %d programs / %d points, closed form %d / %d",
+				tc.alpha, tc.exc, tc.intr, progs, points, wantProgs, wantPoints)
+		}
+		if len(seen) != points {
+			t.Errorf("emitted %d distinct points, counter says %d", len(seen), points)
+		}
+		cp, cpts := Cardinality(b, tc.alpha, tc.exc, tc.intr)
+		if cp != wantProgs || cpts != wantPoints {
+			t.Errorf("Cardinality(A=%d, X=%d, intr=%v) = %d/%d, want %d/%d",
+				tc.alpha, tc.exc, tc.intr, cp, cpts, wantProgs, wantPoints)
+		}
+	}
+}
+
+// TestEnumerationEarlyStop: fn returning false halts the walk.
+func TestEnumerationEarlyStop(t *testing.T) {
+	ft := &fakeTarget{alpha: 3, exc: 1, intr: true}
+	n := 0
+	_, points := Enumerate(ft, Bounds{K: 2, Window: 4}, func(pd PointDesc) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 || points != 7 {
+		t.Fatalf("walk visited %d points (reported %d), want stop at 7", n, points)
+	}
+}

@@ -1,0 +1,161 @@
+package bveq
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"xpdl/internal/diag"
+	"xpdl/internal/pdl/token"
+)
+
+// Report is one design's sweep result. Its canonical JSON (Canon) is a
+// pure function of (target, bounds): no wall time, no engine identity,
+// no worker-dependent ordering — the determinism guard diffs the bytes
+// across runs and across engines.
+type Report struct {
+	Design     string `json:"design"`
+	K          int    `json:"k"`
+	Width      int    `json:"width"`
+	Window     int    `json:"window"`
+	Alphabet   int    `json:"alphabet"`
+	ExcLetters int    `json:"exc_letters"`
+	Interrupts bool   `json:"interrupts"`
+
+	Programs   int  `json:"programs"`
+	Points     int  `json:"points"`
+	SpotChecks int  `json:"spot_checks"`
+	Verified   bool `json:"verified"`
+
+	Counterexamples []*Counterexample `json:"counterexamples,omitempty"`
+}
+
+// Canon renders the canonical JSON bytes.
+func (r *Report) Canon() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Badge is the vet-facing wrapper: the report plus the run metadata
+// that is deliberately excluded from the canonical bytes.
+type Badge struct {
+	Report
+	Engine string `json:"engine"`
+	WallMS int64  `json:"wall_ms"`
+}
+
+// Counterexample is one diverging enumeration point, ready for the
+// shrinker and for diagnostic rendering.
+type Counterexample struct {
+	Design string `json:"design"`
+	Point  int    `json:"point"` // enumeration index
+
+	Prog []uint32 `json:"prog"`
+	Asm  []string `json:"asm"`
+	// ExcSite is the slot holding an exception letter (-1 none);
+	// IntrCycle the interrupt-arrival cycle (-1 none).
+	ExcSite   int `json:"exc_site"`
+	IntrCycle int `json:"intr_cycle"`
+
+	Stage  string `json:"stage"`
+	Detail string `json:"detail"`
+	// DivergeIndex/DivergeCycle locate the first diverging retirement
+	// (-1 when the divergence is not trace-positional).
+	DivergeIndex int  `json:"diverge_index"`
+	DivergeCycle int  `json:"diverge_cycle"`
+	Shrunk       bool `json:"shrunk"`
+}
+
+// newCounterexample assembles a counterexample from a point and its
+// mismatch.
+func newCounterexample(t Target, pd PointDesc, mm *Mismatch) *Counterexample {
+	return &Counterexample{
+		Design: t.Name(), Point: pd.Index,
+		Prog: append([]uint32(nil), pd.Prog...), Asm: Disasm(t, pd.Prog),
+		ExcSite: pd.ExcSite, IntrCycle: pd.Intr,
+		Stage: mm.Stage, Detail: mm.Detail,
+		DivergeIndex: mm.Index, DivergeCycle: mm.Cycle,
+	}
+}
+
+// Disasm spells the program in the target's alphabet (unknown words
+// render as raw hex).
+func Disasm(t Target, prog []uint32) []string {
+	names := map[uint32]string{}
+	for _, in := range t.Alphabet() {
+		names[in.Word] = in.Asm
+	}
+	for _, in := range t.ExcLetters() {
+		names[in.Word] = in.Asm
+	}
+	if _, ok := names[t.Neutral()]; !ok {
+		names[t.Neutral()] = "nop"
+	}
+	out := make([]string, len(prog))
+	for i, w := range prog {
+		if s, ok := names[w]; ok {
+			out[i] = s
+		} else {
+			out[i] = fmt.Sprintf(".word 0x%08x", w)
+		}
+	}
+	return out
+}
+
+// Error codes of the gate, one per divergence class (DIAGNOSTICS.md):
+//
+//	E-BVEQ-RUN    the machine died (deadlock, internal error)
+//	E-BVEQ-TRACE  retirement sequence diverged from the specification
+//	E-BVEQ-STATE  final architectural state diverged
+//	E-BVEQ-DRAIN  one side finished, the other did not
+//	E-BVEQ-ENGINE the engines disagreed with each other
+func codeFor(stage string) string {
+	switch stage {
+	case "run":
+		return "E-BVEQ-RUN"
+	case "trace":
+		return "E-BVEQ-TRACE"
+	case "state":
+		return "E-BVEQ-STATE"
+	case "drain":
+		return "E-BVEQ-DRAIN"
+	case "engine":
+		return "E-BVEQ-ENGINE"
+	}
+	return "E-BVEQ-" + stage
+}
+
+// Diagnostic renders the counterexample through internal/diag: the
+// diverging program, its timing, and the first-divergence coordinates
+// become structured notes on an error anchored at the design's source.
+func (ce *Counterexample) Diagnostic() diag.Diagnostic {
+	d := diag.Diagnostic{
+		Pos:      token.Pos{Line: 1, Col: 1},
+		Severity: diag.Error,
+		Code:     codeFor(ce.Stage),
+		Message: fmt.Sprintf("bounded equivalence counterexample on %s: %s",
+			ce.Design, ce.Detail),
+	}
+	for i, asm := range ce.Asm {
+		mark := ""
+		if i == ce.ExcSite {
+			mark = "   <- exception site"
+		}
+		d.Notes = append(d.Notes, fmt.Sprintf("program[%d] = %s%s", i, asm, mark))
+	}
+	if ce.IntrCycle >= 0 {
+		d.Notes = append(d.Notes, fmt.Sprintf("interrupt arrives at cycle %d", ce.IntrCycle))
+	} else {
+		d.Notes = append(d.Notes, "no interrupt")
+	}
+	if ce.DivergeIndex >= 0 {
+		n := fmt.Sprintf("first divergence at retirement %d", ce.DivergeIndex)
+		if ce.DivergeCycle >= 0 {
+			n += fmt.Sprintf(" (cycle %d)", ce.DivergeCycle)
+		}
+		d.Notes = append(d.Notes, n)
+	}
+	if ce.Shrunk {
+		d.Notes = append(d.Notes, "counterexample is shrinker-minimal")
+	}
+	d.Notes = append(d.Notes, fmt.Sprintf("enumeration point %d", ce.Point))
+	return d
+}

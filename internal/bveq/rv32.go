@@ -1,0 +1,458 @@
+package bveq
+
+import (
+	"fmt"
+
+	"xpdl"
+	"xpdl/internal/asm"
+	"xpdl/internal/core"
+	"xpdl/internal/designs"
+	"xpdl/internal/fault"
+	"xpdl/internal/golden"
+	"xpdl/internal/riscv"
+	"xpdl/internal/sim"
+	"xpdl/internal/val"
+)
+
+// The RV32 projection of the five hand-written processor variants
+// (internal/designs). The safe alphabet is a hazard-dense slice of
+// RV32I — dependent ALU traffic, a store/load pair on one address, a
+// short forward branch — with `Width` extra immediate variants; the
+// exception letters are drawn from what the variant's exception
+// machinery can actually raise. Programs are laid out as
+//
+//	word 0..k-1   the enumerated slots
+//	word k        ebreak (the halt convention)
+//	...           ebreak padding
+//	word 16       trap handler (Trap: halt; All: mcause dispatch)
+//
+// so a branch letter in the last slot lands on padding and both sides
+// halt. The sequential specification is internal/golden, replayed with
+// the OIAT discipline: the pipeline chooses the interrupt boundary, the
+// golden model takes the interrupt at the same retirement index.
+
+// handlerWord is the fixed word index of the trap handler; mtvec points
+// here on Trap/All. It bounds K at handlerWord-2 slots.
+const handlerWord = 16
+
+// rv32ImmSeries is the immediate domain the Width knob indexes into.
+var rv32ImmSeries = []uint32{5, 3, 9, 14, 7, 11, 2, 8}
+
+// VariantTarget adapts one hand-written processor variant to the gate.
+type VariantTarget struct {
+	v      designs.Variant
+	design *xpdl.Design
+	ebreak uint32
+	nop    uint32
+
+	alphabet []Inst
+	excs     []Inst
+	handler  []uint32
+	// presets are firmware CSR initializations applied to both sides.
+	presets map[string]uint32
+}
+
+// asmWords assembles a snippet and returns its text words.
+func asmWords(src string) ([]uint32, error) {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Text, nil
+}
+
+// letter assembles a single-instruction snippet into an Inst (the
+// snippet may carry trailing padding lines for branch targets; only the
+// first word is the letter).
+func letter(spelling, src string) (Inst, error) {
+	w, err := asmWords(src)
+	if err != nil || len(w) == 0 {
+		return Inst{}, fmt.Errorf("bveq: assemble letter %q: %v", spelling, err)
+	}
+	return Inst{Word: w[0], Asm: spelling}, nil
+}
+
+// NewVariantTarget compiles the variant once and builds its projection.
+// width sizes the immediate domain; corrupt, when non-nil, mutates the
+// translation before any machine is built (the seeded-bug hook).
+func NewVariantTarget(v designs.Variant, width int, corrupt func(map[string]*core.Result)) (*VariantTarget, error) {
+	d, err := xpdl.Compile(designs.Source(v))
+	if err != nil {
+		return nil, fmt.Errorf("bveq: compile %s: %w", v, err)
+	}
+	if corrupt != nil {
+		corrupt(d.Translations)
+	}
+	t := &VariantTarget{v: v, design: d, presets: map[string]uint32{}}
+
+	if width <= 0 {
+		width = 2
+	}
+	if width > len(rv32ImmSeries) {
+		width = len(rv32ImmSeries)
+	}
+	add := func(spelling, src string) error {
+		in, err := letter(spelling, src)
+		if err != nil {
+			return err
+		}
+		t.alphabet = append(t.alphabet, in)
+		return nil
+	}
+	addExc := func(spelling, src string) error {
+		in, err := letter(spelling, src)
+		if err != nil {
+			return err
+		}
+		t.excs = append(t.excs, in)
+		return nil
+	}
+
+	// Safe letters: dependent ALU traffic, one memory cell, a short
+	// forward branch.
+	base := [][2]string{
+		{"add t0, t0, t1", "add t0, t0, t1"},
+		{"sub t1, t1, t0", "sub t1, t1, t0"},
+		{"xor t2, t0, t1", "xor t2, t0, t1"},
+		{"sw t0, 0(zero)", "sw t0, 0(zero)"},
+		{"lw t1, 0(zero)", "lw t1, 0(zero)"},
+		{"beq t0, t1, +8", "beq t0, t1, fwd\nnop\nfwd: nop"},
+	}
+	for _, l := range base {
+		if err := add(l[0], l[1]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < width; i++ {
+		imm := rv32ImmSeries[i]
+		rd := []string{"t0", "t1"}[i%2]
+		src := fmt.Sprintf("addi %s, t0, %d", rd, imm)
+		if err := add(src, src); err != nil {
+			return nil, err
+		}
+	}
+
+	// Exception letters and trap plumbing, per variant.
+	switch v {
+	case designs.Base:
+		// No exception machinery: pure programs only.
+	case designs.Fatal:
+		for _, l := range [][2]string{
+			{".word 0xFFFFFFFF", ".word 0xFFFFFFFF"},
+			{"lw t0, 1(zero)", "lw t0, 1(zero)"},  // misaligned load
+			{"sw t0, 2(zero)", "sw t0, 2(zero)"},  // misaligned store
+		} {
+			if err := addExc(l[0], l[1]); err != nil {
+				return nil, err
+			}
+		}
+	case designs.Trap:
+		for _, l := range [][2]string{
+			{"ecall", "ecall"},
+			{".word 0xFFFFFFFF", ".word 0xFFFFFFFF"},
+			{"lw t0, 1(zero)", "lw t0, 1(zero)"},
+		} {
+			if err := addExc(l[0], l[1]); err != nil {
+				return nil, err
+			}
+		}
+		// The handler halts: any trap ends the workload precisely.
+		t.handler, err = asmWords("ebreak")
+		if err != nil {
+			return nil, err
+		}
+		t.presets["mtvec"] = handlerWord * 4
+		t.presets["mstatus"] = riscv.MStatusMIE
+		t.presets["mie"] = riscv.MIPMSIP | riscv.MIPMTIP | riscv.MIPMEIP
+	case designs.CSR:
+		for _, l := range [][2]string{
+			{"csrrw t0, mscratch, t1", "csrrw t0, mscratch, t1"},
+			{"csrrs t1, mscratch, t0", "csrrs t1, mscratch, t0"},
+			{"csrrc t2, mscratch, t0", "csrrc t2, mscratch, t0"},
+		} {
+			if err := addExc(l[0], l[1]); err != nil {
+				return nil, err
+			}
+		}
+	case designs.All:
+		for _, l := range [][2]string{
+			{"ecall", "ecall"},
+			{".word 0xFFFFFFFF", ".word 0xFFFFFFFF"},
+			{"csrrw t0, mscratch, t1", "csrrw t0, mscratch, t1"},
+		} {
+			if err := addExc(l[0], l[1]); err != nil {
+				return nil, err
+			}
+		}
+		// mcause dispatch: synchronous traps resume past the trapping
+		// instruction, interrupts re-execute the interrupted one.
+		t.handler, err = asmWords(`
+        csrr t6, mcause
+        bltz t6, iret
+        csrr t6, mepc
+        addi t6, t6, 4
+        csrw mepc, t6
+iret:   mret
+`)
+		if err != nil {
+			return nil, err
+		}
+		t.presets["mtvec"] = handlerWord * 4
+		t.presets["mstatus"] = riscv.MStatusMIE
+		t.presets["mie"] = riscv.MIPMSIP | riscv.MIPMTIP | riscv.MIPMEIP
+	}
+
+	eb, err := asmWords("ebreak")
+	if err != nil {
+		return nil, err
+	}
+	t.ebreak = eb[0]
+	np, err := asmWords("nop")
+	if err != nil {
+		return nil, err
+	}
+	t.nop = np[0]
+	return t, nil
+}
+
+// Name identifies the variant.
+func (t *VariantTarget) Name() string { return t.v.String() }
+
+// Alphabet is the safe-letter projection.
+func (t *VariantTarget) Alphabet() []Inst { return t.alphabet }
+
+// ExcLetters are the exception-raising letters.
+func (t *VariantTarget) ExcLetters() []Inst { return t.excs }
+
+// IntrCapable: only Trap and All take external interrupts (CSR declares
+// mip but never consults it).
+func (t *VariantTarget) IntrCapable() bool {
+	return t.v == designs.Trap || t.v == designs.All
+}
+
+// Neutral is nop.
+func (t *VariantTarget) Neutral() uint32 { return t.nop }
+
+// image lays out the full instruction image for a slot program.
+func (t *VariantTarget) image(prog []uint32) []uint32 {
+	n := handlerWord + len(t.handler) + 2
+	img := make([]uint32, n)
+	for i := range img {
+		img[i] = t.ebreak
+	}
+	copy(img, prog)
+	copy(img[handlerWord:], t.handler)
+	// Trailing padding after the handler is ebreak too (set above).
+	return img
+}
+
+func (t *VariantTarget) hasVol(name string) bool {
+	return t.design.Prog.Vol(name) != nil
+}
+
+// Build constructs and boots one enumeration point's machine.
+func (t *VariantTarget) Build(prog []uint32, intr int, engine string) (*sim.Machine, error) {
+	if len(prog) > handlerWord-2 {
+		return nil, fmt.Errorf("bveq: program of %d slots exceeds the fixed layout", len(prog))
+	}
+	m, err := sim.New(t.design.Info, t.design.Translations, sim.Config{
+		Engine: engine, Externs: designs.Externs(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range t.image(prog) {
+		m.MemPoke("imem", uint64(i), val.New(uint64(w), 32))
+	}
+	for name, v := range t.presets {
+		if t.hasVol(name) {
+			m.VolPoke(name, val.New(uint64(v), 32))
+		}
+	}
+	if intr >= 0 && t.IntrCapable() {
+		cur := fault.Schedule{intr}.Cursor()
+		m.OnCycleWake(func(m *sim.Machine) {
+			if cur.Fire(m.Cycle()) {
+				mip := m.VolPeek("mip").Uint()
+				m.VolPoke("mip", val.New(mip|uint64(riscv.MIPMTIP), 32))
+			}
+		}, cur.Next)
+	}
+	if err := m.Start("cpu", val.New(0, 32)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// rvEvent is one projected retirement.
+type rvEvent struct {
+	PC    uint32
+	Kind  int // -1 normal, else the K* exception kind
+	Cause uint32
+	Cycle int
+}
+
+func rvEvents(m *sim.Machine) []rvEvent {
+	var out []rvEvent
+	for _, r := range m.Retired() {
+		if r.Pipe != "cpu" {
+			continue
+		}
+		ev := rvEvent{PC: uint32(r.Args[0].Uint()), Kind: -1, Cycle: r.Cycle}
+		if r.Exceptional {
+			ev.Kind = int(r.EArgs[0].Uint())
+			ev.Cause = uint32(r.EArgs[2].Uint())
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func isTrapKind(kind int) bool {
+	return kind == designs.KTrap || kind == designs.KInt || kind == designs.KFatal
+}
+
+// Check replays the golden sequential model against the machine's run.
+func (t *VariantTarget) Check(prog []uint32, intr int, m *sim.Machine, runErr error) *Mismatch {
+	if runErr != nil {
+		return &Mismatch{Stage: "run", Detail: runErr.Error(), Index: -1, Cycle: -1}
+	}
+	drained := m.InFlight() == 0
+	events := rvEvents(m)
+
+	g := golden.New(t.image(prog), nil, designs.DMemWords)
+	for name, v := range t.presets {
+		addr := csrAddr(name)
+		if idx, ok := riscv.CSRIndex(addr); ok {
+			g.CSR[idx] = v
+		}
+	}
+
+	interrupted := false
+	for i, ev := range events {
+		if g.Halted {
+			return &Mismatch{Stage: "trace", Index: i, Cycle: ev.Cycle,
+				Detail: fmt.Sprintf("retirement %d at pc=%#x after the golden model halted", i, ev.PC)}
+		}
+		if ev.Kind == designs.KInt {
+			// OIAT: the pipeline chose this boundary; the golden model
+			// takes the same interrupt immediately before this step.
+			g.RaiseInterrupt(riscv.MIPMTIP)
+			interrupted = true
+		}
+		if err := g.Step(); err != nil {
+			return &Mismatch{Stage: "trace", Index: i, Cycle: ev.Cycle,
+				Detail: "golden model: " + err.Error()}
+		}
+		gev := g.Trace[i]
+		if ev.PC != gev.PC {
+			return &Mismatch{Stage: "trace", Index: i, Cycle: ev.Cycle,
+				Detail: fmt.Sprintf("retirement %d: pipeline pc %#x, golden pc %#x", i, ev.PC, gev.PC)}
+		}
+		if gev.Trap != isTrapKind(ev.Kind) {
+			return &Mismatch{Stage: "trace", Index: i, Cycle: ev.Cycle,
+				Detail: fmt.Sprintf("retirement %d (pc %#x): pipeline kind %d, golden trap=%v (cause %d)",
+					i, ev.PC, ev.Kind, gev.Trap, gev.Cause)}
+		}
+		if gev.Trap && ev.Cause != gev.Cause {
+			return &Mismatch{Stage: "trace", Index: i, Cycle: ev.Cycle,
+				Detail: fmt.Sprintf("retirement %d: pipeline cause %#x, golden %#x", i, ev.Cause, gev.Cause)}
+		}
+		if t.v == designs.Fatal && ev.Kind == designs.KFatal {
+			// Fatal halts the core; the golden model has trapped toward
+			// mtvec. Stop the replay here: the fault record and the
+			// untouched architectural state are what must agree.
+			if i != len(events)-1 {
+				return &Mismatch{Stage: "trace", Index: i, Cycle: ev.Cycle,
+					Detail: fmt.Sprintf("retirement after a fatal exception (%d of %d)", i, len(events)-1)}
+			}
+			if !drained {
+				return &Mismatch{Stage: "drain", Index: i, Cycle: ev.Cycle,
+					Detail: "pipeline still in flight after a fatal exception"}
+			}
+			if fc := uint32(m.VolPeek("faultcode").Uint()); fc != gev.Cause {
+				return &Mismatch{Stage: "state", Index: -1, Cycle: -1,
+					Detail: fmt.Sprintf("faultcode = %d, golden cause %d", fc, gev.Cause)}
+			}
+			if fp := uint32(m.VolPeek("faultpc").Uint()); fp != gev.PC {
+				return &Mismatch{Stage: "state", Index: -1, Cycle: -1,
+					Detail: fmt.Sprintf("faultpc = %#x, golden %#x", fp, gev.PC)}
+			}
+			return t.archDiff(m, g, intr, interrupted, true)
+		}
+	}
+
+	if !drained {
+		// Budget elapsed with work in flight: the prefix agreed, which
+		// is all a bounded run can claim. (A stuck machine is a "run"
+		// mismatch via the watchdog, not this path.)
+		return nil
+	}
+	if !g.Halted {
+		return &Mismatch{Stage: "drain", Index: len(events), Cycle: -1,
+			Detail: fmt.Sprintf("pipeline drained after %d retirements but the golden model has not halted (pc=%#x)", len(events), g.PC)}
+	}
+	return t.archDiff(m, g, intr, interrupted, false)
+}
+
+// archDiff compares final architectural state: registers, data memory,
+// and the variant's CSRs. An interrupt pulse the pipeline never claimed
+// leaves mip pending on both sides (the device fired either way).
+func (t *VariantTarget) archDiff(m *sim.Machine, g *golden.Machine, intr int, interrupted, fatal bool) *Mismatch {
+	state := func(detail string) *Mismatch {
+		return &Mismatch{Stage: "state", Detail: detail, Index: -1, Cycle: -1}
+	}
+	for i := uint64(1); i < 32; i++ {
+		if got, want := uint32(m.MemPeek("rf", i).Uint()), g.Regs[i]; got != want {
+			return state(fmt.Sprintf("x%d = %#x, golden %#x", i, got, want))
+		}
+	}
+	for i := uint64(0); i < designs.DMemWords; i++ {
+		if got, want := uint32(m.MemPeek("dmem", i).Uint()), g.DMem[i]; got != want {
+			return state(fmt.Sprintf("dmem[%d] = %#x, golden %#x", i, got, want))
+		}
+	}
+	if fatal {
+		// The golden trap wrote CSRs the Fatal design does not have;
+		// regs and dmem (compared above) are the precision claim.
+		return nil
+	}
+	if intr >= 0 && !interrupted {
+		// The pulse fired but the pipeline never claimed it (e.g. it
+		// arrived after the last instruction passed the interrupt
+		// check). Mirror the pending bit into the golden model.
+		g.RaiseInterrupt(riscv.MIPMTIP)
+	}
+	for _, name := range []string{"mstatus", "mie", "mtvec", "mscratch", "mepc", "mcause", "mtval", "mip"} {
+		if !t.hasVol(name) {
+			continue
+		}
+		idx, _ := riscv.CSRIndex(csrAddr(name))
+		if got, want := uint32(m.VolPeek(name).Uint()), g.CSR[idx]; got != want {
+			return state(fmt.Sprintf("%s = %#x, golden %#x", name, got, want))
+		}
+	}
+	return nil
+}
+
+func csrAddr(name string) uint32 {
+	switch name {
+	case "mstatus":
+		return riscv.CSRMStatus
+	case "mie":
+		return riscv.CSRMIE
+	case "mtvec":
+		return riscv.CSRMTVec
+	case "mscratch":
+		return riscv.CSRMScratch
+	case "mepc":
+		return riscv.CSRMEPC
+	case "mcause":
+		return riscv.CSRMCause
+	case "mtval":
+		return riscv.CSRMTVal
+	case "mip":
+		return riscv.CSRMIP
+	}
+	return 0
+}

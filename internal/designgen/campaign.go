@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"xpdl/internal/bveq"
 	"xpdl/internal/core"
 )
 
@@ -21,6 +22,11 @@ type CampaignOpts struct {
 	Log func(format string, args ...any)
 	// Corrupt seeds a translation bug into every run (tests only).
 	Corrupt func(map[string]*core.Result)
+	// Bveq additionally pushes every design that survives the gauntlet
+	// through the bounded exhaustive equivalence gate (internal/bveq) at
+	// program length BveqLen (default 2).
+	Bveq    bool
+	BveqLen int
 }
 
 // Finding is one counterexample a campaign produced.
@@ -48,6 +54,7 @@ type Summary struct {
 	Resume   int        `json:"resume_runs"`
 	Cosim    int        `json:"cosim_runs"`
 	Mutants  int        `json:"mutant_runs"`
+	Bveq     int        `json:"bveq_runs"`
 	Findings []*Finding `json:"findings"`
 }
 
@@ -114,6 +121,21 @@ func RunCampaign(opts CampaignOpts) *Summary {
 				}
 			}
 			sum.Findings = append(sum.Findings, f)
+		} else if opts.Bveq {
+			// The design survived the randomized gauntlet: gate it with
+			// the bounded exhaustive sweep.
+			sum.Bveq++
+			if f := bveqGate(d, dseed, i, opts, logf); f != nil {
+				if opts.OutDir != "" {
+					dir, err := WriteBundle(opts.OutDir, f)
+					if err != nil {
+						logf("  bundle write failed: %v", err)
+					} else {
+						f.BundleDir = dir
+					}
+				}
+				sum.Findings = append(sum.Findings, f)
+			}
 		}
 
 		if i%5 == 0 {
@@ -132,6 +154,41 @@ func RunCampaign(opts CampaignOpts) *Summary {
 	}
 	sum.Designs = len(distinct)
 	return sum
+}
+
+// bveqGate sweeps one surviving design through the bounded gate and
+// converts the first counterexample (shrunk, when the campaign shrinks)
+// into a Finding. nil means the design is bounded-verified.
+func bveqGate(d *DesignSpec, dseed uint64, iter int, opts CampaignOpts, logf func(string, ...any)) *Finding {
+	bounds := bveq.Bounds{K: opts.BveqLen}
+	if bounds.K <= 0 {
+		bounds.K = 2
+	}
+	rep, err := BoundedVerify(d, bounds, opts.Corrupt)
+	if err != nil {
+		return &Finding{
+			Iteration: iter, Kind: "bveq", DesignSeed: dseed,
+			Stage: "build", Detail: err.Error(),
+			Design: d.Name(), Spec: d,
+		}
+	}
+	if rep.Verified {
+		return nil
+	}
+	ce := rep.Counterexamples[0]
+	logf("iteration %d: BVEQ counterexample on %s: %s: %s", iter, d.Name(), ce.Stage, ce.Detail)
+	if opts.Shrink {
+		if t, terr := BveqTarget(d, rep.Width, opts.Corrupt); terr == nil {
+			ce = bveq.ShrinkPoint(t, bounds, ce)
+			logf("  shrunk to %d words (intr %d)", len(ce.Prog), ce.IntrCycle)
+		}
+	}
+	return &Finding{
+		Iteration: iter, Kind: "bveq", DesignSeed: dseed,
+		Stage:  "bveq-" + ce.Stage,
+		Detail: fmt.Sprintf("%s (point %d, intr cycle %d)", ce.Detail, ce.Point, ce.IntrCycle),
+		Design: d.Name(), Spec: d, Prog: ce.Prog,
+	}
 }
 
 // WriteBundle emits a self-contained repro directory:

@@ -239,35 +239,20 @@ func externs(d *DesignSpec) map[string]sim.ExternFunc {
 
 // stormSchedule derives the pulse cycles for a chaos seed: cycles the
 // injector's storm stream picks, spaced and budgeted. Pure in the seed.
-func stormSchedule(seed uint64, maxCycles int) []int {
-	inj := fault.New(fault.Default(seed))
-	var out []int
-	last := -stormSpacing
-	for c := 0; c < maxCycles && len(out) < stormBudget; c++ {
-		if c-last < stormSpacing {
-			continue
-		}
-		if _, ok := inj.Storm(c, 1); ok {
-			out = append(out, c)
-			last = c
-		}
-	}
-	return out
+func stormSchedule(seed uint64, maxCycles int) fault.Schedule {
+	return fault.New(fault.Default(seed)).Pulses(maxCycles, stormBudget, stormSpacing)
 }
 
-// attachStorm pulses the ipend line on the scheduled cycles.
-func attachStorm(m *sim.Machine, schedule []int) {
-	i := 0
-	m.OnCycle(func(m *sim.Machine) {
-		c := m.Cycle()
-		for i < len(schedule) && schedule[i] < c {
-			i++
-		}
-		if i < len(schedule) && schedule[i] == c {
+// attachStorm pulses the ipend line on the scheduled cycles. The cursor
+// doubles as the wake predictor, so an otherwise-quiet machine can
+// fast-forward between pulses.
+func attachStorm(m *sim.Machine, schedule fault.Schedule) {
+	cur := schedule.Cursor()
+	m.OnCycleWake(func(m *sim.Machine) {
+		if cur.Fire(m.Cycle()) {
 			m.VolPoke("ipend", val.New(1, 32))
-			i++
 		}
-	})
+	}, cur.Next)
 }
 
 // toEvents projects a retirement trace to architectural events.

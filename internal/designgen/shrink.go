@@ -19,18 +19,28 @@ const shrinkBudget = 2000
 // reports a divergence under opts" — not necessarily the same one; a
 // shrunk repro that trips a different check is still a repro.
 func Shrink(d *DesignSpec, prog []uint32, opts RunOpts) (*DesignSpec, []uint32) {
+	return ShrinkWith(d, prog, func(cd *DesignSpec, cp []uint32) bool {
+		return Gauntlet(cd, cp, opts) != nil
+	})
+}
+
+// ShrinkWith minimizes a diverging pair against an arbitrary divergence
+// property — the gauntlet for fuzz findings, a bounded-exhaustive sweep
+// for bveq findings. The property is budget-capped here, so callers
+// pass it raw.
+func ShrinkWith(d *DesignSpec, prog []uint32, diverges func(*DesignSpec, []uint32) bool) (*DesignSpec, []uint32) {
 	runs := 0
-	diverges := func(cd *DesignSpec, cp []uint32) bool {
+	capped := func(cd *DesignSpec, cp []uint32) bool {
 		if runs >= shrinkBudget {
 			return false
 		}
 		runs++
-		return Gauntlet(cd, cp, opts) != nil
+		return diverges(cd, cp)
 	}
-	d = shrinkDesign(d, prog, diverges)
-	prog = shrinkProgram(d, prog, diverges)
+	d = shrinkDesign(d, prog, capped)
+	prog = shrinkProgram(d, prog, capped)
 	// A smaller program sometimes unlocks further design shrinking.
-	d = shrinkDesign(d, prog, diverges)
+	d = shrinkDesign(d, prog, capped)
 	return d, prog
 }
 

@@ -3,42 +3,16 @@ package designgen
 import (
 	"testing"
 
-	"xpdl/internal/core"
-	"xpdl/internal/pdl/ast"
+	"xpdl/internal/bveq"
 )
 
-// stripAborts is the seeded translation bug: it deletes the rollback
-// stage's abort statements from the translated pipeline, so a flushed
-// instruction's lock reservations and staged writes survive an
-// exception — exactly the imprecision §3.3's rollback stage exists to
-// prevent.
-func stripAborts(trs map[string]*core.Result) {
-	res := trs["cpu"]
-	res.Pipe.Body = stripAbortStmts(res.Pipe.Body)
-}
-
-// stripAbortStmts removes *ast.Abort recursively (the rollback stage
-// lives inside the LefBranch except arm, which itself sits inside the
-// per-stage GefGuard wrappers the translation adds).
-func stripAbortStmts(stmts []ast.Stmt) []ast.Stmt {
-	var out []ast.Stmt
-	for _, s := range stmts {
-		switch n := s.(type) {
-		case *ast.Abort:
-			continue
-		case *ast.GefGuard:
-			n.Body = stripAbortStmts(n.Body)
-		case *ast.LefBranch:
-			n.Commit = stripAbortStmts(n.Commit)
-			n.Except = stripAbortStmts(n.Except)
-		case *ast.If:
-			n.Then = stripAbortStmts(n.Then)
-			n.Else = stripAbortStmts(n.Else)
-		}
-		out = append(out, s)
-	}
-	return out
-}
+// stripAborts is the seeded translation bug (now exported from
+// internal/bveq so the bounded gate regression-pins it too): it deletes
+// the rollback stage's abort statements from the translated pipeline,
+// so a flushed instruction's lock reservations and staged writes
+// survive an exception — exactly the imprecision §3.3's rollback stage
+// exists to prevent.
+var stripAborts = bveq.StripAborts
 
 // corruptibleSeeds finds generated designs on which the seeded bug is
 // observable (the design must take an exception while some squashed

@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPulsesDeterministic: the schedule is a pure function of the seed,
+// respects the budget, and keeps the spacing.
+func TestPulsesDeterministic(t *testing.T) {
+	a := New(Default(42)).Pulses(10_000, 6, 40)
+	b := New(Default(42)).Pulses(10_000, 6, 40)
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 || len(a) > 6 {
+		t.Fatalf("budget violated: %d pulses", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i]-a[i-1] < 40 {
+			t.Fatalf("spacing violated: pulses at %d and %d", a[i-1], a[i])
+		}
+	}
+}
+
+// TestCursor: Fire consumes each scheduled cycle exactly once (skipped
+// cycles are passed over), and Next predicts the earliest remaining
+// pulse — the wake contract OnCycleWake relies on.
+func TestCursor(t *testing.T) {
+	s := Schedule{3, 10, 25}
+	c := s.Cursor()
+	if got := c.Next(0); got != 3 {
+		t.Fatalf("Next(0) = %d, want 3", got)
+	}
+	if c.Fire(2) {
+		t.Fatal("fired before the scheduled cycle")
+	}
+	if !c.Fire(3) {
+		t.Fatal("did not fire at the scheduled cycle")
+	}
+	if c.Fire(3) {
+		t.Fatal("fired twice for one scheduled cycle")
+	}
+	if got := c.Next(4); got != 10 {
+		t.Fatalf("Next(4) = %d, want 10", got)
+	}
+	// A fast-forwarded machine may jump past a pulse; the cursor must
+	// skip it rather than fire late.
+	if c.Fire(12) {
+		t.Fatal("fired late for a skipped pulse")
+	}
+	if got := c.Next(12); got != 25 {
+		t.Fatalf("Next(12) = %d, want 25", got)
+	}
+	if !c.Fire(25) {
+		t.Fatal("did not fire at the last scheduled cycle")
+	}
+	if got := c.Next(26); got != math.MaxInt {
+		t.Fatalf("Next past the end = %d, want MaxInt", got)
+	}
+}
