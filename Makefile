@@ -1,5 +1,5 @@
 # Tier-1: everything must build and every test must pass.
-.PHONY: all test vet vet-xpdl bveq-smoke bveq-nightly bench bench-smoke chaos cover fuzz-smoke fuzz-designs fuzz-corpus race soak clean
+.PHONY: all test vet vet-xpdl bveq-smoke bveq-nightly bench bench-smoke chaos cover fuzz-smoke fuzz-designs fuzz-corpus race soak serve-smoke serve-soak clean
 
 all: vet vet-xpdl bveq-smoke test
 
@@ -93,7 +93,7 @@ fuzz-corpus:
 # `go test -race ./...`.
 race:
 	go test -race -count=1 ./internal/sim/ ./internal/cosim/ ./internal/snap/ \
-		./internal/vm/ ./internal/fault/
+		./internal/vm/ ./internal/fault/ ./internal/xpdld/
 
 # soak proves the kill/resume story on the real binary: a chaos run is
 # cut short by -timeout (exit 7, resumable snapshot written), resumed
@@ -114,6 +114,49 @@ soak:
 	grep -qxF "$$(grep '^dmem\[0\]' $(SOAK_DIR)/straight.out)" $(SOAK_DIR)/resumed.out
 	grep -q 'golden model cross-check: architectural state identical' $(SOAK_DIR)/resumed.out
 	@echo "soak: killed run resumed to an identical result"
+	$(MAKE) serve-soak SOAK_SEEDS=1,2,3,4 SOAK_CYCLES=1
+
+# serve-smoke boots the real daemon, pushes one job of every kind
+# through xpdlctl, scrapes /metrics, and shuts the daemon down cleanly
+# with SIGTERM — the tier-1 proof that the service stack (HTTP API,
+# worker pool, compile cache, checkpointing, CLI) works end to end on
+# the built binaries.
+SERVE_DIR := $(or $(TMPDIR),/tmp)/xpdld-smoke
+serve-smoke:
+	rm -rf $(SERVE_DIR) && mkdir -p $(SERVE_DIR)
+	go build -o $(SERVE_DIR)/xpdld ./cmd/xpdld
+	go build -o $(SERVE_DIR)/xpdlctl ./cmd/xpdlctl
+	printf '        li   t0, 0\n        li   t1, 0\n        li   t2, 20000\nloop:   add  t1, t1, t0\n        addi t0, t0, 1\n        bne  t0, t2, loop\n        sw   t1, 0(zero)\n        ebreak\n' > $(SERVE_DIR)/loop.s
+	$(SERVE_DIR)/xpdld -addr 127.0.0.1:0 -state $(SERVE_DIR)/state 2> $(SERVE_DIR)/xpdld.log & \
+	  pid=$$!; \
+	  for i in $$(seq 1 100); do test -s $(SERVE_DIR)/state/xpdld.addr && break; sleep 0.1; done && \
+	  test -s $(SERVE_DIR)/state/xpdld.addr && \
+	  addr=$$(cat $(SERVE_DIR)/state/xpdld.addr) && \
+	  $(SERVE_DIR)/xpdlctl -addr $$addr submit -kind compile -design all -wait > $(SERVE_DIR)/compile.json && \
+	  $(SERVE_DIR)/xpdlctl -addr $$addr submit -kind simulate -design base -workload fib -wait > $(SERVE_DIR)/simulate.json && \
+	  $(SERVE_DIR)/xpdlctl -addr $$addr submit -kind chaos -design all -seed 7 -asm $(SERVE_DIR)/loop.s -wait > $(SERVE_DIR)/chaos.json && \
+	  $(SERVE_DIR)/xpdlctl -addr $$addr submit -kind cosim -design base -workload fib -wait > $(SERVE_DIR)/cosim.json && \
+	  $(SERVE_DIR)/xpdlctl -addr $$addr submit -kind bveq -design base -bveq-len 1 -wait > $(SERVE_DIR)/bveq.json && \
+	  $(SERVE_DIR)/xpdlctl -addr $$addr metrics > $(SERVE_DIR)/metrics.txt && \
+	  grep -q 'xpdld_jobs{state="done"} 5' $(SERVE_DIR)/metrics.txt && \
+	  grep -q '^xpdld_compiles_total' $(SERVE_DIR)/metrics.txt && \
+	  grep -q '"golden_ok": true' $(SERVE_DIR)/chaos.json && \
+	  grep -q '"verified": true' $(SERVE_DIR)/bveq.json && \
+	  kill -TERM $$pid && wait $$pid \
+	  || { status=$$?; cat $(SERVE_DIR)/xpdld.log; kill -9 $$pid 2>/dev/null; exit $$status; }
+	grep -q 'clean shutdown' $(SERVE_DIR)/xpdld.log
+	@echo "serve-smoke: five kinds served via xpdlctl, metrics scraped, clean shutdown"
+
+# serve-soak is the daemon-grade kill/resume soak: the real xpdld
+# binary is SIGKILLed mid-job at random checkpoints and restarted,
+# repeatedly, and every job of every kind must still end with a report
+# byte-identical to an uninterrupted run. SOAK_SEEDS scales the chaos
+# job mix; SOAK_CYCLES the number of SIGKILL/restart rounds.
+SOAK_SEEDS ?= 1,2,3,4,5,6,7,8
+SOAK_CYCLES ?= 3
+serve-soak:
+	XPDLD_KILL_SEEDS=$(SOAK_SEEDS) XPDLD_KILL_CYCLES=$(SOAK_CYCLES) \
+	  go test -run TestDaemonKillResume -count=1 -v -timeout 60m ./internal/xpdld/
 
 # bench vets the tree, runs the whole benchmark suite once as a smoke
 # check (one iteration per benchmark, with allocation stats), then takes

@@ -1,0 +1,109 @@
+// Command xpdld is the multi-tenant simulation daemon: a long-running
+// HTTP/JSON server over the XPDL toolchain. It accepts compile,
+// simulate, chaos, cosim and bveq jobs, runs them on a worker pool
+// sized to the machine, checkpoints simulation-shaped jobs at snapshot
+// boundaries, and recovers every non-terminal job after a crash — a
+// SIGKILL mid-job costs at most one checkpoint interval of work and
+// never changes the final report.
+//
+// Usage:
+//
+//	xpdld [-addr host:port] [-state dir] [-workers N]
+//	      [-checkpoint-every N] [-quota-active N] [-quota-cycles N]
+//
+// The daemon writes the bound address (useful with -addr :0) to
+// <state>/xpdld.addr once listening. SIGINT/SIGTERM shut it down
+// gracefully: running jobs are preempted at their next cycle boundary,
+// checkpointed, and persisted back to queued, so the next daemon on the
+// same state directory resumes them with no lost work.
+//
+// Exit codes: 0 clean shutdown, 1 startup or serve failure, 2 usage.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"xpdl/internal/xpdld"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7433", "listen address (use :0 for an ephemeral port)")
+	state := flag.String("state", "xpdld-state", "artifact-store directory (specs, checkpoints, reports)")
+	workers := flag.Int("workers", 0, "worker pool width (0 = all cores)")
+	checkpointEvery := flag.Int("checkpoint-every", 50_000, "default checkpoint interval in cycles")
+	quotaActive := flag.Int("quota-active", 0, "per-tenant cap on queued+running jobs (0 = default 64)")
+	quotaCycles := flag.Int("quota-cycles", 0, "per-job cycle-budget ceiling (0 = default 10M)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := xpdld.New(xpdld.Config{
+		StateDir:        *state,
+		Workers:         *workers,
+		CheckpointEvery: *checkpointEvery,
+		Quota:           xpdld.Quota{MaxActive: *quotaActive, MaxCycles: *quotaCycles},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if err := writeAddrFile(filepath.Join(*state, "xpdld.addr"), bound); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "xpdld: listening on %s (state %s)\n", bound, *state)
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "xpdld: %v: draining (jobs checkpoint and return to the queue)\n", sig)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "xpdld: clean shutdown")
+}
+
+// writeAddrFile persists the bound address atomically so scripts can
+// poll for it without racing a partial write.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpdld:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,201 @@
+package xpdld
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to an xpdld server. The zero HTTP client is fine for
+// localhost use; Base is the server URL (e.g. "http://127.0.0.1:7433").
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient builds a client for a base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes a non-2xx response into an error.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error.Kind != "" {
+		return fmt.Errorf("xpdld: %s (HTTP %d): %s", eb.Error.Kind, resp.StatusCode, eb.Error.Detail)
+	}
+	return fmt.Errorf("xpdld: HTTP %d", resp.StatusCode)
+}
+
+func (c *Client) doJSON(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit admits a job.
+func (c *Client) Submit(sp Spec) (Status, error) {
+	var st Status
+	err := c.doJSON(http.MethodPost, "/jobs", sp, &st)
+	return st, err
+}
+
+// Status fetches a job's status.
+func (c *Client) Status(id string) (Status, error) {
+	var st Status
+	err := c.doJSON(http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches all jobs (optionally one tenant's).
+func (c *Client) List(tenant string) ([]Status, error) {
+	path := "/jobs"
+	if tenant != "" {
+		path += "?tenant=" + tenant
+	}
+	var out []Status
+	err := c.doJSON(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation. The returned status may still be
+// running — the job goes terminal at its next cycle boundary; use Wait
+// to observe the transition.
+func (c *Client) Cancel(id string) (Status, error) {
+	var st Status
+	err := c.doJSON(http.MethodDelete, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Resume re-enqueues a canceled job.
+func (c *Client) Resume(id string) (Status, error) {
+	var st Status
+	err := c.doJSON(http.MethodPost, "/jobs/"+id+"/resume", nil, &st)
+	return st, err
+}
+
+// Report fetches a done job's canonical report bytes.
+func (c *Client) Report(id string) ([]byte, error) {
+	resp, err := c.http().Get(c.Base + "/jobs/" + id + "/report")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, apiError(resp)
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Metrics fetches the /metrics text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http().Get(c.Base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 300 {
+		return "", apiError(resp)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Events streams a job's status updates, calling fn for each until the
+// job goes terminal, fn returns false, or ctx is canceled. Returns the
+// last status seen.
+func (c *Client) Events(ctx context.Context, id string, fn func(Status) bool) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return Status{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	if resp.StatusCode >= 300 {
+		return Status{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var last Status
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var st Status
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			return last, err
+		}
+		last = st
+		if fn != nil && !fn(st) {
+			return last, nil
+		}
+		if st.State.Terminal() {
+			return last, nil
+		}
+	}
+	return last, sc.Err()
+}
+
+// Wait blocks until the job is terminal, streaming events and falling
+// back to polling when a stream ends early (e.g. across a daemon
+// restart).
+func (c *Client) Wait(ctx context.Context, id string) (Status, error) {
+	for {
+		st, err := c.Events(ctx, id, nil)
+		if err == nil && st.State.Terminal() {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		// Stream broke (daemon restart, network hiccup): poll.
+		st, perr := c.Status(id)
+		if perr == nil && st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package xpdld
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Metrics is a minimal Prometheus-text-format counter registry. Keys
+// are full series names including any label set (e.g.
+// `xpdld_jobs_submitted_total{kind="chaos"}`); rendering is sorted, so
+// /metrics output is deterministic for a given counter state.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: make(map[string]uint64)}
+}
+
+// Inc adds one to a series.
+func (m *Metrics) Inc(series string) { m.Add(series, 1) }
+
+// Add adds d to a series, creating it at zero first.
+func (m *Metrics) Add(series string, d uint64) {
+	m.mu.Lock()
+	m.counters[series] += d
+	m.mu.Unlock()
+}
+
+// Get reads a series (0 when absent).
+func (m *Metrics) Get(series string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[series]
+}
+
+// Render writes all series, merged with the caller's live gauges, in
+// sorted order.
+func (m *Metrics) Render(w io.Writer, gauges map[string]uint64) error {
+	m.mu.Lock()
+	lines := make(map[string]uint64, len(m.counters)+len(gauges))
+	for k, v := range m.counters {
+		lines[k] = v
+	}
+	m.mu.Unlock()
+	for k, v := range gauges {
+		lines[k] = v
+	}
+	keys := make([]string, 0, len(lines))
+	for k := range lines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, lines[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package xpdld
+
+import "fmt"
+
+// Quota is the per-tenant admission policy. Both limits apply at
+// submit time: MaxActive bounds how many non-terminal (queued or
+// running) jobs a tenant may hold at once, and MaxCycles clamps every
+// job's cycle budget — a run that outgrows the clamp fails with the
+// same typed cycle-budget error a self-imposed budget produces.
+type Quota struct {
+	// MaxActive is the per-tenant cap on queued+running jobs
+	// (default 64).
+	MaxActive int
+	// MaxCycles is the per-job cycle-budget ceiling (default 10M).
+	MaxCycles int
+}
+
+func (q Quota) withDefaults() Quota {
+	if q.MaxActive <= 0 {
+		q.MaxActive = 64
+	}
+	if q.MaxCycles <= 0 {
+		q.MaxCycles = 10_000_000
+	}
+	return q
+}
+
+// QuotaError reports a submission rejected by admission control.
+type QuotaError struct {
+	Tenant string
+	Active int
+	Limit  int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("tenant %q has %d active jobs (limit %d)", e.Tenant, e.Active, e.Limit)
+}

@@ -1,0 +1,11 @@
+//go:build !race
+
+package xpdld
+
+// raceEnabled reports whether the test binary was built with -race.
+// The daemon kill/resume harness skips under race: the spawned xpdld
+// binary is a separate, non-instrumented process, so the detector
+// would only watch the test scaffolding while tripling the runtime.
+// The in-process suites (api_test, resume_test) exercise the same
+// server code under race.
+const raceEnabled = false

@@ -1,0 +1,669 @@
+package xpdld
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// StateDir is the artifact-store root. Required.
+	StateDir string
+	// Workers is the pool width (default: GOMAXPROCS — the pool
+	// saturates all cores).
+	Workers int
+	// CheckpointEvery is the default snapshot interval in cycles for
+	// jobs that do not set their own (default 50_000).
+	CheckpointEvery int
+	// Quota is the per-tenant admission policy.
+	Quota Quota
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 50_000
+	}
+	c.Quota = c.Quota.withDefaults()
+	return c
+}
+
+// job is the in-memory record of one job. The persisted Status in the
+// store mirrors it at every transition.
+type job struct {
+	id   string
+	spec Spec
+
+	mu        sync.Mutex
+	state     State
+	progress  Progress
+	jerr      *JobError
+	resumable bool
+	cancel    context.CancelFunc // non-nil while running
+	preempt   bool               // shutdown preemption, not user cancel
+	watchers  []chan Status
+}
+
+// statusLocked snapshots the job; j.mu must be held.
+func (j *job) statusLocked() Status {
+	return Status{
+		ID:        j.id,
+		Spec:      j.spec,
+		State:     j.state,
+		Progress:  j.progress,
+		Error:     j.jerr,
+		Resumable: j.resumable,
+	}
+}
+
+// Status snapshots the job.
+func (j *job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// publishLocked fans a status out to every watcher; j.mu must be held.
+// Sends never block (a slow watcher drops intermediate updates); a
+// terminal status closes every watcher channel, and the event handler
+// re-reads the final status after the close, so the last word is never
+// lost to a full buffer.
+func (j *job) publishLocked(st Status) {
+	for _, ch := range j.watchers {
+		select {
+		case ch <- st:
+		default:
+		}
+	}
+	if st.State.Terminal() {
+		for _, ch := range j.watchers {
+			close(ch)
+		}
+		j.watchers = nil
+	}
+}
+
+// subscribe registers a watcher and returns it with the current status.
+func (j *job) subscribe() (chan Status, Status) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.statusLocked()
+	if st.State.Terminal() {
+		return nil, st
+	}
+	ch := make(chan Status, 16)
+	j.watchers = append(j.watchers, ch)
+	return ch, st
+}
+
+// unsubscribe removes a watcher (the events handler's client went away).
+func (j *job) unsubscribe(ch chan Status) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, w := range j.watchers {
+		if w == ch {
+			j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Server is the simulation service: an artifact store, a compile
+// cache, a worker pool, and the HTTP API over them. It implements
+// http.Handler.
+type Server struct {
+	cfg     Config
+	store   *Store
+	cache   *Cache
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*job
+	order   []string // submission order, for listing
+	pending []*job   // FIFO run queue
+	seq     int
+	closing bool
+
+	busy atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// New opens the state directory, recovers any jobs a previous process
+// left queued or running, and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDir == "" {
+		return nil, errors.New("xpdld: Config.StateDir is required")
+	}
+	store, err := OpenStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	metrics := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		cache:   NewCache(metrics),
+		metrics: metrics,
+		jobs:    make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// recover scans the store and adopts every persisted job: terminal
+// jobs as history, queued/running jobs back onto the run queue — a
+// job that was mid-flight when the process died resumes from its last
+// checkpoint with the work before it intact.
+func (s *Server) recover() error {
+	ids, err := s.store.Jobs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		sp, err := s.store.ReadSpec(id)
+		if err != nil {
+			return fmt.Errorf("xpdld: recover %s: %w", id, err)
+		}
+		j := &job{id: id, spec: sp, state: StateQueued}
+		if st, err := s.store.ReadStatus(id); err == nil {
+			j.progress = st.Progress
+			if st.State.Terminal() {
+				j.state = st.State
+				j.jerr = st.Error
+				j.resumable = st.Resumable
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("xpdld: recover %s: %w", id, err)
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if n := jobSeq(id); n > s.seq {
+			s.seq = n
+		}
+		if !j.state.Terminal() {
+			s.pending = append(s.pending, j)
+			s.metrics.Inc("xpdld_jobs_recovered_total")
+			if err := s.store.WriteStatus(id, j.Status()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Metrics exposes the counter registry (the runner and tests use it).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Store exposes the artifact store (tests corrupt checkpoints in it).
+func (s *Server) Store() *Store { return s.store }
+
+// Close shuts the pool down gracefully: running jobs are preempted at
+// their next cycle boundary, checkpointed, and persisted back to
+// queued — the next process on this state directory picks them up with
+// no lost work. Blocks until every worker has exited.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.cancel != nil {
+			j.preempt = true
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Submit admits a job: normalize the spec, check the tenant quota,
+// persist, enqueue.
+func (s *Server) Submit(sp Spec) (Status, error) {
+	if jerr := sp.normalize(s.cfg); jerr != nil {
+		return Status{}, jerr
+	}
+	s.mu.Lock()
+	active := 0
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.spec.Tenant == sp.Tenant && !j.state.Terminal() {
+			active++
+		}
+		j.mu.Unlock()
+	}
+	if active >= s.cfg.Quota.MaxActive {
+		s.mu.Unlock()
+		s.metrics.Inc("xpdld_quota_denied_total")
+		return Status{}, &QuotaError{Tenant: sp.Tenant, Active: active, Limit: s.cfg.Quota.MaxActive}
+	}
+	s.seq++
+	id := FormatID(s.seq)
+	j := &job{id: id, spec: sp, state: StateQueued}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	// Persist before enqueueing: a worker must never observe (or
+	// outrun the durability of) a job the store has not admitted.
+	if err := s.store.CreateJob(id, sp); err != nil {
+		return Status{}, err
+	}
+	st := j.Status()
+	if err := s.store.WriteStatus(id, st); err != nil {
+		return Status{}, err
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, j)
+	s.cond.Signal()
+	s.mu.Unlock()
+	s.metrics.Inc(fmt.Sprintf("xpdld_jobs_submitted_total{kind=%q}", sp.Kind))
+	return st, nil
+}
+
+// jobByID looks a job up.
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobStatus looks a job's status up.
+func (s *Server) JobStatus(id string) (Status, bool) {
+	j, ok := s.jobByID(id)
+	if !ok {
+		return Status{}, false
+	}
+	return j.Status(), true
+}
+
+// Cancel stops a job. A queued job goes terminal immediately; a
+// running one is interrupted at its next cycle boundary, where the
+// runner persists a resumable checkpoint. Terminal jobs return an
+// error.
+func (s *Server) Cancel(id string) (Status, error) {
+	j, ok := s.jobByID(id)
+	if !ok {
+		return Status{}, os.ErrNotExist
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.resumable = true
+		j.jerr = &JobError{Kind: "canceled", Detail: "canceled while queued"}
+		st := j.statusLocked()
+		j.publishLocked(st)
+		j.mu.Unlock()
+		s.metrics.Inc("xpdld_jobs_canceled_total")
+		_ = s.store.WriteStatus(id, st)
+		return st, nil
+	case StateRunning:
+		j.cancel()
+		st := j.statusLocked()
+		j.mu.Unlock()
+		return st, nil
+	default:
+		st := j.statusLocked()
+		j.mu.Unlock()
+		return st, fmt.Errorf("job %s is already %s", id, st.State)
+	}
+}
+
+// Resume re-enqueues a canceled job. It restarts from its persisted
+// checkpoint when one exists, from scratch otherwise; either way the
+// final report is identical to an uninterrupted run's.
+func (s *Server) Resume(id string) (Status, error) {
+	j, ok := s.jobByID(id)
+	if !ok {
+		return Status{}, os.ErrNotExist
+	}
+	j.mu.Lock()
+	if j.state != StateCanceled {
+		st := j.statusLocked()
+		j.mu.Unlock()
+		return st, fmt.Errorf("job %s is %s, only canceled jobs resume", id, st.State)
+	}
+	j.state = StateQueued
+	j.jerr = nil
+	st := j.statusLocked()
+	j.mu.Unlock()
+	if err := s.store.WriteStatus(id, st); err != nil {
+		return st, err
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, j)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return st, nil
+}
+
+// next blocks until a queued job is available; nil means shutdown.
+func (s *Server) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closing {
+			return nil
+		}
+		for len(s.pending) > 0 {
+			j := s.pending[0]
+			s.pending = s.pending[1:]
+			j.mu.Lock()
+			queued := j.state == StateQueued
+			j.mu.Unlock()
+			if queued {
+				return j
+			}
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		s.exec(j)
+	}
+}
+
+// exec runs one job from queued to its next persisted state.
+func (s *Server) exec(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while pending
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	st := j.statusLocked()
+	j.publishLocked(st)
+	j.mu.Unlock()
+	_ = s.store.WriteStatus(j.id, st)
+
+	s.busy.Add(1)
+	out := s.run(ctx, j)
+	s.busy.Add(-1)
+
+	j.mu.Lock()
+	j.cancel = nil
+	preempt := j.preempt
+	j.preempt = false
+	switch {
+	case out.canceled && preempt:
+		// Graceful shutdown: back to queued, to be recovered by the
+		// next process on this state directory.
+		j.state = StateQueued
+		s.metrics.Inc("xpdld_jobs_preempted_total")
+	case out.canceled:
+		j.state = StateCanceled
+		j.resumable = true
+		j.jerr = &JobError{Kind: "canceled", Detail: "canceled by request"}
+		s.metrics.Inc("xpdld_jobs_canceled_total")
+	case out.jerr != nil:
+		j.state = StateFailed
+		j.jerr = out.jerr
+		s.metrics.Inc(fmt.Sprintf("xpdld_jobs_failed_total{kind=%q}", out.jerr.Kind))
+	default:
+		j.state = StateDone
+		j.jerr = nil
+		s.metrics.Inc("xpdld_jobs_done_total")
+	}
+	st = j.statusLocked()
+	j.publishLocked(st)
+	j.mu.Unlock()
+
+	if out.report != nil && st.State == StateDone {
+		if b, err := out.report.Canon(); err == nil {
+			_ = s.store.WriteReport(j.id, b)
+		}
+	}
+	_ = s.store.WriteStatus(j.id, st)
+}
+
+// gauges renders the live (non-monotonic) series.
+func (s *Server) gauges() map[string]uint64 {
+	g := map[string]uint64{
+		"xpdld_workers":                   uint64(s.cfg.Workers),
+		"xpdld_workers_busy":              uint64(s.busy.Load()),
+		"xpdld_designs_cached":            uint64(s.cache.Len()),
+		"xpdld_checkpoint_lag_cycles_max": 0,
+	}
+	for _, state := range States() {
+		g[fmt.Sprintf("xpdld_jobs{state=%q}", state)] = 0
+	}
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	var maxLag uint64
+	for _, j := range jobs {
+		j.mu.Lock()
+		g[fmt.Sprintf("xpdld_jobs{state=%q}", j.state)]++
+		if j.state == StateRunning {
+			if lag := j.progress.Cycle - j.progress.CheckpointCycle; lag > 0 && uint64(lag) > maxLag {
+				maxLag = uint64(lag)
+			}
+		}
+		j.mu.Unlock()
+	}
+	g["xpdld_checkpoint_lag_cycles_max"] = maxLag
+	return g
+}
+
+// ---------------------------------------------------------------------------
+// HTTP API
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON emits a JSON body with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the wire shape of every API error.
+type errorBody struct {
+	Error JobError `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, kind, detail string) {
+	writeJSON(w, code, errorBody{Error: JobError{Kind: kind, Detail: detail}})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, ErrSpec, "bad JSON: "+err.Error())
+		return
+	}
+	st, err := s.Submit(sp)
+	if err != nil {
+		var qe *QuotaError
+		var je *JobError
+		switch {
+		case errors.As(err, &qe):
+			writeError(w, http.StatusTooManyRequests, ErrQuota, qe.Error())
+		case errors.As(err, &je):
+			writeError(w, http.StatusBadRequest, je.Kind, je.Detail)
+		default:
+			writeError(w, http.StatusInternalServerError, ErrRun, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]Status, 0, len(order))
+	for _, id := range order {
+		if j, ok := s.jobByID(id); ok {
+			st := j.Status()
+			if tenant == "" || st.Spec.Tenant == tenant {
+				out = append(out, st)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrSpec, "no such job "+r.PathValue("id"))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st, err := s.Cancel(j.id)
+	if err != nil {
+		writeError(w, http.StatusConflict, ErrSpec, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st, err := s.Resume(j.id)
+	if err != nil {
+		writeError(w, http.StatusConflict, ErrSpec, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if st := j.Status(); st.State != StateDone {
+		writeError(w, http.StatusConflict, ErrSpec,
+			fmt.Sprintf("job %s is %s; reports exist only for done jobs", j.id, st.State))
+		return
+	}
+	b, err := s.store.ReadReport(j.id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, ErrRun, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+// handleEvents streams newline-delimited status JSON until the job is
+// terminal or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	emit := func(st Status) {
+		b, _ := json.Marshal(st)
+		_, _ = w.Write(append(b, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	ch, cur := j.subscribe()
+	emit(cur)
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case st, open := <-ch:
+			if !open {
+				emit(j.Status()) // terminal close: re-read the final word
+				return
+			}
+			emit(st)
+			if st.State.Terminal() {
+				j.unsubscribe(ch)
+				return
+			}
+		case <-r.Context().Done():
+			j.unsubscribe(ch)
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.metrics.Render(w, s.gauges())
+}

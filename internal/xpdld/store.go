@@ -1,0 +1,181 @@
+package xpdld
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xpdl/internal/snap"
+)
+
+// Store is the daemon's on-disk artifact store. Every job owns one
+// directory under <root>/jobs/:
+//
+//	jobs/<id>/spec.json    — the normalized spec, written once at admit
+//	jobs/<id>/status.json  — the latest status, rewritten on transitions
+//	jobs/<id>/ckpt.snap    — the newest checkpoint (sim snapshot or
+//	                         cosim combined checkpoint)
+//	jobs/<id>/report.json  — the canonical report, written before the
+//	                         job is marked done
+//
+// All writes are write-to-temp-then-rename, so a SIGKILL at any byte
+// offset leaves either the previous version or the new one — never a
+// torn file. Recovery is a directory scan: any job whose persisted
+// state is queued or running is re-enqueued, resuming from ckpt.snap
+// when present. Checkpoint integrity is not verified here — the
+// snapshot container's own CRC/version checks do that on restore, and
+// the runner surfaces their typed errors in the job status.
+type Store struct {
+	root string
+}
+
+// OpenStore creates/opens the store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) jobDir(id string) string { return filepath.Join(s.root, "jobs", id) }
+
+// atomicWrite persists data at path via a same-directory temp file and
+// rename.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// CreateJob allocates the job directory and persists its spec.
+func (s *Store) CreateJob(id string, sp Spec) error {
+	if err := os.MkdirAll(s.jobDir(id), 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(s.jobDir(id), "spec.json"), b)
+}
+
+// ReadSpec loads a job's spec.
+func (s *Store) ReadSpec(id string) (Spec, error) {
+	var sp Spec
+	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "spec.json"))
+	if err != nil {
+		return sp, err
+	}
+	return sp, json.Unmarshal(b, &sp)
+}
+
+// WriteStatus persists a job's status.
+func (s *Store) WriteStatus(id string, st Status) error {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(s.jobDir(id), "status.json"), b)
+}
+
+// ReadStatus loads a job's persisted status.
+func (s *Store) ReadStatus(id string) (Status, error) {
+	var st Status
+	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "status.json"))
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(b, &st)
+}
+
+// WriteCheckpoint persists the newest checkpoint blob.
+func (s *Store) WriteCheckpoint(id string, data []byte) error {
+	return atomicWrite(filepath.Join(s.jobDir(id), "ckpt.snap"), data)
+}
+
+// ReadCheckpoint loads the newest checkpoint; ok is false when the job
+// has none.
+func (s *Store) ReadCheckpoint(id string) (data []byte, ok bool, err error) {
+	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "ckpt.snap"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// CheckpointPath exposes the checkpoint location (the corruption tests
+// flip bits in it through this).
+func (s *Store) CheckpointPath(id string) string {
+	return filepath.Join(s.jobDir(id), "ckpt.snap")
+}
+
+// DropCheckpoint removes a job's checkpoint, if any.
+func (s *Store) DropCheckpoint(id string) error {
+	err := os.Remove(filepath.Join(s.jobDir(id), "ckpt.snap"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// WriteReport persists the canonical report bytes.
+func (s *Store) WriteReport(id string, data []byte) error {
+	return atomicWrite(filepath.Join(s.jobDir(id), "report.json"), data)
+}
+
+// ReadReport loads the canonical report bytes.
+func (s *Store) ReadReport(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.jobDir(id), "report.json"))
+}
+
+// Jobs lists persisted job IDs in ascending numeric order.
+func (s *Store) Jobs() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range ents {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "j") {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return jobSeq(ids[i]) < jobSeq(ids[j]) })
+	return ids, nil
+}
+
+// FormatID renders a sequence number as a job ID.
+func FormatID(seq int) string { return fmt.Sprintf("j%06d", seq) }
+
+// jobSeq parses the sequence number out of a job ID (0 when malformed).
+func jobSeq(id string) int {
+	n, _ := strconv.Atoi(strings.TrimLeft(strings.TrimPrefix(id, "j"), "0"))
+	return n
+}
+
+// classifySnapshotErr maps a checkpoint-restore failure onto the job
+// error taxonomy: the snapshot container's typed version/corruption
+// errors keep their identity, and anything else (a fingerprint
+// mismatch, a torn read) is reported as corruption — the job's
+// checkpoint is unusable either way, and the status must say so
+// rather than panic or silently restart.
+func classifySnapshotErr(err error) *JobError {
+	var ve *snap.VersionError
+	if errors.As(err, &ve) {
+		return &JobError{Kind: ErrSnapVersion, Detail: err.Error()}
+	}
+	return &JobError{Kind: ErrSnapCorrupt, Detail: err.Error()}
+}
