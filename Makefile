@@ -1,5 +1,5 @@
 # Tier-1: everything must build and every test must pass.
-.PHONY: all test vet vet-xpdl bveq-smoke bveq-nightly bench bench-smoke chaos cover fuzz-smoke fuzz-designs fuzz-corpus race soak serve-smoke serve-soak clean
+.PHONY: all test vet vet-xpdl bveq-smoke bveq-nightly bench bench-smoke chaos cover fuzz-smoke fuzz-designs fuzz-corpus race soak serve-smoke serve-soak torture-smoke torture clean
 
 all: vet vet-xpdl bveq-smoke test
 
@@ -157,6 +157,26 @@ SOAK_CYCLES ?= 3
 serve-soak:
 	XPDLD_KILL_SEEDS=$(SOAK_SEEDS) XPDLD_KILL_CYCLES=$(SOAK_CYCLES) \
 	  go test -run TestDaemonKillResume -count=1 -v -timeout 60m ./internal/xpdld/
+
+# torture-smoke is the tier-1 storage-fault gate: the in-process daemon
+# over a store injecting the Default ENOSPC/EIO/short-write/torn-rename
+# mix, across three fixed seeds — every job must end done with a report
+# byte-identical to a fault-free run, or failed with a typed store
+# error, and a clean restart must sweep all crash residue. Seconds, not
+# minutes: the deep version is `make torture`.
+torture-smoke:
+	go test -run TestStorageFaultStorm -count=1 ./internal/xpdld/
+
+# torture is the nightly full-strength run: the real xpdld binary with
+# -fault-seed, SIGKILLed mid-storm, clients retrying with backoff, a
+# crash-looping job quarantined and force-resumed — across 8 fault
+# seeds. TORTURE_DIR keeps the state directories for artifact upload.
+TORTURE_SEEDS ?= 1,2,3,4,5,6,7,8
+TORTURE_KILLS ?= 4
+torture:
+	XPDLD_TORTURE_SEEDS=$(TORTURE_SEEDS) XPDLD_TORTURE_KILLS=$(TORTURE_KILLS) \
+	  XPDLD_TORTURE_DIR=$(TORTURE_DIR) \
+	  go test -run TestDaemonTorture -count=1 -v -timeout 60m ./internal/xpdld/
 
 # bench vets the tree, runs the whole benchmark suite once as a smoke
 # check (one iteration per benchmark, with allocation stats), then takes

@@ -14,7 +14,7 @@
 //	status   print a job's status JSON
 //	wait     block until a job is terminal, streaming progress
 //	cancel   cancel a job (it checkpoints and stays resumable)
-//	resume   re-enqueue a canceled job
+//	resume   re-enqueue a canceled job; -force also clears quarantine
 //	report   print a done job's canonical report JSON
 //	list     list jobs (optionally -tenant)
 //	metrics  print the daemon's /metrics text
@@ -23,9 +23,16 @@
 // http://127.0.0.1:7433. A bare host:port (as written by the daemon's
 // addr file) is accepted.
 //
+// The global -retry flag (e.g. -retry 30s, default off) retries
+// transient failures — connection refused while the daemon restarts,
+// 429 tenant-quota rejections, 503 load shedding (honoring its
+// Retry-After header), other 5xx — with jittered exponential backoff
+// for up to that long before giving up.
+//
 // Exit codes: 0 success (job done, for waiting commands), 1 generic
 // failure, 2 usage, 3 the awaited job failed, 4 the awaited job was
-// canceled.
+// canceled, 5 the awaited job was quarantined (crash-looping; see
+// `resume -force`).
 package main
 
 import (
@@ -40,19 +47,22 @@ import (
 )
 
 const (
-	exitGeneric  = 1
-	exitUsage    = 2
-	exitFailed   = 3
-	exitCanceled = 4
+	exitGeneric     = 1
+	exitUsage       = 2
+	exitFailed      = 3
+	exitCanceled    = 4
+	exitQuarantined = 5
 )
 
 func main() {
 	addr := flag.String("addr", "", "daemon URL (default $XPDLD_ADDR or http://127.0.0.1:7433)")
+	retry := flag.Duration("retry", 0, "retry transient failures (connect errors, 429, 503, 5xx) with backoff for this long (0 = fail fast)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
 	c := xpdld.NewClient(resolveAddr(*addr))
+	c.RetryFor = *retry
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "submit":
@@ -68,7 +78,17 @@ func main() {
 		check(err)
 		printJSON(st)
 	case "resume":
-		st, err := c.Resume(oneID(cmd, args))
+		fs := flag.NewFlagSet("resume", flag.ExitOnError)
+		force := fs.Bool("force", false, "also resume a quarantined job, resetting its attempt counter")
+		_ = fs.Parse(args)
+		id := oneID(cmd, fs.Args())
+		var st xpdld.Status
+		var err error
+		if *force {
+			st, err = c.ResumeForce(id)
+		} else {
+			st, err = c.Resume(id)
+		}
 		check(err)
 		printJSON(st)
 	case "report":
@@ -174,6 +194,9 @@ func waitFor(c *xpdld.Client, id string) {
 	case xpdld.StateCanceled:
 		printJSON(st)
 		os.Exit(exitCanceled)
+	case xpdld.StateQuarantined:
+		printJSON(st)
+		os.Exit(exitQuarantined)
 	}
 }
 

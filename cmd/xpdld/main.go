@@ -10,6 +10,13 @@
 //
 //	xpdld [-addr host:port] [-state dir] [-workers N]
 //	      [-checkpoint-every N] [-quota-active N] [-quota-cycles N]
+//	      [-max-queue N] [-max-attempts N] [-fault-seed S]
+//
+// -max-queue bounds the global admission queue: past it, submissions
+// are shed with 503 + Retry-After instead of piling up. -max-attempts
+// bounds crash-recovery re-enqueues per job before quarantine.
+// -fault-seed (nonzero) wraps the artifact store in the deterministic
+// storage-fault injector — torture testing only, never production.
 //
 // The daemon writes the bound address (useful with -addr :0) to
 // <state>/xpdld.addr once listening. SIGINT/SIGTERM shut it down
@@ -33,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"xpdl/internal/faultfs"
 	"xpdl/internal/xpdld"
 )
 
@@ -43,10 +51,19 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 50_000, "default checkpoint interval in cycles")
 	quotaActive := flag.Int("quota-active", 0, "per-tenant cap on queued+running jobs (0 = default 64)")
 	quotaCycles := flag.Int("quota-cycles", 0, "per-job cycle-budget ceiling (0 = default 10M)")
+	maxQueue := flag.Int("max-queue", 0, "global admission-queue bound; past it submits get 503 (0 = default 256)")
+	maxAttempts := flag.Int("max-attempts", 0, "crash-recovery re-enqueues per job before quarantine (0 = default 3)")
+	faultSeed := flag.Uint64("fault-seed", 0, "nonzero: inject deterministic storage faults seeded here (torture testing)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var storeFS faultfs.FS
+	if *faultSeed != 0 {
+		fmt.Fprintf(os.Stderr, "xpdld: TORTURE MODE: injecting storage faults (seed %d)\n", *faultSeed)
+		storeFS = faultfs.New(faultfs.OS(), faultfs.Default(*faultSeed))
 	}
 
 	srv, err := xpdld.New(xpdld.Config{
@@ -54,6 +71,9 @@ func main() {
 		Workers:         *workers,
 		CheckpointEvery: *checkpointEvery,
 		Quota:           xpdld.Quota{MaxActive: *quotaActive, MaxCycles: *quotaCycles},
+		MaxQueue:        *maxQueue,
+		MaxAttempts:     *maxAttempts,
+		FS:              storeFS,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,411 @@
+// Package faultfs is the storage counterpart of internal/fault: a
+// small filesystem abstraction over exactly the operations the xpdld
+// artifact store performs, with a pass-through real implementation and
+// a deterministic, seed-driven fault-injecting implementation.
+//
+// The injector follows the same stateless seed-hash discipline as the
+// simulator's timing-fault injector: every decision is a pure function
+// of (seed, operation domain, path, per-path operation ordinal), drawn
+// with splitmix64. Two runs that perform the same operation sequence
+// on each path see identical faults, so a torture run that finds a bug
+// replays from its seed. (Across paths the daemon is concurrent, but
+// each job owns its own files and touches them from one worker at a
+// time, which is what makes the per-path ordinal a stable coordinate.)
+//
+// Injected fault classes model the ways real disks betray a daemon:
+//
+//   - write errors (EIO): the write fails, nothing lands on disk
+//   - short writes (ENOSPC): a prefix of the data lands, then the
+//     device is full — the on-disk file is torn
+//   - fsync failures (EIO): the write "succeeded" but is not durable
+//   - rename failures (EIO): the atomic-adopt step fails, the temp
+//     file is stranded — the crash-between-write-and-rename shape
+//   - remove/read/readdir errors (EIO)
+//   - injected latency: a bounded deterministic sleep before any
+//     operation, widening the windows a SIGKILL can land in
+//
+// Every injected error wraps both ErrInjected (so tests can tell
+// injected faults from real ones) and the modeled errno
+// (syscall.ENOSPC or syscall.EIO, so production code paths that
+// dispatch on errno see exactly what a real kernel would hand them).
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FS is the slice of filesystem the daemon's artifact store runs on.
+// The contract mirrors the os package, with durability split out:
+// WriteFile makes no promise the bytes survive a crash until Sync
+// (file contents) and SyncDir (the directory entry, after a Rename)
+// have both returned nil.
+type FS interface {
+	MkdirAll(name string, perm fs.FileMode) error
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	// Sync fsyncs an existing file's contents.
+	Sync(name string) error
+	// SyncDir fsyncs a directory, making renames inside it durable.
+	SyncDir(name string) error
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// OS returns the pass-through real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Sync(name string) error {
+	f, err := os.OpenFile(name, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+func (osFS) SyncDir(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		// Some filesystems reject fsync on directories; a daemon on one
+		// of those keeps its atomicity (rename) and loses only the
+		// power-fail durability of the newest entry, which is the same
+		// place it started — not a reason to fail the write.
+		if errors.Is(serr, syscall.EINVAL) || errors.Is(serr, syscall.ENOTSUP) {
+			return cerr
+		}
+		return serr
+	}
+	return cerr
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return os.ReadDir(name)
+}
+
+// ErrInjected marks every fault this package injects; errors.Is
+// distinguishes simulated storage failures from real ones.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// injected carries both the marker and the modeled errno.
+type injected struct {
+	op    string
+	path  string
+	errno error
+}
+
+func (e *injected) Error() string {
+	return fmt.Sprintf("faultfs: injected %v on %s %s", e.errno, e.op, e.path)
+}
+
+func (e *injected) Unwrap() []error { return []error{ErrInjected, e.errno} }
+
+// Config tunes the fault-injecting filesystem. Probabilities are
+// percentages in [0,100]; zero disables that class.
+type Config struct {
+	// Seed drives every decision; equal configs make identical
+	// decisions for identical per-path operation sequences.
+	Seed uint64
+	// WriteErrPct fails a WriteFile with EIO, writing nothing.
+	WriteErrPct int
+	// ShortWritePct fails a WriteFile with ENOSPC after landing a
+	// deterministic prefix of the data — a torn file on disk.
+	ShortWritePct int
+	// SyncErrPct fails a Sync or SyncDir with EIO.
+	SyncErrPct int
+	// RenameErrPct fails a Rename with EIO, stranding the source.
+	RenameErrPct int
+	// RemoveErrPct fails a Remove with EIO.
+	RemoveErrPct int
+	// ReadErrPct fails a ReadFile or ReadDir with EIO.
+	ReadErrPct int
+	// LatencyPct injects a deterministic sleep (up to LatencyMax)
+	// before an operation, widening crash windows.
+	LatencyPct int
+	// LatencyMax bounds injected latency (default 2ms when LatencyPct
+	// is set).
+	LatencyMax time.Duration
+	// Match, when non-nil, limits injection to paths it accepts; other
+	// paths pass straight through. The torture suite uses it to aim at
+	// one artifact kind.
+	Match func(name string) bool
+}
+
+// Default is the torture mix: frequent enough that every persistence
+// path takes hits within a short run, survivable enough that jobs
+// still make progress between them. Read faults stay off — the
+// recovery scan must always be able to learn what jobs exist, the
+// same way a real mount is readable after the device stops accepting
+// writes.
+func Default(seed uint64) Config {
+	return Config{
+		Seed:          seed,
+		WriteErrPct:   8,
+		ShortWritePct: 5,
+		SyncErrPct:    5,
+		RenameErrPct:  5,
+		RemoveErrPct:  5,
+		LatencyPct:    10,
+		LatencyMax:    2 * time.Millisecond,
+	}
+}
+
+// Domain separators keep the decision streams of the operation kinds
+// independent even when their coordinates collide.
+const (
+	domWrite  uint64 = 0x5752495445 // "WRITE"
+	domShort  uint64 = 0x53484f5254 // "SHORT"
+	domSync   uint64 = 0x53594e43   // "SYNC"
+	domRename uint64 = 0x52454e414d // "RENAM"
+	domRemove uint64 = 0x52454d4f56 // "REMOV"
+	domRead   uint64 = 0x52454144   // "READ"
+	domLat    uint64 = 0x4c4154     // "LAT"
+)
+
+// Faulty wraps an inner FS and injects Config's fault mix.
+type Faulty struct {
+	inner FS
+	cfg   Config
+
+	mu    sync.Mutex
+	ops   map[string]uint64 // per-path operation ordinal
+	stats map[string]uint64 // injections by class
+}
+
+// New builds a fault-injecting filesystem over inner.
+func New(inner FS, cfg Config) *Faulty {
+	if cfg.LatencyPct > 0 && cfg.LatencyMax <= 0 {
+		cfg.LatencyMax = 2 * time.Millisecond
+	}
+	return &Faulty{
+		inner: inner,
+		cfg:   cfg,
+		ops:   make(map[string]uint64),
+		stats: make(map[string]uint64),
+	}
+}
+
+// Stats snapshots the per-class injection counters (write_err,
+// short_write, sync_err, rename_err, remove_err, read_err, latency).
+func (f *Faulty) Stats() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]uint64, len(f.stats))
+	for k, v := range f.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// Injected reports the total number of injected faults (latency
+// excluded — delays are not failures).
+func (f *Faulty) Injected() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n uint64
+	for k, v := range f.stats {
+		if k != "latency" {
+			n += v
+		}
+	}
+	return n
+}
+
+// pathHash is FNV-1a over the path, the stable per-path coordinate.
+func pathHash(name string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// mix is splitmix64 over the seed and three coordinates — the same
+// stateless draw discipline as internal/fault.
+func (f *Faulty) mix(dom, a, b uint64) uint64 {
+	x := f.cfg.Seed ^ dom
+	x ^= a + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x ^= b + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	return x ^ (x >> 31)
+}
+
+// step returns the next ordinal for a path, or ok=false when the path
+// is exempt from injection.
+func (f *Faulty) step(name string) (uint64, bool) {
+	if f.cfg.Match != nil && !f.cfg.Match(name) {
+		return 0, false
+	}
+	f.mu.Lock()
+	n := f.ops[name]
+	f.ops[name] = n + 1
+	f.mu.Unlock()
+	return n, true
+}
+
+func (f *Faulty) roll(dom uint64, name string, n uint64, pct int) bool {
+	if pct <= 0 {
+		return false
+	}
+	return f.mix(dom, pathHash(name), n)%100 < uint64(pct)
+}
+
+func (f *Faulty) hit(class string) {
+	f.mu.Lock()
+	f.stats[class]++
+	f.mu.Unlock()
+}
+
+// latency sleeps a deterministic sub-LatencyMax duration when the
+// latency class fires for this operation.
+func (f *Faulty) latency(name string, n uint64) {
+	if !f.roll(domLat, name, n, f.cfg.LatencyPct) {
+		return
+	}
+	f.hit("latency")
+	d := time.Duration(f.mix(domLat+1, pathHash(name), n) % uint64(f.cfg.LatencyMax))
+	time.Sleep(d)
+}
+
+func (f *Faulty) MkdirAll(name string, perm fs.FileMode) error {
+	// Directory creation is never attacked: the store creates each job
+	// directory exactly once, and a failed mkdir is indistinguishable
+	// from a rejected submit — nothing interesting to torture.
+	return f.inner.MkdirAll(name, perm)
+}
+
+func (f *Faulty) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	n, ok := f.step(name)
+	if !ok {
+		return f.inner.WriteFile(name, data, perm)
+	}
+	f.latency(name, n)
+	if f.roll(domShort, name, n, f.cfg.ShortWritePct) {
+		f.hit("short_write")
+		// A deterministic strict prefix lands on disk, then the device
+		// is full: the torn file the write protocol must never adopt.
+		k := 0
+		if len(data) > 0 {
+			k = int(f.mix(domShort+1, pathHash(name), n) % uint64(len(data)))
+		}
+		_ = f.inner.WriteFile(name, data[:k], perm)
+		return &injected{op: "write", path: name, errno: syscall.ENOSPC}
+	}
+	if f.roll(domWrite, name, n, f.cfg.WriteErrPct) {
+		f.hit("write_err")
+		return &injected{op: "write", path: name, errno: syscall.EIO}
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *Faulty) Sync(name string) error {
+	n, ok := f.step(name)
+	if !ok {
+		return f.inner.Sync(name)
+	}
+	f.latency(name, n)
+	if f.roll(domSync, name, n, f.cfg.SyncErrPct) {
+		f.hit("sync_err")
+		return &injected{op: "sync", path: name, errno: syscall.EIO}
+	}
+	return f.inner.Sync(name)
+}
+
+func (f *Faulty) SyncDir(name string) error {
+	n, ok := f.step(name)
+	if !ok {
+		return f.inner.SyncDir(name)
+	}
+	f.latency(name, n)
+	if f.roll(domSync, name, n, f.cfg.SyncErrPct) {
+		f.hit("sync_err")
+		return &injected{op: "syncdir", path: name, errno: syscall.EIO}
+	}
+	return f.inner.SyncDir(name)
+}
+
+func (f *Faulty) Rename(oldname, newname string) error {
+	// The destination is the attacked coordinate: it is the path whose
+	// adoption the rename makes atomic.
+	n, ok := f.step(newname)
+	if !ok {
+		return f.inner.Rename(oldname, newname)
+	}
+	f.latency(newname, n)
+	if f.roll(domRename, newname, n, f.cfg.RenameErrPct) {
+		f.hit("rename_err")
+		// The temp file is stranded at oldname — the same on-disk shape
+		// as a crash between write and rename; the recovery sweep owns
+		// cleaning it up.
+		return &injected{op: "rename", path: newname, errno: syscall.EIO}
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *Faulty) Remove(name string) error {
+	n, ok := f.step(name)
+	if !ok {
+		return f.inner.Remove(name)
+	}
+	f.latency(name, n)
+	if f.roll(domRemove, name, n, f.cfg.RemoveErrPct) {
+		f.hit("remove_err")
+		return &injected{op: "remove", path: name, errno: syscall.EIO}
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	n, ok := f.step(name)
+	if !ok {
+		return f.inner.ReadFile(name)
+	}
+	f.latency(name, n)
+	if f.roll(domRead, name, n, f.cfg.ReadErrPct) {
+		f.hit("read_err")
+		return nil, &injected{op: "read", path: name, errno: syscall.EIO}
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) ReadDir(name string) ([]fs.DirEntry, error) {
+	n, ok := f.step(name)
+	if !ok {
+		return f.inner.ReadDir(name)
+	}
+	f.latency(name, n)
+	if f.roll(domRead, name, n, f.cfg.ReadErrPct) {
+		f.hit("read_err")
+		return nil, &injected{op: "readdir", path: name, errno: syscall.EIO}
+	}
+	return f.inner.ReadDir(name)
+}

@@ -1,0 +1,201 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestOSPassThrough exercises the real implementation end to end:
+// write, sync, rename with directory sync, read back, list, remove.
+func TestOSPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	f := OS()
+	sub := filepath.Join(dir, "a", "b")
+	if err := f.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(sub, "x.tmp")
+	final := filepath.Join(sub, "x")
+	if err := f.WriteFile(tmp, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.ReadFile(final)
+	if err != nil || string(b) != "payload" {
+		t.Fatalf("read back %q, %v", b, err)
+	}
+	ents, err := f.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "x" {
+		t.Fatalf("readdir: %v, %v", ents, err)
+	}
+	if err := f.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadFile(final); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file survived remove: %v", err)
+	}
+}
+
+// memFS records operations without touching a disk; enough FS to let
+// injector decisions be observed in isolation.
+type memFS struct {
+	files map[string][]byte
+}
+
+func newMemFS() *memFS { return &memFS{files: map[string][]byte{}} }
+
+func (m *memFS) MkdirAll(string, fs.FileMode) error { return nil }
+func (m *memFS) WriteFile(name string, data []byte, _ fs.FileMode) error {
+	m.files[name] = append([]byte(nil), data...)
+	return nil
+}
+func (m *memFS) Sync(string) error    { return nil }
+func (m *memFS) SyncDir(string) error { return nil }
+func (m *memFS) Rename(oldname, newname string) error {
+	m.files[newname] = m.files[oldname]
+	delete(m.files, oldname)
+	return nil
+}
+func (m *memFS) Remove(name string) error { delete(m.files, name); return nil }
+func (m *memFS) ReadFile(name string) ([]byte, error) {
+	b, ok := m.files[name]
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	return b, nil
+}
+func (m *memFS) ReadDir(string) ([]fs.DirEntry, error) { return nil, nil }
+
+// script runs a fixed operation sequence and returns the error pattern
+// it produced.
+func script(f FS) []string {
+	var out []string
+	rec := func(err error) {
+		switch {
+		case err == nil:
+			out = append(out, "ok")
+		case errors.Is(err, syscall.ENOSPC):
+			out = append(out, "enospc")
+		case errors.Is(err, syscall.EIO):
+			out = append(out, "eio")
+		default:
+			out = append(out, "other")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		rec(f.WriteFile("jobs/j000001/status.json.tmp", []byte("0123456789abcdef"), 0o644))
+		rec(f.Sync("jobs/j000001/status.json.tmp"))
+		rec(f.Rename("jobs/j000001/status.json.tmp", "jobs/j000001/status.json"))
+		rec(f.SyncDir("jobs/j000001"))
+		if i%5 == 0 {
+			rec(f.Remove("jobs/j000001/ckpt.snap"))
+		}
+	}
+	return out
+}
+
+// TestInjectionDeterministic pins the seed-hash discipline: the same
+// seed replays the same fault pattern, a different seed diverges.
+func TestInjectionDeterministic(t *testing.T) {
+	cfg := Default(42)
+	cfg.LatencyPct = 0 // keep the test fast
+	a := script(New(newMemFS(), cfg))
+	b := script(New(newMemFS(), cfg))
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c := script(New(newMemFS(), cfg2))
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	faults, diff := 0, 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 disagrees with itself at op %d: %s vs %s", i, a[i], b[i])
+		}
+		if a[i] != "ok" {
+			faults++
+		}
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("default config injected nothing over 1000+ operations")
+	}
+	if diff == 0 {
+		t.Fatal("seeds 42 and 43 produced identical fault patterns")
+	}
+}
+
+// TestShortWriteTearsFile pins the ENOSPC class: the on-disk file is a
+// strict prefix of the payload and the error carries both the marker
+// and the errno.
+func TestShortWriteTearsFile(t *testing.T) {
+	mem := newMemFS()
+	f := New(mem, Config{Seed: 1, ShortWritePct: 100})
+	data := []byte("0123456789abcdef0123456789abcdef")
+	err := f.WriteFile("x", data, 0o644)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write error = %v, want ErrInjected+ENOSPC", err)
+	}
+	got := mem.files["x"]
+	if len(got) >= len(data) {
+		t.Fatalf("short write landed %d of %d bytes — not short", len(got), len(data))
+	}
+	if string(got) != string(data[:len(got)]) {
+		t.Fatalf("torn file is not a prefix: %q", got)
+	}
+	if f.Stats()["short_write"] != 1 {
+		t.Fatalf("stats: %v", f.Stats())
+	}
+}
+
+// TestMatchScopesInjection pins Match: exempt paths pass through
+// untouched even at 100% fault rates.
+func TestMatchScopesInjection(t *testing.T) {
+	mem := newMemFS()
+	f := New(mem, Config{
+		Seed: 1, WriteErrPct: 100,
+		Match: func(name string) bool { return name == "attacked" },
+	})
+	if err := f.WriteFile("safe", []byte("x"), 0o644); err != nil {
+		t.Fatalf("exempt path failed: %v", err)
+	}
+	if err := f.WriteFile("attacked", []byte("x"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matched path not attacked: %v", err)
+	}
+	if f.Injected() != 1 {
+		t.Fatalf("Injected() = %d, want 1", f.Injected())
+	}
+}
+
+// TestLatencyInjection pins that the latency class delays but never
+// fails, and stays within its bound.
+func TestLatencyInjection(t *testing.T) {
+	f := New(newMemFS(), Config{Seed: 7, LatencyPct: 100, LatencyMax: time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		if err := f.WriteFile("x", []byte("y"), 0o644); err != nil {
+			t.Fatalf("latency-only config failed an op: %v", err)
+		}
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("8 ops with 1ms max latency took %v", el)
+	}
+	if f.Stats()["latency"] == 0 {
+		t.Fatal("no latency injected at 100%")
+	}
+}

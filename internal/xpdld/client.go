@@ -7,7 +7,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -17,6 +19,16 @@ import (
 type Client struct {
 	Base string
 	HTTP *http.Client
+	// RetryFor, when positive, makes every request retry transient
+	// failures — connection errors (daemon restarting), 429 (tenant
+	// quota), 503 (admission queue full), and other 5xx — with jittered
+	// exponential backoff until this much time has elapsed. A 503's
+	// Retry-After header stretches the wait when it asks for more than
+	// the backoff would. Zero (the default) preserves fail-fast
+	// behavior. Note that retrying a Submit whose response was lost in
+	// transit can admit the job twice; callers that need exactly-once
+	// should submit fail-fast and retry at a higher level.
+	RetryFor time.Duration
 }
 
 // NewClient builds a client for a base URL.
@@ -41,23 +53,87 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("xpdld: HTTP %d", resp.StatusCode)
 }
 
+// retryableStatus reports whether a status code is worth retrying:
+// throttling (429), shedding (503), and other server-side failures.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// retryAfterHint parses a response's Retry-After header (whole
+// seconds; zero when absent or malformed).
+func retryAfterHint(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// do issues a request built by mk, retrying transient failures for up
+// to c.RetryFor. mk is called once per attempt so each retry gets a
+// fresh body reader. A returned response is always non-retryable (2xx
+// or a hard client error) with an open body; retryable responses are
+// consumed into the error that is returned when attempts run out.
+func (c *Client) do(mk func() (*http.Request, error)) (*http.Response, error) {
+	var deadline time.Time
+	if c.RetryFor > 0 {
+		deadline = time.Now().Add(c.RetryFor)
+	}
+	backoff := 25 * time.Millisecond
+	for {
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, herr := c.http().Do(req)
+		var lastErr error
+		wait := backoff
+		switch {
+		case herr != nil:
+			lastErr = herr
+		case resp.StatusCode < 300 || !retryableStatus(resp.StatusCode):
+			return resp, nil
+		default:
+			if hint := retryAfterHint(resp); hint > wait {
+				wait = hint
+			}
+			lastErr = apiError(resp) // consumes and closes the body
+		}
+		if c.RetryFor <= 0 || time.Now().Add(wait).After(deadline) {
+			return nil, lastErr
+		}
+		// Sleep between wait/2 and wait: full jitter on the top half
+		// keeps stampeding clients from re-colliding in lockstep.
+		time.Sleep(wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1)))
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
 func (c *Client) doJSON(method, path string, body, out any) error {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequest(method, c.Base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.do(func() (*http.Request, error) {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, c.Base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	})
 	if err != nil {
 		return err
 	}
@@ -106,16 +182,33 @@ func (c *Client) Cancel(id string) (Status, error) {
 	return st, err
 }
 
-// Resume re-enqueues a canceled job.
+// Resume re-enqueues a canceled job. Quarantined jobs refuse a plain
+// resume; use ResumeForce.
 func (c *Client) Resume(id string) (Status, error) {
+	return c.resume(id, false)
+}
+
+// ResumeForce re-enqueues a canceled or quarantined job, resetting
+// the crash-recovery attempt counter that quarantined it.
+func (c *Client) ResumeForce(id string) (Status, error) {
+	return c.resume(id, true)
+}
+
+func (c *Client) resume(id string, force bool) (Status, error) {
+	path := "/jobs/" + id + "/resume"
+	if force {
+		path += "?force=1"
+	}
 	var st Status
-	err := c.doJSON(http.MethodPost, "/jobs/"+id+"/resume", nil, &st)
+	err := c.doJSON(http.MethodPost, path, nil, &st)
 	return st, err
 }
 
 // Report fetches a done job's canonical report bytes.
 func (c *Client) Report(id string) ([]byte, error) {
-	resp, err := c.http().Get(c.Base + "/jobs/" + id + "/report")
+	resp, err := c.do(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.Base+"/jobs/"+id+"/report", nil)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +221,9 @@ func (c *Client) Report(id string) ([]byte, error) {
 
 // Metrics fetches the /metrics text.
 func (c *Client) Metrics() (string, error) {
-	resp, err := c.http().Get(c.Base + "/metrics")
+	resp, err := c.do(func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.Base+"/metrics", nil)
+	})
 	if err != nil {
 		return "", err
 	}

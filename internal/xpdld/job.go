@@ -56,18 +56,23 @@ const (
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
+	// StateQuarantined is the crash-loop terminus: a job re-enqueued by
+	// crash recovery more than MaxAttempts times without durable
+	// progress is parked here instead of being retried forever. Only an
+	// explicit forced resume (xpdlctl resume -force) re-enqueues it.
+	StateQuarantined State = "quarantined"
 )
 
 // Terminal reports whether the state is final (no runner will touch the
 // job again until an explicit resume).
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateQuarantined
 }
 
 // States lists the lifecycle states in a stable order (metrics render
 // one gauge per state).
 func States() []State {
-	return []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+	return []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateQuarantined}
 }
 
 // Error kinds surfaced in job status JSON. Each maps a typed error from
@@ -85,6 +90,9 @@ const (
 	ErrGolden      = "golden-mismatch"  // golden-model cross-check failed
 	ErrSnapCorrupt = "snapshot-corrupt" // snap.CorruptError restoring a checkpoint
 	ErrSnapVersion = "snapshot-version" // snap.VersionError restoring a checkpoint
+	ErrStore       = "store"            // artifact-store write failed (report not durable)
+	ErrQuarantined = "quarantined"      // crash-looped past MaxAttempts; resume -force to retry
+	ErrOverload    = "overloaded"       // admission queue full; retry after backoff (503)
 	ErrRun         = "run"              // any other execution failure
 )
 
@@ -277,10 +285,14 @@ type Progress struct {
 
 // Status is the wire representation of a job.
 type Status struct {
-	ID        string    `json:"id"`
-	Spec      Spec      `json:"spec"`
-	State     State     `json:"state"`
-	Progress  Progress  `json:"progress"`
+	ID       string   `json:"id"`
+	Spec     Spec     `json:"spec"`
+	State    State    `json:"state"`
+	Progress Progress `json:"progress"`
+	// Attempts counts crash-recovery re-enqueues since the job's last
+	// durable progress (a written checkpoint resets it). Past the
+	// server's MaxAttempts the job is quarantined instead of retried.
+	Attempts  int       `json:"attempts,omitempty"`
 	Error     *JobError `json:"error,omitempty"`
 	Resumable bool      `json:"resumable,omitempty"`
 }

@@ -59,16 +59,18 @@ type daemon struct {
 }
 
 // startDaemon launches the binary on an ephemeral port and waits for
-// its address file.
-func startDaemon(t *testing.T, bin, state string, workers int) *daemon {
+// its address file. Extra flags (e.g. -fault-seed) are appended.
+func startDaemon(t *testing.T, bin, state string, workers int, extra ...string) *daemon {
 	t.Helper()
 	addrFile := filepath.Join(state, "xpdld.addr")
 	_ = os.Remove(addrFile)
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-state", state,
 		"-workers", strconv.Itoa(workers),
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("start xpdld: %v", err)

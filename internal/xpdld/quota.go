@@ -1,6 +1,9 @@
 package xpdld
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Quota is the per-tenant admission policy. Both limits apply at
 // submit time: MaxActive bounds how many non-terminal (queued or
@@ -34,4 +37,22 @@ type QuotaError struct {
 
 func (e *QuotaError) Error() string {
 	return fmt.Sprintf("tenant %q has %d active jobs (limit %d)", e.Tenant, e.Active, e.Limit)
+}
+
+// OverloadError reports a submission shed because the global admission
+// queue is full — the daemon as a whole is saturated, unlike a
+// QuotaError, which is one tenant over its own allowance. On the wire
+// it is a 503 with a Retry-After header (429 for quota), so a
+// well-behaved client backs off and retries instead of giving up.
+type OverloadError struct {
+	Queued int
+	Limit  int
+	// RetryAfter is the server's backoff hint, sent as the Retry-After
+	// header in whole seconds.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("admission queue full (%d queued, limit %d); retry after %v",
+		e.Queued, e.Limit, e.RetryAfter)
 }

@@ -153,10 +153,14 @@ func (s *Server) runSim(ctx context.Context, j *job) outcome {
 		var ce *sim.CanceledError
 		if errors.As(err, &ce) {
 			if ce.Snapshot != nil {
+				// A failed write here only costs resume granularity: the
+				// job resumes from its previous durable checkpoint (or
+				// scratch) and still converges on the same report.
 				if werr := s.store.WriteCheckpoint(j.id, ce.Snapshot); werr != nil {
-					return failed(ErrRun, werr)
+					s.checkpointFailed(j, werr)
+				} else {
+					s.checkpointed(j, m.Cycle(), len(p.Retired()))
 				}
-				s.checkpointed(j, m.Cycle(), len(p.Retired()))
 			}
 			return outcome{canceled: true}
 		}
@@ -166,10 +170,14 @@ func (s *Server) runSim(ctx context.Context, j *job) outcome {
 			if serr != nil {
 				return failed(ErrRun, serr)
 			}
+			// Graceful degradation: a checkpoint that cannot be persisted
+			// must not fail a healthy running job — keep computing with
+			// the previous (stale) checkpoint as the recovery point.
 			if werr := s.store.WriteCheckpoint(j.id, b); werr != nil {
-				return failed(ErrRun, werr)
+				s.checkpointFailed(j, werr)
+			} else {
+				s.checkpointed(j, m.Cycle(), len(p.Retired()))
 			}
-			s.checkpointed(j, m.Cycle(), len(p.Retired()))
 			continue
 		}
 		return classifyRunErr(err)
@@ -246,10 +254,14 @@ func (s *Server) runCosim(ctx context.Context, j *job) outcome {
 		n := 0
 		opts.CheckpointEvery = sp.CheckpointEvery
 		opts.Checkpoint = func(b []byte) error {
-			if err := s.store.WriteCheckpoint(j.id, b); err != nil {
-				return err
-			}
 			n++
+			// Never propagate a store failure into cosim.Run — it would
+			// abort a healthy lockstep run. Degrade to the stale
+			// checkpoint instead.
+			if err := s.store.WriteCheckpoint(j.id, b); err != nil {
+				s.checkpointFailed(j, err)
+				return nil
+			}
 			s.checkpointed(j, n*sp.CheckpointEvery, 0)
 			return nil
 		}
@@ -266,9 +278,10 @@ func (s *Server) runCosim(ctx context.Context, j *job) outcome {
 		if errors.As(err, &ce) {
 			if ce.Snapshot != nil {
 				if werr := s.store.WriteCheckpoint(j.id, ce.Snapshot); werr != nil {
-					return failed(ErrRun, werr)
+					s.checkpointFailed(j, werr)
+				} else {
+					s.checkpointed(j, ce.Cycle, 0)
 				}
-				s.checkpointed(j, ce.Cycle, 0)
 			}
 			return outcome{canceled: true}
 		}
@@ -395,7 +408,9 @@ func stateCRC(p *designs.Processor) string {
 }
 
 // checkpointed records a durable checkpoint: progress counters,
-// metrics, persisted status, event publication.
+// metrics, persisted status, event publication. Durable progress also
+// resets the crash-recovery attempt counter — a job that checkpoints
+// is not crash-looping, however many times the daemon around it dies.
 func (s *Server) checkpointed(j *job, cycle, retired int) {
 	s.metrics.Inc("xpdld_checkpoints_written_total")
 	j.mu.Lock()
@@ -405,8 +420,22 @@ func (s *Server) checkpointed(j *job, cycle, retired int) {
 	}
 	j.progress.CheckpointCycle = cycle
 	j.progress.Checkpoints++
+	j.attempts = 0
 	st := j.statusLocked()
 	j.publishLocked(st)
 	j.mu.Unlock()
-	_ = s.store.WriteStatus(j.id, st)
+	if err := s.store.WriteStatus(j.id, st); err != nil {
+		s.metrics.Inc("xpdld_store_write_failures_total")
+		s.cfg.Logf("xpdld: %s: status write failed after checkpoint (continuing): %v", j.id, err)
+	}
+}
+
+// checkpointFailed records a checkpoint write that could not be made
+// durable. The job keeps running: the cost is recovery granularity
+// (a crash resumes from the previous checkpoint), never correctness,
+// so the right response is a counter and a log line — not a failed
+// job.
+func (s *Server) checkpointFailed(j *job, err error) {
+	s.metrics.Inc("xpdld_checkpoint_write_failures_total")
+	s.cfg.Logf("xpdld: %s: checkpoint write failed (continuing with stale checkpoint): %v", j.id, err)
 }

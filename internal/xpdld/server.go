@@ -5,11 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"xpdl/internal/faultfs"
 )
 
 // Config tunes a Server.
@@ -17,21 +22,48 @@ type Config struct {
 	// StateDir is the artifact-store root. Required.
 	StateDir string
 	// Workers is the pool width (default: GOMAXPROCS — the pool
-	// saturates all cores).
+	// saturates all cores; negative: no workers at all, for tests that
+	// need jobs to stay queued).
 	Workers int
 	// CheckpointEvery is the default snapshot interval in cycles for
 	// jobs that do not set their own (default 50_000).
 	CheckpointEvery int
 	// Quota is the per-tenant admission policy.
 	Quota Quota
+	// MaxQueue bounds the global admission queue (default 256): a
+	// submission that would push the queued-job count past it is shed
+	// with a 503 + Retry-After instead of admitted — saturation
+	// degrades into client backoff, not unbounded memory growth.
+	MaxQueue int
+	// MaxAttempts bounds crash-loop retries (default 3): a job
+	// re-enqueued by crash recovery more than this many times without
+	// writing a checkpoint is quarantined instead of retried.
+	MaxAttempts int
+	// FS is the artifact store's filesystem (default: the real one).
+	// The torture suite plugs a faultfs.Faulty in here.
+	FS faultfs.FS
+	// Logf receives operational log lines (degradation events,
+	// recovery sweeps). Default: the standard logger.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
-	if c.Workers <= 0 {
+	if c.Workers < 0 {
+		c.Workers = 0
+	} else if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 50_000
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 	c.Quota = c.Quota.withDefaults()
 	return c
@@ -46,6 +78,7 @@ type job struct {
 	mu        sync.Mutex
 	state     State
 	progress  Progress
+	attempts  int // crash-recovery re-enqueues since last durable progress
 	jerr      *JobError
 	resumable bool
 	cancel    context.CancelFunc // non-nil while running
@@ -60,6 +93,7 @@ func (j *job) statusLocked() Status {
 		Spec:      j.spec,
 		State:     j.state,
 		Progress:  j.progress,
+		Attempts:  j.attempts,
 		Error:     j.jerr,
 		Resumable: j.resumable,
 	}
@@ -146,7 +180,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StateDir == "" {
 		return nil, errors.New("xpdld: Config.StateDir is required")
 	}
-	store, err := OpenStore(cfg.StateDir)
+	store, err := OpenStoreFS(cfg.StateDir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -173,20 +207,43 @@ func New(cfg Config) (*Server, error) {
 // recover scans the store and adopts every persisted job: terminal
 // jobs as history, queued/running jobs back onto the run queue — a
 // job that was mid-flight when the process died resumes from its last
-// checkpoint with the work before it intact.
+// checkpoint with the work before it intact. Each re-enqueue bumps the
+// job's attempt counter; a job past MaxAttempts with no durable
+// progress in between is crash-looping (it, or the state it restores,
+// kills the daemon every time) and is quarantined instead of being
+// retried forever. Stranded temp files from interrupted writes are
+// swept first — they are never read, so this is hygiene, not safety.
 func (s *Server) recover() error {
+	if n, err := s.store.SweepTemps(); err == nil && n > 0 {
+		s.metrics.Add("xpdld_temps_swept_total", uint64(n))
+		s.cfg.Logf("xpdld: recovery swept %d stranded temp file(s)", n)
+	}
 	ids, err := s.store.Jobs()
 	if err != nil {
 		return err
 	}
 	for _, id := range ids {
 		sp, err := s.store.ReadSpec(id)
+		if errors.Is(err, os.ErrNotExist) {
+			// A job directory with no durable spec is the residue of an
+			// admission whose spec write failed — the client saw an error
+			// and no status was ever written, so nothing was promised.
+			// Skip it, but burn its sequence number so a fresh submission
+			// never reuses the haunted ID.
+			s.metrics.Inc("xpdld_ghost_jobs_skipped_total")
+			s.cfg.Logf("xpdld: recover: skipping %s (no durable spec; admission never completed)", id)
+			if n := jobSeq(id); n > s.seq {
+				s.seq = n
+			}
+			continue
+		}
 		if err != nil {
 			return fmt.Errorf("xpdld: recover %s: %w", id, err)
 		}
 		j := &job{id: id, spec: sp, state: StateQueued}
 		if st, err := s.store.ReadStatus(id); err == nil {
 			j.progress = st.Progress
+			j.attempts = st.Attempts
 			if st.State.Terminal() {
 				j.state = st.State
 				j.jerr = st.Error
@@ -200,12 +257,29 @@ func (s *Server) recover() error {
 		if n := jobSeq(id); n > s.seq {
 			s.seq = n
 		}
-		if !j.state.Terminal() {
+		if j.state.Terminal() {
+			continue
+		}
+		j.attempts++
+		if j.attempts > s.cfg.MaxAttempts {
+			j.state = StateQuarantined
+			j.resumable = true
+			j.jerr = &JobError{Kind: ErrQuarantined, Detail: fmt.Sprintf(
+				"crash-looping: %d recovery attempts without durable progress (limit %d); resume -force to retry",
+				j.attempts, s.cfg.MaxAttempts)}
+			s.metrics.Inc("xpdld_jobs_quarantined_total")
+			s.cfg.Logf("xpdld: %s quarantined after %d crash-recovery attempts", id, j.attempts)
+		} else {
 			s.pending = append(s.pending, j)
 			s.metrics.Inc("xpdld_jobs_recovered_total")
-			if err := s.store.WriteStatus(id, j.Status()); err != nil {
-				return err
-			}
+		}
+		// Persisting the bumped attempt counter (or the quarantine) may
+		// itself hit a failing disk; that must not stop recovery — the
+		// in-memory queue is correct, and the next transition retries
+		// the write.
+		if err := s.store.WriteStatus(id, j.Status()); err != nil {
+			s.metrics.Inc("xpdld_store_write_failures_total")
+			s.cfg.Logf("xpdld: recover %s: status write failed (continuing): %v", id, err)
 		}
 	}
 	return nil
@@ -238,13 +312,21 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Submit admits a job: normalize the spec, check the tenant quota,
-// persist, enqueue.
+// Submit admits a job: normalize the spec, shed load if the admission
+// queue is full, check the tenant quota, persist, enqueue. A store
+// failure while persisting rejects the submission with a typed store
+// error and leaves no ghost job behind.
 func (s *Server) Submit(sp Spec) (Status, error) {
 	if jerr := sp.normalize(s.cfg); jerr != nil {
 		return Status{}, jerr
 	}
 	s.mu.Lock()
+	if len(s.pending) >= s.cfg.MaxQueue {
+		queued := len(s.pending)
+		s.mu.Unlock()
+		s.metrics.Inc("xpdld_overload_denied_total")
+		return Status{}, &OverloadError{Queued: queued, Limit: s.cfg.MaxQueue, RetryAfter: time.Second}
+	}
 	active := 0
 	for _, j := range s.jobs {
 		j.mu.Lock()
@@ -267,12 +349,20 @@ func (s *Server) Submit(sp Spec) (Status, error) {
 
 	// Persist before enqueueing: a worker must never observe (or
 	// outrun the durability of) a job the store has not admitted.
-	if err := s.store.CreateJob(id, sp); err != nil {
-		return Status{}, err
-	}
 	st := j.Status()
-	if err := s.store.WriteStatus(id, st); err != nil {
-		return Status{}, err
+	err := s.store.CreateJob(id, sp)
+	if err == nil {
+		err = s.store.WriteStatus(id, st)
+	}
+	if err != nil {
+		s.metrics.Inc("xpdld_store_write_failures_total")
+		s.mu.Lock()
+		delete(s.jobs, id)
+		if n := len(s.order); n > 0 && s.order[n-1] == id {
+			s.order = s.order[:n-1]
+		}
+		s.mu.Unlock()
+		return Status{}, storeErr(err)
 	}
 	s.mu.Lock()
 	s.pending = append(s.pending, j)
@@ -334,20 +424,31 @@ func (s *Server) Cancel(id string) (Status, error) {
 
 // Resume re-enqueues a canceled job. It restarts from its persisted
 // checkpoint when one exists, from scratch otherwise; either way the
-// final report is identical to an uninterrupted run's.
-func (s *Server) Resume(id string) (Status, error) {
+// final report is identical to an uninterrupted run's. A quarantined
+// job resumes only with force — the explicit human override that
+// breaks a crash-loop quarantine — which also resets its attempt
+// counter.
+func (s *Server) Resume(id string, force bool) (Status, error) {
 	j, ok := s.jobByID(id)
 	if !ok {
 		return Status{}, os.ErrNotExist
 	}
 	j.mu.Lock()
-	if j.state != StateCanceled {
+	switch {
+	case j.state == StateCanceled:
+	case j.state == StateQuarantined && force:
+	case j.state == StateQuarantined:
+		st := j.statusLocked()
+		j.mu.Unlock()
+		return st, fmt.Errorf("job %s is quarantined after %d crash-recovery attempts; resume -force to retry", id, st.Attempts)
+	default:
 		st := j.statusLocked()
 		j.mu.Unlock()
 		return st, fmt.Errorf("job %s is %s, only canceled jobs resume", id, st.State)
 	}
 	j.state = StateQueued
 	j.jerr = nil
+	j.attempts = 0
 	st := j.statusLocked()
 	j.mu.Unlock()
 	if err := s.store.WriteStatus(id, st); err != nil {
@@ -413,6 +514,24 @@ func (s *Server) exec(j *job) {
 	out := s.run(ctx, j)
 	s.busy.Add(-1)
 
+	// The report is made durable BEFORE the job is published as done:
+	// a client that observes done can always fetch the report, and a
+	// crash between the two writes recovers as a running job that
+	// reruns to the same canonical bytes. A report that cannot be
+	// persisted fails the job with a typed store error — done without
+	// a durable report would be a lie.
+	if !out.canceled && out.jerr == nil && out.report != nil {
+		b, err := out.report.Canon()
+		if err == nil {
+			err = s.store.WriteReport(j.id, b)
+		}
+		if err != nil {
+			s.metrics.Inc("xpdld_store_write_failures_total")
+			s.cfg.Logf("xpdld: %s: report write failed: %v", j.id, err)
+			out.jerr = storeErr(err)
+		}
+	}
+
 	j.mu.Lock()
 	j.cancel = nil
 	preempt := j.preempt
@@ -441,12 +560,13 @@ func (s *Server) exec(j *job) {
 	j.publishLocked(st)
 	j.mu.Unlock()
 
-	if out.report != nil && st.State == StateDone {
-		if b, err := out.report.Canon(); err == nil {
-			_ = s.store.WriteReport(j.id, b)
-		}
+	if err := s.store.WriteStatus(j.id, st); err != nil {
+		// The terminal state lives in memory and on the event stream; a
+		// crash before a later successful write reruns the job, which
+		// converges on the same canonical outcome.
+		s.metrics.Inc("xpdld_store_write_failures_total")
+		s.cfg.Logf("xpdld: %s: status write failed (in-memory state %s stands): %v", j.id, st.State, err)
 	}
-	_ = s.store.WriteStatus(j.id, st)
 }
 
 // gauges renders the live (non-monotonic) series.
@@ -530,10 +650,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Submit(sp)
 	if err != nil {
 		var qe *QuotaError
+		var oe *OverloadError
 		var je *JobError
 		switch {
 		case errors.As(err, &qe):
+			// Per-tenant quota: this tenant is over ITS limit; the
+			// daemon has capacity. 429, no Retry-After — admission
+			// reopens when the tenant's own jobs go terminal.
 			writeError(w, http.StatusTooManyRequests, ErrQuota, qe.Error())
+		case errors.As(err, &oe):
+			// Global saturation: everyone backs off. 503 + Retry-After.
+			secs := int(oe.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusServiceUnavailable, ErrOverload, oe.Error())
+		case errors.As(err, &je) && je.Kind == ErrStore:
+			// Transient persistence failure; the submission left no
+			// trace, so a retry is safe.
+			writeError(w, http.StatusInternalServerError, ErrStore, je.Detail)
 		case errors.As(err, &je):
 			writeError(w, http.StatusBadRequest, je.Kind, je.Detail)
 		default:
@@ -596,9 +732,14 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	st, err := s.Resume(j.id)
+	force := r.URL.Query().Get("force") == "1"
+	st, err := s.Resume(j.id, force)
 	if err != nil {
-		writeError(w, http.StatusConflict, ErrSpec, err.Error())
+		kind := ErrSpec
+		if st.State == StateQuarantined {
+			kind = ErrQuarantined
+		}
+		writeError(w, http.StatusConflict, kind, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, st)

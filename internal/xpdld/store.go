@@ -9,7 +9,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
+	"xpdl/internal/faultfs"
 	"xpdl/internal/snap"
 )
 
@@ -23,23 +25,43 @@ import (
 //	jobs/<id>/report.json  — the canonical report, written before the
 //	                         job is marked done
 //
-// All writes are write-to-temp-then-rename, so a SIGKILL at any byte
-// offset leaves either the previous version or the new one — never a
-// torn file. Recovery is a directory scan: any job whose persisted
-// state is queued or running is re-enqueued, resuming from ckpt.snap
-// when present. Checkpoint integrity is not verified here — the
-// snapshot container's own CRC/version checks do that on restore, and
-// the runner surfaces their typed errors in the job status.
+// Every write is write-temp, fsync, rename, fsync-parent-directory: a
+// crash at any byte offset — process SIGKILL or power loss — leaves
+// either the previous version or the new one, fully durable, never a
+// torn file. The only crash residue is a stranded *.tmp, which the
+// recovery sweep removes; temp files are never read, so torn state is
+// structurally unadoptable. All I/O goes through a faultfs.FS, which
+// is how the torture suite attacks every one of these paths with
+// injected ENOSPC/EIO/short-write/fsync faults. Checkpoint integrity
+// is not verified here — the snapshot container's own CRC/version
+// checks do that on restore, and the runner surfaces their typed
+// errors in the job status.
 type Store struct {
 	root string
+	fs   faultfs.FS
+	// mu serializes writes: temp names are deterministic (path + ".tmp")
+	// so the fault injector can target them, which means two concurrent
+	// writers of the same file would race on the same temp. Writes are
+	// small and rare; serializing them is cheaper than unique names.
+	mu sync.Mutex
 }
 
-// OpenStore creates/opens the store rooted at dir.
+// OpenStore creates/opens the store rooted at dir on the real
+// filesystem.
 func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+	return OpenStoreFS(dir, faultfs.OS())
+}
+
+// OpenStoreFS creates/opens the store over an explicit filesystem —
+// the fault-injection seam.
+func OpenStoreFS(dir string, fsys faultfs.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{root: dir}, nil
+	return &Store{root: dir, fs: fsys}, nil
 }
 
 // Root returns the store's root directory.
@@ -47,32 +69,52 @@ func (s *Store) Root() string { return s.root }
 
 func (s *Store) jobDir(id string) string { return filepath.Join(s.root, "jobs", id) }
 
-// atomicWrite persists data at path via a same-directory temp file and
-// rename.
-func atomicWrite(path string, data []byte) error {
+// storeErr wraps a persistence failure in the typed job-error taxonomy.
+func storeErr(err error) *JobError {
+	return &JobError{Kind: ErrStore, Detail: err.Error()}
+}
+
+// atomicWrite persists data at path durably: same-directory temp file,
+// fsync the contents, rename over the destination, fsync the parent
+// directory so the rename itself survives power loss. Any failure
+// leaves the destination untouched (old version or absent) and
+// best-effort removes the temp; a temp stranded by a crash or a failed
+// remove is swept at the next recovery.
+func (s *Store) atomicWrite(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := s.fs.WriteFile(tmp, data, 0o644); err != nil {
+		_ = s.fs.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := s.fs.Sync(tmp); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	return s.fs.SyncDir(filepath.Dir(path))
 }
 
 // CreateJob allocates the job directory and persists its spec.
 func (s *Store) CreateJob(id string, sp Spec) error {
-	if err := os.MkdirAll(s.jobDir(id), 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.jobDir(id), 0o755); err != nil {
 		return err
 	}
 	b, err := json.MarshalIndent(sp, "", "  ")
 	if err != nil {
 		return err
 	}
-	return atomicWrite(filepath.Join(s.jobDir(id), "spec.json"), b)
+	return s.atomicWrite(filepath.Join(s.jobDir(id), "spec.json"), b)
 }
 
 // ReadSpec loads a job's spec.
 func (s *Store) ReadSpec(id string) (Spec, error) {
 	var sp Spec
-	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "spec.json"))
+	b, err := s.fs.ReadFile(filepath.Join(s.jobDir(id), "spec.json"))
 	if err != nil {
 		return sp, err
 	}
@@ -85,13 +127,13 @@ func (s *Store) WriteStatus(id string, st Status) error {
 	if err != nil {
 		return err
 	}
-	return atomicWrite(filepath.Join(s.jobDir(id), "status.json"), b)
+	return s.atomicWrite(filepath.Join(s.jobDir(id), "status.json"), b)
 }
 
 // ReadStatus loads a job's persisted status.
 func (s *Store) ReadStatus(id string) (Status, error) {
 	var st Status
-	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "status.json"))
+	b, err := s.fs.ReadFile(filepath.Join(s.jobDir(id), "status.json"))
 	if err != nil {
 		return st, err
 	}
@@ -100,13 +142,13 @@ func (s *Store) ReadStatus(id string) (Status, error) {
 
 // WriteCheckpoint persists the newest checkpoint blob.
 func (s *Store) WriteCheckpoint(id string, data []byte) error {
-	return atomicWrite(filepath.Join(s.jobDir(id), "ckpt.snap"), data)
+	return s.atomicWrite(filepath.Join(s.jobDir(id), "ckpt.snap"), data)
 }
 
 // ReadCheckpoint loads the newest checkpoint; ok is false when the job
 // has none.
 func (s *Store) ReadCheckpoint(id string) (data []byte, ok bool, err error) {
-	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "ckpt.snap"))
+	b, err := s.fs.ReadFile(filepath.Join(s.jobDir(id), "ckpt.snap"))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, false, nil
 	}
@@ -124,7 +166,7 @@ func (s *Store) CheckpointPath(id string) string {
 
 // DropCheckpoint removes a job's checkpoint, if any.
 func (s *Store) DropCheckpoint(id string) error {
-	err := os.Remove(filepath.Join(s.jobDir(id), "ckpt.snap"))
+	err := s.fs.Remove(filepath.Join(s.jobDir(id), "ckpt.snap"))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -133,17 +175,17 @@ func (s *Store) DropCheckpoint(id string) error {
 
 // WriteReport persists the canonical report bytes.
 func (s *Store) WriteReport(id string, data []byte) error {
-	return atomicWrite(filepath.Join(s.jobDir(id), "report.json"), data)
+	return s.atomicWrite(filepath.Join(s.jobDir(id), "report.json"), data)
 }
 
 // ReadReport loads the canonical report bytes.
 func (s *Store) ReadReport(id string) ([]byte, error) {
-	return os.ReadFile(filepath.Join(s.jobDir(id), "report.json"))
+	return s.fs.ReadFile(filepath.Join(s.jobDir(id), "report.json"))
 }
 
 // Jobs lists persisted job IDs in ascending numeric order.
 func (s *Store) Jobs() ([]string, error) {
-	ents, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	ents, err := s.fs.ReadDir(filepath.Join(s.root, "jobs"))
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +197,36 @@ func (s *Store) Jobs() ([]string, error) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return jobSeq(ids[i]) < jobSeq(ids[j]) })
 	return ids, nil
+}
+
+// SweepTemps removes stranded *.tmp files from every job directory —
+// the residue of a process that died (or a device that errored)
+// between writing a temp file and renaming it into place. Returns how
+// many were removed. Removal failures are counted but not fatal: a
+// temp that survives a sweep is retried at the next one, and is never
+// read meanwhile.
+func (s *Store) SweepTemps() (removed int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids, err := s.Jobs()
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range ids {
+		ents, err := s.fs.ReadDir(s.jobDir(id))
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+				continue
+			}
+			if rerr := s.fs.Remove(filepath.Join(s.jobDir(id), e.Name())); rerr == nil {
+				removed++
+			}
+		}
+	}
+	return removed, nil
 }
 
 // FormatID renders a sequence number as a job ID.
